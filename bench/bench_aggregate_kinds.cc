@@ -1,0 +1,76 @@
+// Extension bench: how the four bounded aggregates compare on the same
+// cached data, and what width distribution the algorithm converges to.
+// SUM pays for every wide member; AVG divides the constraint burden by the
+// group size; MAX/MIN exploit candidate elimination and are the cheapest —
+// the §4.6 effect, generalized across kinds.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/adaptive_policy.h"
+#include "sim/experiments.h"
+#include "stats/histogram.h"
+
+int main() {
+  using namespace apc;
+  bench::Banner("Extension (aggregates)",
+                "bounded SUM / AVG / MAX / MIN on the network trace");
+
+  struct Mix {
+    const char* name;
+    double max_f, min_f, avg_f;
+  };
+  const Mix mixes[] = {{"SUM", 0, 0, 0},
+                       {"AVG", 0, 0, 1.0},
+                       {"MAX", 1.0, 0, 0},
+                       {"MIN", 0, 1.0, 0}};
+
+  std::printf("%6s | %12s %12s  (delta_avg = 100K / exact)\n", "kind",
+              "cost @100K", "cost @0");
+  for (const Mix& mix : mixes) {
+    double costs[2];
+    int i = 0;
+    for (double delta_avg : {100e3, 0.0}) {
+      NetworkExperiment exp;
+      exp.delta_avg = delta_avg;
+      exp.rho = 0.5;
+      exp.delta0 = 1e3;
+      SimConfig config = exp.ToSimConfig();
+      config.workload.query.max_fraction = mix.max_f;
+      config.workload.query.min_fraction = mix.min_f;
+      config.workload.query.avg_fraction = mix.avg_f;
+      AdaptivePolicy prototype(exp.ToPolicyParams(), 5);
+      costs[i++] = RunIntervalSimulation(
+                       config, MakeTraceStreams(SharedNetworkTrace()),
+                       prototype)
+                       .cost_rate;
+    }
+    std::printf("%6s | %12.3f %12.3f\n", mix.name, costs[0], costs[1]);
+  }
+  bench::Note("AVG is the cheapest SUM-family query (constraint scales "
+              "with group size); MAX/MIN profit from candidate "
+              "elimination, dramatically so at exact precision");
+
+  bench::Banner("Extension (width distribution)",
+                "converged raw widths across the 50 sources (SUM, 100K)");
+  NetworkExperiment exp;
+  exp.delta_avg = 100e3;
+  exp.rho = 0.5;
+  AdaptivePolicy prototype(exp.ToPolicyParams(), 5);
+  Histogram widths = Histogram::LogSpaced(1e2, 1e7, 10);
+  RunIntervalSimulation(
+      exp.ToSimConfig(), MakeTraceStreams(SharedNetworkTrace()), prototype,
+      [&](int64_t now, const CacheSystem& system) {
+        if (now % 600 != 0) return;  // sample every 10 minutes
+        for (size_t id = 0; id < system.num_sources(); ++id) {
+          widths.Add(system.source(static_cast<int>(id))->raw_width());
+        }
+      });
+  std::printf("%s", widths.ToString().c_str());
+  std::printf("  p10 %.0f | median %.0f | p90 %.0f  (delta_avg/10 = %.0f)\n",
+              widths.Quantile(0.1), widths.Quantile(0.5),
+              widths.Quantile(0.9), exp.delta_avg / 10.0);
+  bench::Note("widths are not one number: quiet hosts sit orders of "
+              "magnitude below the busy ones — per-value adaptation is the "
+              "point of the algorithm");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces §4.2's convergence claims: the adaptive algorithm, run on
+// steady-state random-walk data, converges to a width whose cost is within
+// a few percent of the best fixed width, across all combinations of
+// Tq in {1, 2}, delta_avg in {10, 20}, theta in {1, 4}.
+//
+// The paper reports within 1% for the base case and within 5% across the
+// grid. With alpha = 1 the width path oscillates a full octave around W*
+// and pays a measurable premium on *stationary* data, so we report both
+// alpha = 1 (the paper's recommended dynamic setting) and a gentler
+// alpha = 0.25 (see EXPERIMENTS.md E3 for discussion).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiments.h"
+#include "util/mathutil.h"
+
+int main() {
+  using namespace apc;
+  bench::Banner("Section 4.2",
+                "adaptive convergence vs best fixed width (random walk)");
+
+  std::printf("%5s %10s %6s | %10s %8s | %12s %9s | %12s %9s\n", "Tq",
+              "d_avg", "theta", "best fixed", "W*", "cost(a=1)", "vs opt",
+              "cost(a=.25)", "vs opt");
+
+  for (double tq : {1.0, 2.0}) {
+    for (double delta_avg : {10.0, 20.0}) {
+      for (double theta : {1.0, 4.0}) {
+        WalkExperiment exp;
+        exp.tq = tq;
+        exp.delta_avg = delta_avg;
+        exp.theta = theta;
+        exp.horizon = 300000;
+        exp.warmup = 10000;
+
+        std::vector<double> widths;
+        for (double w = 0.5; w <= 16.0; w += 0.25) widths.push_back(w);
+        auto fixed = SweepFixedWidths(exp, widths);
+        double best_cost = kInfinity, best_w = 0.0;
+        for (size_t i = 0; i < widths.size(); ++i) {
+          if (fixed[i].cost_rate < best_cost) {
+            best_cost = fixed[i].cost_rate;
+            best_w = widths[i];
+          }
+        }
+
+        WalkExperiment a1 = exp;
+        a1.alpha = 1.0;
+        SimResult r1 = RunWalkExperiment(a1);
+        WalkExperiment a25 = exp;
+        a25.alpha = 0.25;
+        SimResult r25 = RunWalkExperiment(a25);
+
+        std::printf(
+            "%5.1f %10.0f %6.0f | %10.4f %8.2f | %12.4f %8.1f%% | %12.4f "
+            "%8.1f%%\n",
+            tq, delta_avg, theta, best_cost, best_w, r1.cost_rate,
+            100.0 * (r1.cost_rate / best_cost - 1.0), r25.cost_rate,
+            100.0 * (r25.cost_rate / best_cost - 1.0));
+      }
+    }
+  }
+  bench::Note("");
+  bench::Note("paper: converged width ~ W* with cost within 1-5% of optimal");
+  bench::Note("here: alpha=0.25 lands within ~5-10%; alpha=1 trades ~25% "
+              "stationary overhead for fast adaptation on dynamic data");
+  return 0;
+}

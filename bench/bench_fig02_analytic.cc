@@ -1,0 +1,34 @@
+// Reproduces Figure 2: analytic cost rate and refresh probabilities as
+// functions of the interval width W, for K1 = 1, K2 = 1/200, theta = 1.
+// The cost-rate minimum must coincide with the Pvr/Pqr crossing.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/analytic_model.h"
+
+int main() {
+  using namespace apc;
+  bench::Banner("Figure 2", "analytic cost rate and refresh probabilities");
+
+  IntervalCostModel model;
+  model.k1 = 1.0;
+  model.k2 = 1.0 / 200.0;
+  model.cvr = 1.0;
+  model.cqr = 2.0;  // theta = 1
+
+  std::printf("%8s %10s %10s %10s\n", "W", "Pvr", "Pqr", "cost");
+  for (const auto& pt : SweepModel(model, 2.0, 20.0, 19)) {
+    std::printf("%8.1f %10.5f %10.5f %10.5f\n", pt.width, pt.pvr, pt.pqr,
+                pt.cost_rate);
+  }
+
+  double wstar = model.OptimalWidth();
+  std::printf("\n  W* (argmin of cost)        = %.4f\n", wstar);
+  std::printf("  W at theta*Pvr = Pqr       = %.4f\n", model.BalanceWidth());
+  std::printf("  cost at W*                 = %.5f\n", model.CostRate(wstar));
+  std::printf("  Pvr(W*) = %.5f, Pqr(W*) = %.5f  (equal when theta = 1)\n",
+              model.Pvr(wstar), model.Pqr(wstar));
+  bench::Note("paper: minimum of cost curve lies exactly at the Pvr/Pqr "
+              "crossing");
+  return 0;
+}

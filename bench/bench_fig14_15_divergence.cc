@@ -1,0 +1,52 @@
+// Reproduces Figures 14 and 15: our algorithm specialized to stale-value
+// approximations (theta' = Cvr/Cqr = 0.5) vs Divergence Caching [HSW94]
+// with window k = 23, as the average staleness constraint delta_avg varies
+// over 0..14 updates; Figure 14 uses Tq = 1, Figure 15 Tq = 5. Costs:
+// Cvr = 1, Cqr = 2.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/experiments.h"
+
+namespace {
+
+void RunFigure(const char* id, double tq) {
+  using namespace apc;
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "vs Divergence Caching (stale values), Tq = %.0f", tq);
+  bench::Banner(id, title);
+
+  std::printf("%10s | %16s %16s %10s\n", "delta_avg", "Divergence[HSW94]",
+              "our algorithm", "gain");
+  for (double delta_avg : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0}) {
+    StaleExperiment exp;
+    exp.tq = tq;
+    exp.delta_avg = delta_avg;
+    exp.rho = 1.0;
+    exp.horizon = 60000;
+    exp.warmup = 5000;
+
+    SimResult divergence = RunStaleDivergenceCaching(exp);
+    SimResult ours = RunStaleAdaptive(exp);
+    std::printf("%10.0f | %16.3f %16.3f %9.1f%%\n", delta_avg,
+                divergence.cost_rate, ours.cost_rate,
+                100.0 * (1.0 - ours.cost_rate / divergence.cost_rate));
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunFigure("Figure 14", /*tq=*/1.0);
+  RunFigure("Figure 15", /*tq=*/5.0);
+  apc::bench::Note("");
+  apc::bench::Note("paper: our algorithm shows a modest improvement over "
+                   "Divergence Caching across the constraint range");
+  apc::bench::Note("here: ours wins decisively at tight constraints "
+                   "(subsumption of the cache/don't-cache decision) and "
+                   "sits within ~10% of the projection baseline at loose "
+                   "constraints, where that baseline computes near-oracle "
+                   "interior optima; see EXPERIMENTS.md E11");
+  return 0;
+}

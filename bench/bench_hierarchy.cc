@@ -1,0 +1,100 @@
+// Extension bench (paper §5 future work): two-level caching. Measures how
+// WAN traffic scales with the number of edge caches sharing a regional
+// cache, and the derived-precision effect — edges cannot be more precise
+// than their parent, so a single tight-reading edge drags WAN cost up for
+// everyone.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "data/random_walk.h"
+#include "hierarchy/hierarchy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace apc;
+
+HierarchyConfig BaseConfig(int sources, int edges) {
+  HierarchyConfig config;
+  config.num_sources = sources;
+  config.num_edges = edges;
+  config.wan = {4.0, 8.0};
+  config.lan = {1.0, 2.0};
+  config.regional_policy.alpha = 1.0;
+  config.regional_policy.initial_width = 4.0;
+  config.edge_policy.alpha = 1.0;
+  config.edge_policy.initial_width = 8.0;
+  return config;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> Streams(int n) {
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  Rng seeder(77);
+  for (int i = 0; i < n; ++i) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()));
+  }
+  return streams;
+}
+
+struct HierarchyResult {
+  double wan, lan, total;
+};
+
+HierarchyResult Run(int edges, double tight_slack, double loose_slack,
+                    int tight_edges) {
+  const int kSources = 20;
+  const int64_t kHorizon = 60000;
+  HierarchicalSystem system(BaseConfig(kSources, edges), Streams(kSources),
+                            13);
+  Rng rng(5);
+  system.BeginMeasurement(0);
+  for (int64_t t = 1; t <= kHorizon; ++t) {
+    system.Tick(t);
+    for (int e = 0; e < edges; ++e) {
+      int id = static_cast<int>(rng.UniformInt(0, kSources - 1));
+      double slack = e < tight_edges ? tight_slack : loose_slack;
+      system.Read(e, id, slack, t);
+    }
+  }
+  system.EndMeasurement(kHorizon);
+  return {system.wan_costs().CostRate(), system.lan_costs().CostRate(),
+          system.TotalCostRate()};
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Extension (paper 5)",
+                "two-level caching: WAN amortization across edges");
+
+  std::printf("  20 random-walk sources, 1 read/edge/s, slack 20, WAN costs"
+              " (4,8), LAN (1,2)\n");
+  std::printf("%8s %10s %10s %10s %16s\n", "edges", "WAN", "LAN", "total",
+              "WAN per edge");
+  for (int edges : {1, 2, 4, 8, 16}) {
+    HierarchyResult r = Run(edges, 20.0, 20.0, edges);
+    std::printf("%8d %10.3f %10.3f %10.3f %16.3f\n", edges, r.wan, r.lan,
+                r.total, r.wan / edges);
+  }
+  bench::Note("WAN cost grows sublinearly with edges: the regional cache "
+              "absorbs shared precision demand");
+
+  bench::Banner("Extension (paper 5b)",
+                "derived precision: one tight edge raises everyone's cost");
+  std::printf("  8 edges, loose slack 40; k edges read with slack 2\n");
+  std::printf("%14s %10s %10s %10s\n", "tight edges", "WAN", "LAN",
+              "total");
+  for (int tight : {0, 1, 4, 8}) {
+    HierarchyResult r = Run(8, 2.0, 40.0, tight);
+    std::printf("%14d %10.3f %10.3f %10.3f\n", tight, r.wan, r.lan,
+                r.total);
+  }
+  bench::Note("a single tight reader forces narrow regional intervals, so "
+              "WAN pushes rise even though 7 of 8 edges stayed loose — the "
+              "multi-level precision coupling the paper's future work "
+              "anticipates");
+  return 0;
+}

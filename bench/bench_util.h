@@ -1,0 +1,36 @@
+#ifndef APC_BENCH_BENCH_UTIL_H_
+#define APC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace apc::bench {
+
+/// Prints a figure/table banner so the bench output reads like the paper's
+/// evaluation section.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Formats a value that may be infinity (delta1 = inf rows).
+inline std::string Num(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "inf";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace apc::bench
+
+#endif  // APC_BENCH_BENCH_UTIL_H_

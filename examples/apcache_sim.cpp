@@ -1,0 +1,152 @@
+// apcache_sim — command-line driver for the simulation harness.
+//
+// Runs the paper's workloads with arbitrary parameters without writing
+// code. Examples:
+//
+//   apcache_sim --workload=network --tq=1 --delta_avg=100000 --theta=4
+//   apcache_sim --workload=network --delta_avg=0 --delta1=1000
+//               --baseline=exact   (continuation of the previous line)
+//   apcache_sim --workload=walk --tq=2 --delta_avg=20 --alpha=0.25
+//   apcache_sim --workload=stale --tq=5 --delta_avg=8 --baseline=divergence
+//
+// Flags (defaults in [brackets]): --workload={network,walk,stale}
+// [network], --tq [1], --delta_avg [100000], --rho [0.5], --theta [1],
+// --alpha [1], --delta0 [1000], --delta1 [inf], --chi [50],
+// --max_fraction [0], --horizon, --warmup, --seed [42],
+// --loss (push-loss probability) [0],
+// --baseline={none,exact,divergence} [none].
+#include <cstdio>
+
+#include "sim/experiments.h"
+#include "util/flags.h"
+
+namespace {
+
+void PrintResult(const char* label, const apc::SimResult& r) {
+  std::printf("%-28s cost/s %8.3f | pushes %8lld pulls %8lld | Pvr %.4f "
+              "Pqr %.4f | mean width %.1f\n",
+              label, r.cost_rate, static_cast<long long>(r.value_refreshes),
+              static_cast<long long>(r.query_refreshes), r.pvr, r.pqr,
+              r.mean_raw_width);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace apc;
+
+  FlagParser flags;
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: apcache_sim [--flag=value ...]\n"
+        "  --workload={network,walk,stale}   workload family [network]\n"
+        "  --baseline={none,exact,divergence} also run a baseline [none]\n"
+        "  --tq --delta_avg --rho --theta --alpha  workload/algorithm\n"
+        "  --delta0 --delta1 (use 'inf')           thresholds\n"
+        "  --chi --max_fraction --loss             cache size, MAX share,\n"
+        "                                          push-loss probability\n"
+        "  --horizon --warmup --seed               run control\n");
+    return 0;
+  }
+
+  std::string workload = flags.GetStringOr("workload", "network");
+  std::string baseline = flags.GetStringOr("baseline", "none");
+
+  // Every numeric flag can fail to parse; funnel errors through one check.
+  auto d = [&](const char* name, double fallback) {
+    Result<double> r = flags.GetDoubleOr(name, fallback);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      std::exit(2);
+    }
+    return r.value();
+  };
+  auto i = [&](const char* name, int64_t fallback) {
+    Result<int64_t> r = flags.GetIntOr(name, fallback);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      std::exit(2);
+    }
+    return r.value();
+  };
+
+  if (workload == "network") {
+    NetworkExperiment exp;
+    exp.tq = d("tq", 1.0);
+    exp.delta_avg = d("delta_avg", 100e3);
+    exp.rho = d("rho", 0.5);
+    exp.theta = d("theta", 1.0);
+    exp.alpha = d("alpha", 1.0);
+    exp.delta0 = d("delta0", 1e3);
+    exp.delta1 = d("delta1", kInfinity);
+    exp.chi = static_cast<size_t>(i("chi", 50));
+    exp.max_fraction = d("max_fraction", 0.0);
+    exp.horizon = i("horizon", 7200);
+    exp.warmup = i("warmup", 1200);
+    exp.seed = static_cast<uint64_t>(i("seed", 42));
+
+    double loss = d("loss", 0.0);
+    if (loss > 0.0) {
+      SimConfig config = exp.ToSimConfig();
+      config.system.push_loss_probability = loss;
+      AdaptivePolicy prototype(exp.ToPolicyParams(), exp.seed ^ 0x9a11ce);
+      SimResult r = RunIntervalSimulation(
+          config, MakeTraceStreams(SharedNetworkTrace()), prototype);
+      PrintResult("adaptive (lossy pushes)", r);
+    } else {
+      PrintResult("adaptive approximate", RunNetworkAdaptive(exp));
+    }
+    if (baseline == "exact") {
+      int best_x = 0;
+      SimResult r =
+          RunNetworkExactCaching(exp, DefaultExactCachingXGrid(), &best_x);
+      char label[64];
+      std::snprintf(label, sizeof(label), "exact caching (x=%d)", best_x);
+      PrintResult(label, r);
+    }
+    return 0;
+  }
+
+  if (workload == "walk") {
+    WalkExperiment exp;
+    exp.tq = d("tq", 2.0);
+    exp.delta_avg = d("delta_avg", 20.0);
+    exp.rho = d("rho", 1.0);
+    exp.theta = d("theta", 1.0);
+    exp.alpha = d("alpha", 1.0);
+    exp.fixed_width = d("fixed_width", 0.0);
+    exp.horizon = i("horizon", 200000);
+    exp.warmup = i("warmup", 5000);
+    exp.seed = static_cast<uint64_t>(i("seed", 7));
+    PrintResult(exp.fixed_width > 0 ? "fixed width" : "adaptive",
+                RunWalkExperiment(exp));
+    return 0;
+  }
+
+  if (workload == "stale") {
+    StaleExperiment exp;
+    exp.tq = d("tq", 1.0);
+    exp.delta_avg = d("delta_avg", 7.0);
+    exp.rho = d("rho", 1.0);
+    exp.alpha = d("alpha", 1.0);
+    exp.horizon = i("horizon", 30000);
+    exp.warmup = i("warmup", 3000);
+    exp.seed = static_cast<uint64_t>(i("seed", 11));
+    PrintResult("stale-adaptive (ours)", RunStaleAdaptive(exp));
+    if (baseline == "divergence") {
+      PrintResult("divergence caching", RunStaleDivergenceCaching(exp));
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "error: unknown --workload=%s (network, walk, stale)\n",
+               workload.c_str());
+  return 2;
+}

@@ -1,0 +1,78 @@
+// Two-level caching demo (paper §5 future work): a regional cache feeds
+// four edge dashboards over a cheap LAN while talking to the sources over
+// an expensive WAN. Each edge dashboard polls a handful of sensors with
+// its own precision needs; the adaptive algorithm sets widths per link, so
+// WAN traffic is shared across edges while each edge pays only LAN prices
+// for its precision.
+//
+// Build & run:  ./build/examples/edge_dashboard
+#include <cstdio>
+#include <memory>
+
+#include "data/random_walk.h"
+#include "hierarchy/hierarchy.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace apc;
+
+  HierarchyConfig config;
+  config.num_sources = 20;
+  config.num_edges = 4;
+  config.wan = {4.0, 8.0};  // pushes cost 4, pulls 8 across the WAN
+  config.lan = {1.0, 2.0};
+  config.regional_policy.alpha = 1.0;
+  config.regional_policy.initial_width = 4.0;
+  config.edge_policy.alpha = 1.0;
+  config.edge_policy.initial_width = 8.0;
+
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  Rng seeder(99);
+  for (int id = 0; id < config.num_sources; ++id) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()));
+  }
+
+  HierarchicalSystem system(config, std::move(streams), 7);
+  system.BeginMeasurement(0);
+
+  Rng workload(5);
+  for (int64_t t = 1; t <= 100000; ++t) {
+    system.Tick(t);
+    // Each edge reads one random sensor per tick; edges 0-1 run tight
+    // dashboards (slack 10), edges 2-3 loose ones (slack 60).
+    for (int edge = 0; edge < config.num_edges; ++edge) {
+      int id = static_cast<int>(
+          workload.UniformInt(0, config.num_sources - 1));
+      double slack = edge < 2 ? 10.0 : 60.0;
+      Interval answer = system.Read(edge, id, slack, t);
+      if (answer.Width() > slack || !answer.Contains(system.exact_value(id))) {
+        std::printf("BUG: bad answer at t=%lld\n", static_cast<long long>(t));
+        return 1;
+      }
+    }
+  }
+  system.EndMeasurement(100000);
+
+  std::printf("two-level system, 20 sensors, 4 edges, 100k s:\n");
+  std::printf("  WAN cost rate : %8.3f  (pushes %lld, pulls %lld)\n",
+              system.wan_costs().CostRate(),
+              static_cast<long long>(system.wan_costs().value_refreshes()),
+              static_cast<long long>(system.wan_costs().query_refreshes()));
+  std::printf("  LAN cost rate : %8.3f  (pushes %lld, pulls %lld)\n",
+              system.lan_costs().CostRate(),
+              static_cast<long long>(system.lan_costs().value_refreshes()),
+              static_cast<long long>(system.lan_costs().query_refreshes()));
+  std::printf("  total         : %8.3f\n", system.TotalCostRate());
+
+  std::printf("\nsample widths (value 0): regional %.2f | edges",
+              system.regional_interval(0).Width());
+  for (int edge = 0; edge < config.num_edges; ++edge) {
+    std::printf(" %.2f", system.edge_interval(edge, 0).Width());
+  }
+  std::printf("\nTight edges converge near the regional width (they cannot "
+              "be more precise than their parent — the paper's derived-"
+              "precision effect); loose edges stay wide and cheap.\n");
+  return 0;
+}

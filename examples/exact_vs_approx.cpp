@@ -1,0 +1,64 @@
+// Subsumption demo: one algorithm, three caching personalities.
+//
+// The paper's key structural claim is that adaptive precision setting
+// strictly generalizes adaptive exact caching: with delta1 = delta0 every
+// approximation is either an exact copy or effectively uncached, and the
+// width dynamics become a cache/don't-cache decision. This example runs
+// the SAME implementation in three configurations against the [WJH97]
+// exact-caching baseline:
+//
+//   A. delta1 = delta0 (exact-or-nothing) on an exact-precision workload
+//      -> should track the baseline;
+//   B. delta1 = inf on the same workload -> intervals cannot help SUM
+//      queries that demand exactness;
+//   C. delta1 = inf with precision slack -> intervals win big.
+//
+// Build & run:  ./build/examples/exact_vs_approx
+#include <cstdio>
+
+#include "sim/experiments.h"
+
+int main() {
+  using namespace apc;
+
+  NetworkExperiment base;
+  base.tq = 1.0;
+  base.theta = 1.0;
+  base.rho = 0.5;
+  base.delta0 = 1e3;
+
+  std::printf("workload: SUM over 10 of 50 traced hosts, 1 query/s, 2h\n\n");
+
+  NetworkExperiment exact_workload = base;
+  exact_workload.delta_avg = 0.0;
+  SimResult baseline =
+      RunNetworkExactCaching(exact_workload, DefaultExactCachingXGrid());
+  std::printf("[WJH97] adaptive exact caching, exact queries : %8.2f "
+              "msg/s\n", baseline.cost_rate);
+
+  NetworkExperiment a = exact_workload;
+  a.delta1 = a.delta0;  // exact-or-nothing personality
+  SimResult ra = RunNetworkAdaptive(a);
+  std::printf("A. ours, delta1 = delta0, exact queries       : %8.2f "
+              "msg/s  (subsumes the baseline)\n", ra.cost_rate);
+
+  NetworkExperiment b = exact_workload;
+  b.delta1 = kInfinity;
+  SimResult rb = RunNetworkAdaptive(b);
+  std::printf("B. ours, delta1 = inf,    exact queries       : %8.2f "
+              "msg/s  (intervals can't help exact SUMs)\n", rb.cost_rate);
+
+  NetworkExperiment c = base;
+  c.delta_avg = 100e3;
+  c.delta1 = kInfinity;
+  SimResult rc = RunNetworkAdaptive(c);
+  std::printf("C. ours, delta1 = inf,    100K slack          : %8.2f "
+              "msg/s  (%.1fx cheaper than exact caching)\n", rc.cost_rate,
+              baseline.cost_rate / rc.cost_rate);
+
+  std::printf("\nSame code path in all three rows — only the thresholds "
+              "changed. Set delta1 = delta0 and you have an exact-caching "
+              "algorithm; open them up and precision becomes a tunable "
+              "resource.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Network monitoring dashboard — the paper's motivating scenario.
+//
+// A monitoring station caches approximate traffic levels for 50 hosts and
+// answers two standing dashboard panels every second:
+//   * "total traffic across my hosts"    (bounded SUM, slack 100 KB/s)
+//   * "worst offender right now"         (bounded MAX, slack 20 KB/s)
+// The cached intervals answer most panel refreshes without touching the
+// network; the adaptive algorithm keeps them exactly as precise as the
+// panels need and no more.
+//
+// Also demonstrates exporting the synthetic trace to CSV (Status-based
+// error handling) so a real trace can be dropped in instead.
+//
+// Build & run:  ./build/examples/network_monitor
+#include <cstdio>
+#include <memory>
+
+#include "core/adaptive_policy.h"
+#include "data/trace_io.h"
+#include "query/query_gen.h"
+#include "sim/experiments.h"
+
+int main() {
+  using namespace apc;
+
+  const Trace& trace = SharedNetworkTrace();
+  std::printf("loaded trace: %zu hosts x %zu seconds\n", trace.num_hosts(),
+              trace.duration());
+
+  // Optional: export for inspection / substitution with real data.
+  std::string csv_path = "/tmp/apcache_trace.csv";
+  Status s = SaveTraceCsv(trace, csv_path);
+  if (s.ok()) {
+    std::printf("trace exported to %s (drop in your own CSV and load it "
+                "with LoadTraceCsv)\n\n", csv_path.c_str());
+  } else {
+    std::printf("trace export skipped: %s\n\n", s.ToString().c_str());
+  }
+
+  NetworkExperiment exp;
+  exp.tq = 0.5;          // two panel refreshes per second
+  exp.delta_avg = 100e3; // SUM slack
+  exp.rho = 0.2;
+  exp.max_fraction = 0.5;  // half the panel refreshes are MAX queries
+  exp.theta = 1.0;
+
+  SimResult ours = RunNetworkAdaptive(exp);
+
+  // What would the same dashboard cost with classic exact caching?
+  SimResult exact = RunNetworkExactCaching(exp, DefaultExactCachingXGrid());
+
+  std::printf("dashboard cost (messages/second over a 2h trace):\n");
+  std::printf("  adaptive approximate caching : %8.2f\n", ours.cost_rate);
+  std::printf("    pushes %lld, pulls %lld\n",
+              static_cast<long long>(ours.value_refreshes),
+              static_cast<long long>(ours.query_refreshes));
+  std::printf("  adaptive exact caching       : %8.2f\n", exact.cost_rate);
+  std::printf("  saving                       : %7.1fx\n",
+              exact.cost_rate / ours.cost_rate);
+
+  // Tighten the panels and watch the algorithm renegotiate precision.
+  std::printf("\nprecision slack vs cost (SUM-only panels, Tq = 1):\n");
+  std::printf("%14s %12s %14s\n", "slack (B/s)", "cost", "mean width");
+  for (double slack : {10e3, 50e3, 100e3, 500e3}) {
+    NetworkExperiment point;
+    point.tq = 1.0;
+    point.delta_avg = slack;
+    point.rho = 0.2;
+    SimResult r = RunNetworkAdaptive(point);
+    std::printf("%14.0f %12.2f %14.0f\n", slack, r.cost_rate,
+                r.mean_raw_width);
+  }
+  std::printf("\nLooser panels => wider intervals => fewer messages. The "
+              "algorithm discovers this tradeoff by itself.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Web-page caching with stale-value approximations — the paper's §2.1/§5
+// suggestion: "environments that cache Web pages could use our approach
+// ... if the deviation between the exact copy at the source and the stale
+// cached replica can be measured numerically."
+//
+// Here the deviation metric is the number of edits not yet reflected in
+// the cached copy. Each cached page carries a divergence bound g set by
+// the stale-value specialization of the adaptive algorithm (theta' =
+// Cvr/Cqr): hot, tightly-read pages converge to small bounds (origin
+// pushes often), rarely edited or rarely read pages to large ones. No
+// per-page tuning is configured — only the edit and read streams.
+//
+// Build & run:  ./build/examples/web_cache
+#include <cstdio>
+#include <memory>
+
+#include "baseline/stale_system.h"
+#include "core/stale_policy.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace apc;
+
+  constexpr int kPages = 6;
+  const char* kNames[kPages] = {"/home",    "/news",  "/api/status",
+                                "/blog",    "/about", "/archive"};
+  // Edits and reads per second, and how many missed edits a reader of
+  // each page tolerates.
+  const double kEditRate[kPages] = {0.02, 0.5, 1.0, 0.05, 0.001, 0.0005};
+  const double kReadRate[kPages] = {0.8, 0.6, 0.9, 0.05, 0.02, 0.002};
+  const double kTolerance[kPages] = {2.0, 5.0, 1.0, 10.0, 50.0, 100.0};
+
+  StalePolicyParams params;
+  params.cvr = 1.0;  // push one message
+  params.cqr = 2.0;  // read is request + response
+  params.alpha = 1.0;
+  params.delta0 = 1.0;
+  params.initial_bound = 2.0;
+
+  std::printf("%-14s %10s %10s %12s %10s %10s\n", "page", "edits/s",
+              "reads/s", "bound g", "pushes", "pulls");
+  double total_cost = 0.0;
+  const int64_t kHorizon = 200000;
+  for (int page = 0; page < kPages; ++page) {
+    // One single-page cache system per page: the update probability models
+    // this page's edit stream.
+    StaleSystemConfig config;
+    config.costs = {params.cvr, params.cqr};
+    config.num_sources = 1;
+    config.update_probability = kEditRate[page];
+
+    auto policy = std::make_unique<AdaptiveStaleBounds>(
+        params.ToAdaptiveParams(), 1, 100 + page);
+    StaleCacheSystem system(config, std::move(policy), 200 + page);
+    system.costs().BeginMeasurement(0);
+
+    Rng readers(300 + page);
+    for (int64_t t = 1; t <= kHorizon; ++t) {
+      system.Tick(t);  // edits arrive at kEditRate
+      if (readers.Bernoulli(kReadRate[page])) {
+        system.ExecuteRead({0}, kTolerance[page], t);
+      }
+    }
+    system.costs().EndMeasurement(kHorizon);
+    total_cost += system.costs().CostRate();
+    std::printf("%-14s %10.4f %10.4f %12.2f %10lld %10lld\n", kNames[page],
+                kEditRate[page], kReadRate[page], system.bound(0),
+                static_cast<long long>(system.costs().value_refreshes()),
+                static_cast<long long>(system.costs().query_refreshes()));
+  }
+  std::printf("\ntotal cost rate: %.4f messages/s\n", total_cost);
+  std::printf("\nThe busy status endpoint converges to a tight bound "
+              "(push-mostly); the archive converges to a huge one "
+              "(pull-rarely). Same algorithm, same parameters.\n");
+  return 0;
+}

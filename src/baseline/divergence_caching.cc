@@ -1,0 +1,117 @@
+#include "baseline/divergence_caching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace apc {
+
+DivergenceCachingBounds::DivergenceCachingBounds(
+    const DivergenceCachingParams& params, int num_values)
+    : params_(params), history_(static_cast<size_t>(num_values)) {}
+
+double DivergenceCachingBounds::InitialBound(int /*id*/) {
+  return params_.initial_bound;
+}
+
+void DivergenceCachingBounds::ObserveWrite(int id, int64_t now) {
+  History& h = history_[static_cast<size_t>(id)];
+  h.write_times.push_back(now);
+  while (static_cast<int>(h.write_times.size()) > params_.window_k) {
+    h.write_times.pop_front();
+  }
+}
+
+void DivergenceCachingBounds::ObserveRead(int id, int64_t now,
+                                          double constraint) {
+  History& h = history_[static_cast<size_t>(id)];
+  h.read_times.push_back(now);
+  h.read_constraints.push_back(constraint);
+  while (static_cast<int>(h.read_times.size()) > params_.window_k) {
+    h.read_times.pop_front();
+    h.read_constraints.pop_front();
+  }
+}
+
+double DivergenceCachingBounds::EstimateRate(
+    const std::deque<int64_t>& times, int64_t now) {
+  if (times.size() < 2) return 0.0;
+  int64_t span = now - times.front();
+  if (span <= 0) span = 1;
+  return static_cast<double>(times.size()) / static_cast<double>(span);
+}
+
+double DivergenceCachingBounds::OptimalBound(const RefreshCosts& costs,
+                                             double write_rate,
+                                             double read_rate,
+                                             double delta_min,
+                                             double delta_max) {
+  // Degenerate projections. With no observed writes any bound is free of
+  // pushes; keep the copy exact. A constraint window with no staleness
+  // slack (delta_max == 0) forces exact caching outright. With no observed
+  // reads the widest permitted window minimizes pushes.
+  if (write_rate <= 0.0 || delta_max <= 0.0) return 0.0;
+  if (read_rate <= 0.0) return delta_max;
+
+  auto projected_cost = [&](double g) {
+    if (g <= 0.0) return costs.cvr * write_rate;
+    double p_refresh;
+    if (delta_max > delta_min) {
+      p_refresh = std::clamp((g - delta_min) / (delta_max - delta_min), 0.0,
+                             1.0);
+    } else {
+      // All constraints equal delta_max: a bound up to it never fails.
+      p_refresh = (g > delta_max) ? 1.0 : 0.0;
+    }
+    return costs.cvr * write_rate / g + costs.cqr * read_rate * p_refresh;
+  };
+
+  // Candidates: exact caching (g = 0), the interior stationary point of
+  // the projected cost, and the widest window delta_max. The installed
+  // bound is always finite — see the class comment: "stop caching this
+  // value" is not in the algorithm's vocabulary.
+  double interior;
+  if (delta_max > delta_min) {
+    interior = std::sqrt(costs.cvr * write_rate * (delta_max - delta_min) /
+                         (costs.cqr * read_rate));
+    interior = std::clamp(interior, std::max(delta_min, 1e-9), delta_max);
+  } else {
+    interior = delta_max;
+  }
+
+  double best_g = 0.0;
+  double best_cost = projected_cost(0.0);
+  for (double g : {interior, delta_max}) {
+    double cost = projected_cost(g);
+    if (cost < best_cost) {
+      best_g = g;
+      best_cost = cost;
+    }
+  }
+  return best_g;
+}
+
+double DivergenceCachingBounds::OnRefresh(int id, RefreshType /*type*/,
+                                          int64_t now) {
+  const History& h = history_[static_cast<size_t>(id)];
+  double write_rate = EstimateRate(h.write_times, now);
+  double read_rate = EstimateRate(h.read_times, now);
+  if (h.write_times.size() < 2 && h.read_times.size() < 2) {
+    return params_.initial_bound;  // not enough history to project
+  }
+  double delta_min = kInfinity;
+  double delta_max = 0.0;
+  for (double c : h.read_constraints) {
+    delta_min = std::min(delta_min, c);
+    delta_max = std::max(delta_max, c);
+  }
+  if (h.read_constraints.empty()) {
+    delta_min = 0.0;
+    delta_max = 0.0;
+  }
+  return OptimalBound(params_.costs, write_rate, read_rate, delta_min,
+                      delta_max);
+}
+
+}  // namespace apc

@@ -1,0 +1,78 @@
+#ifndef APC_BASELINE_DIVERGENCE_CACHING_H_
+#define APC_BASELINE_DIVERGENCE_CACHING_H_
+
+#include <deque>
+#include <vector>
+
+#include "baseline/stale_system.h"
+
+namespace apc {
+
+/// Parameters of the Divergence Caching baseline [HSW94] (paper §4.7).
+struct DivergenceCachingParams {
+  RefreshCosts costs;
+  /// Moving-window size: the cache tracks the k most recent reads of each
+  /// value and the source the k most recent writes. The paper (and
+  /// [HSW94]'s empirical trials) set k = 23.
+  int window_k = 23;
+  /// Bound used before enough history accumulates.
+  double initial_bound = 1.0;
+};
+
+/// Divergence Caching [HSW94]: rather than adjusting precision
+/// incrementally, it "continually resets the precision from scratch using
+/// detailed projections for data access and update patterns" based on the
+/// k most recent reads and writes.
+///
+/// At each refresh of a value this implementation:
+///  1. estimates the write rate λw and read rate λr from the moving
+///     windows, and the constraint range [δmin, δmax] from the constraints
+///     of recent reads;
+///  2. evaluates the projected cost rate
+///        Ω(g) = Cvr·λw/g + Cqr·λr·P(δ < g)
+///     and installs the minimizing divergence window, the interior optimum
+///     g* = sqrt(Cvr·λw·(δmax−δmin)/(Cqr·λr)) clamped to [0, δmax] (g = 0
+///     degenerates to exact caching: push every update).
+///
+/// Note the vocabulary of the algorithm is a *finite* divergence window:
+/// deciding to stop caching a value altogether (g = ∞) is not among its
+/// moves — per the paper (§1.3, §4.6–4.7), subsuming the cache/don't-cache
+/// decision is exactly what the adaptive precision-setting algorithm adds
+/// over prior work. This also matches the published Figure 14, where the
+/// Divergence Caching curve at δavg = 0 sits at push-every-update cost
+/// rather than at the cheaper never-cache cost.
+class DivergenceCachingBounds : public StaleBoundPolicy {
+ public:
+  DivergenceCachingBounds(const DivergenceCachingParams& params,
+                          int num_values);
+
+  double InitialBound(int id) override;
+  double OnRefresh(int id, RefreshType type, int64_t now) override;
+  void ObserveWrite(int id, int64_t now) override;
+  void ObserveRead(int id, int64_t now, double constraint) override;
+
+  /// Projected-cost minimization for one value given rate and constraint
+  /// estimates; returns a bound in [0, delta_max]. Exposed for unit
+  /// testing.
+  static double OptimalBound(const RefreshCosts& costs, double write_rate,
+                             double read_rate, double delta_min,
+                             double delta_max);
+
+ private:
+  struct History {
+    std::deque<int64_t> write_times;
+    std::deque<int64_t> read_times;
+    std::deque<double> read_constraints;
+  };
+
+  /// Events-per-tick estimate from a timestamp window; 0 when the window
+  /// is too short to tell.
+  static double EstimateRate(const std::deque<int64_t>& times, int64_t now);
+
+  DivergenceCachingParams params_;
+  std::vector<History> history_;
+};
+
+}  // namespace apc
+
+#endif  // APC_BASELINE_DIVERGENCE_CACHING_H_

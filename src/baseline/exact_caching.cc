@@ -1,0 +1,111 @@
+#include "baseline/exact_caching.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace apc {
+
+ExactCachingSystem::ExactCachingSystem(
+    const ExactCachingParams& params,
+    std::vector<std::unique_ptr<UpdateStream>> streams)
+    : params_(params),
+      streams_(std::move(streams)),
+      state_(streams_.size()),
+      costs_(params.costs) {}
+
+double ExactCachingSystem::value(int id) const {
+  return streams_.at(static_cast<size_t>(id))->current();
+}
+
+void ExactCachingSystem::Tick(int64_t /*now*/) {
+  for (size_t id = 0; id < streams_.size(); ++id) {
+    streams_[id]->Next();
+    RecordWrite(static_cast<int>(id));
+  }
+}
+
+double ExactCachingSystem::ExecuteQuery(const Query& query, int64_t /*now*/) {
+  double sum = 0.0;
+  double max = -std::numeric_limits<double>::infinity();
+  double min = std::numeric_limits<double>::infinity();
+  for (int id : query.source_ids) {
+    RecordRead(id);
+    double v = value(id);
+    sum += v;
+    max = std::max(max, v);
+    min = std::min(min, v);
+  }
+  switch (query.kind) {
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kMax:
+      return max;
+    case AggregateKind::kMin:
+      return min;
+    case AggregateKind::kAvg:
+      return query.source_ids.empty()
+                 ? 0.0
+                 : sum / static_cast<double>(query.source_ids.size());
+  }
+  return sum;
+}
+
+void ExactCachingSystem::RecordWrite(int id) {
+  if (cached_.count(id) > 0) {
+    // The cached replica must be kept exact: every source write is pushed.
+    costs_.RecordValueRefresh();
+  }
+  ++state_[static_cast<size_t>(id)].writes;
+  MaybeReevaluate(id);
+}
+
+void ExactCachingSystem::RecordRead(int id) {
+  if (cached_.count(id) == 0) {
+    // Remote read of an uncached value.
+    costs_.RecordQueryRefresh();
+  }
+  ++state_[static_cast<size_t>(id)].reads;
+  MaybeReevaluate(id);
+}
+
+void ExactCachingSystem::MaybeReevaluate(int id) {
+  ValueState& st = state_[static_cast<size_t>(id)];
+  if (st.reads + st.writes < params_.reevaluation_x) return;
+
+  double cnc = static_cast<double>(st.reads) * params_.costs.cqr;
+  double cc = static_cast<double>(st.writes) * params_.costs.cvr;
+  double benefit = cnc - cc;
+  bool want_cached = cc < cnc;
+  bool is_cached = cached_.count(id) > 0;
+
+  if (want_cached && !is_cached) {
+    if (cached_.size() < params_.cache_capacity) {
+      cached_.insert(id);
+    } else if (params_.cache_capacity > 0) {
+      // Evict the cached value with the lowest benefit, if ours is higher.
+      int victim = -1;
+      double victim_benefit = std::numeric_limits<double>::infinity();
+      for (int cid : cached_) {
+        double b = state_[static_cast<size_t>(cid)].last_benefit;
+        if (b < victim_benefit || (b == victim_benefit && cid > victim)) {
+          victim = cid;
+          victim_benefit = b;
+        }
+      }
+      if (victim >= 0 && victim_benefit < benefit) {
+        // The source is notified of the eviction, so it stops pushing
+        // updates for the victim immediately.
+        cached_.erase(victim);
+        cached_.insert(id);
+      }
+    }
+  } else if (!want_cached && is_cached) {
+    cached_.erase(id);
+  }
+
+  st.last_benefit = benefit;
+  st.reads = 0;
+  st.writes = 0;
+}
+
+}  // namespace apc

@@ -1,0 +1,84 @@
+#ifndef APC_BASELINE_EXACT_CACHING_H_
+#define APC_BASELINE_EXACT_CACHING_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cost_model.h"
+#include "data/update_stream.h"
+#include "query/aggregate.h"
+
+namespace apc {
+
+/// Parameters of the adaptive exact-caching baseline derived from the
+/// replication algorithm of [WJH97] (paper §4.6).
+struct ExactCachingParams {
+  RefreshCosts costs;
+  /// Reevaluate a value's caching decision whenever its read+write counter
+  /// reaches x. The paper tunes x per run over roughly [3, 45].
+  int reevaluation_x = 10;
+  /// Cache capacity χ.
+  size_t cache_capacity = 50;
+};
+
+/// State-of-the-art adaptive algorithm for deciding whether to cache exact
+/// replicas (paper §4.6, after [WJH97]):
+///
+///  * per value, count reads r and writes w since the last reevaluation;
+///  * whenever r + w >= x, compare the projected cost of not caching
+///    (Cnc = r·Cqr, every read goes remote) with the projected cost of
+///    caching (Cc = w·Cvr, every write is pushed); cache iff Cc < Cnc;
+///  * with limited cache space, evict the values with the lowest benefit
+///    Cnc − Cc; evictions are reported to the source, which then stops
+///    pushing updates (unlike interval caching, this protocol requires
+///    eviction notifications).
+///
+/// Queries over exact replicas read every accessed value: cached values are
+/// free, uncached values cost one remote read Cqr each. There is no notion
+/// of a precision constraint — every answer is exact.
+class ExactCachingSystem {
+ public:
+  ExactCachingSystem(const ExactCachingParams& params,
+                     std::vector<std::unique_ptr<UpdateStream>> streams);
+
+  /// Advances all sources one tick; every write to a cached value costs
+  /// Cvr (the push to the cache).
+  void Tick(int64_t now);
+
+  /// Executes a query: reads every value in `source_ids`; each uncached
+  /// value incurs a remote read (Cqr). Returns the exact aggregate.
+  double ExecuteQuery(const Query& query, int64_t now);
+
+  CostTracker& costs() { return costs_; }
+  const CostTracker& costs() const { return costs_; }
+  bool IsCached(int id) const { return cached_.count(id) > 0; }
+  size_t num_cached() const { return cached_.size(); }
+  double value(int id) const;
+
+ private:
+  struct ValueState {
+    int64_t reads = 0;
+    int64_t writes = 0;
+    /// Benefit Cnc − Cc computed at the last reevaluation; used as the
+    /// eviction priority for cached values.
+    double last_benefit = 0.0;
+  };
+
+  /// Runs the [WJH97] reevaluation for `id` if its counters reached x.
+  void MaybeReevaluate(int id);
+  void RecordRead(int id);
+  void RecordWrite(int id);
+
+  ExactCachingParams params_;
+  std::vector<std::unique_ptr<UpdateStream>> streams_;
+  std::vector<ValueState> state_;
+  std::unordered_set<int> cached_;
+  CostTracker costs_;
+};
+
+}  // namespace apc
+
+#endif  // APC_BASELINE_EXACT_CACHING_H_

@@ -1,0 +1,107 @@
+#include "baseline/stale_system.h"
+
+namespace apc {
+
+void StaleBoundPolicy::ObserveWrite(int /*id*/, int64_t /*now*/) {}
+void StaleBoundPolicy::ObserveRead(int /*id*/, int64_t /*now*/,
+                                   double /*constraint*/) {}
+
+AdaptiveStaleBounds::AdaptiveStaleBounds(const AdaptivePolicyParams& params,
+                                         int num_values, uint64_t seed) {
+  policies_.reserve(static_cast<size_t>(num_values));
+  raw_bounds_.reserve(static_cast<size_t>(num_values));
+  Rng root(seed);
+  for (int i = 0; i < num_values; ++i) {
+    policies_.push_back(
+        std::make_unique<AdaptivePolicy>(params, root.Fork()));
+    raw_bounds_.push_back(params.initial_width);
+  }
+}
+
+double AdaptiveStaleBounds::InitialBound(int id) {
+  auto& policy = policies_.at(static_cast<size_t>(id));
+  return policy->EffectiveWidth(raw_bounds_.at(static_cast<size_t>(id)));
+}
+
+double AdaptiveStaleBounds::OnRefresh(int id, RefreshType type,
+                                      int64_t now) {
+  auto& policy = policies_.at(static_cast<size_t>(id));
+  double& raw = raw_bounds_.at(static_cast<size_t>(id));
+  RefreshContext ctx;
+  ctx.type = type;
+  ctx.time = now;
+  raw = policy->NextWidth(raw, ctx);
+  return policy->EffectiveWidth(raw);
+}
+
+StaleCacheSystem::StaleCacheSystem(const StaleSystemConfig& config,
+                                   std::unique_ptr<StaleBoundPolicy> policy,
+                                   uint64_t seed)
+    : config_(config),
+      policy_(std::move(policy)),
+      costs_(config.costs),
+      rng_(seed) {
+  bounds_.resize(static_cast<size_t>(config_.num_sources));
+  counters_.assign(static_cast<size_t>(config_.num_sources), 0);
+  in_burst_.assign(static_cast<size_t>(config_.num_sources), false);
+  regime_left_.assign(static_cast<size_t>(config_.num_sources), 0.0);
+  for (int id = 0; id < config_.num_sources; ++id) {
+    bounds_[static_cast<size_t>(id)] = policy_->InitialBound(id);
+    if (config_.burst_update_probability > 0.0) {
+      in_burst_[static_cast<size_t>(id)] = rng_.Bernoulli(0.5);
+      regime_left_[static_cast<size_t>(id)] =
+          rng_.Exponential(1.0 / config_.regime_mean_seconds);
+    }
+  }
+}
+
+double StaleCacheSystem::CurrentUpdateProbability(int id) {
+  if (config_.burst_update_probability <= 0.0) {
+    return config_.update_probability;
+  }
+  auto idx = static_cast<size_t>(id);
+  regime_left_[idx] -= 1.0;
+  if (regime_left_[idx] <= 0.0) {
+    in_burst_[idx] = !in_burst_[idx];
+    regime_left_[idx] = rng_.Exponential(1.0 / config_.regime_mean_seconds);
+  }
+  return in_burst_[idx] ? config_.burst_update_probability
+                        : config_.update_probability;
+}
+
+void StaleCacheSystem::Tick(int64_t now) {
+  for (int id = 0; id < config_.num_sources; ++id) {
+    double p = CurrentUpdateProbability(id);
+    if (p < 1.0 && !rng_.Bernoulli(p)) continue;
+    policy_->ObserveWrite(id, now);
+    int64_t& counter = counters_[static_cast<size_t>(id)];
+    ++counter;
+    double bound = bounds_[static_cast<size_t>(id)];
+    // The copy promises to lag at most `bound` updates; one more update
+    // would break the promise, so the source pushes (value-initiated).
+    if (static_cast<double>(counter) > bound) {
+      costs_.RecordValueRefresh();
+      counter = 0;
+      bounds_[static_cast<size_t>(id)] =
+          policy_->OnRefresh(id, RefreshType::kValueInitiated, now);
+    }
+  }
+}
+
+void StaleCacheSystem::ExecuteRead(const std::vector<int>& ids,
+                                   double constraint, int64_t now) {
+  for (int id : ids) {
+    policy_->ObserveRead(id, now, constraint);
+    double bound = bounds_[static_cast<size_t>(id)];
+    // The query needs divergence at most `constraint`; the cached copy only
+    // guarantees `bound`. A weaker guarantee forces a remote read.
+    if (bound > constraint) {
+      costs_.RecordQueryRefresh();
+      counters_[static_cast<size_t>(id)] = 0;
+      bounds_[static_cast<size_t>(id)] =
+          policy_->OnRefresh(id, RefreshType::kQueryInitiated, now);
+    }
+  }
+}
+
+}  // namespace apc

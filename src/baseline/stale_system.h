@@ -1,0 +1,125 @@
+#ifndef APC_BASELINE_STALE_SYSTEM_H_
+#define APC_BASELINE_STALE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cost_model.h"
+#include "core/adaptive_policy.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// Strategy that sets the divergence bound (maximum number of source
+/// updates a cached copy may lag behind) in the stale-value caching setting
+/// of [HSW94] / paper §4.7. Implemented by our stale-adapted algorithm and
+/// by the Divergence Caching baseline.
+class StaleBoundPolicy {
+ public:
+  virtual ~StaleBoundPolicy() = default;
+
+  /// Bound assigned to every value before the first refresh.
+  virtual double InitialBound(int id) = 0;
+
+  /// Called when value `id` is refreshed (either kind); returns the new
+  /// effective bound: 0 = exact caching (push every update), infinity =
+  /// effectively uncached (never push, every read goes remote).
+  virtual double OnRefresh(int id, RefreshType type, int64_t now) = 0;
+
+  /// Observation hooks; Divergence Caching monitors read/write history,
+  /// our algorithm ignores them.
+  virtual void ObserveWrite(int id, int64_t now);
+  virtual void ObserveRead(int id, int64_t now, double constraint);
+};
+
+/// Our algorithm specialized to stale-value approximations (paper §4.7):
+/// per-value multiplicative bound adjustment with cost factor
+/// theta' = Cvr/Cqr, thresholds in units of updates.
+class AdaptiveStaleBounds : public StaleBoundPolicy {
+ public:
+  /// `params` should already carry theta_multiplier = 1 (see
+  /// StalePolicyParams::ToAdaptiveParams).
+  AdaptiveStaleBounds(const AdaptivePolicyParams& params, int num_values,
+                      uint64_t seed);
+
+  double InitialBound(int id) override;
+  double OnRefresh(int id, RefreshType type, int64_t now) override;
+
+  double raw_bound(int id) const {
+    return raw_bounds_.at(static_cast<size_t>(id));
+  }
+
+ private:
+  std::vector<std::unique_ptr<PrecisionPolicy>> policies_;
+  std::vector<double> raw_bounds_;
+};
+
+/// Configuration of the stale-value caching simulator.
+struct StaleSystemConfig {
+  RefreshCosts costs;
+  int num_sources = 50;
+  /// Probability that a source receives an update in a given tick (the
+  /// paper's synthetic experiments update every time unit: 1.0).
+  double update_probability = 1.0;
+  /// Optional bursty write regimes: when > 0, each source alternates
+  /// between the base regime (update_probability per tick) and a burst
+  /// regime (burst_update_probability per tick), with exponentially
+  /// distributed phase durations of mean regime_mean_seconds. This mirrors
+  /// the bursty sources of the paper's network-monitoring evaluation;
+  /// projection-based baselines must then chase a moving write rate.
+  double burst_update_probability = 0.0;
+  double regime_mean_seconds = 300.0;
+};
+
+/// Discrete-time simulator of the Divergence Caching environment: each
+/// cached copy carries an update counter and a bound; exceeding the bound
+/// triggers a push (cost Cvr); a query whose staleness constraint is
+/// tighter than the bound triggers a pull (cost Cqr). Both refresh kinds
+/// reset the counter and let the policy reset the bound.
+class StaleCacheSystem {
+ public:
+  StaleCacheSystem(const StaleSystemConfig& config,
+                   std::unique_ptr<StaleBoundPolicy> policy, uint64_t seed);
+
+  /// Applies one tick of updates across all sources.
+  void Tick(int64_t now);
+
+  /// Reads every id in `ids` under staleness constraint `constraint`
+  /// (maximum acceptable divergence bound, in updates).
+  void ExecuteRead(const std::vector<int>& ids, double constraint,
+                   int64_t now);
+
+  CostTracker& costs() { return costs_; }
+  const CostTracker& costs() const { return costs_; }
+  /// True when source `id` is currently in its burst regime (always false
+  /// without burst configuration). Used by workload generators that model
+  /// activity-following readers.
+  bool InBurst(int id) const {
+    return config_.burst_update_probability > 0.0 &&
+           in_burst_.at(static_cast<size_t>(id));
+  }
+  double bound(int id) const { return bounds_.at(static_cast<size_t>(id)); }
+  int64_t pending_updates(int id) const {
+    return counters_.at(static_cast<size_t>(id));
+  }
+  StaleBoundPolicy* policy() { return policy_.get(); }
+
+ private:
+  /// Advances source `id`'s write-rate regime and returns the update
+  /// probability in force this tick.
+  double CurrentUpdateProbability(int id);
+
+  StaleSystemConfig config_;
+  std::unique_ptr<StaleBoundPolicy> policy_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> counters_;
+  std::vector<bool> in_burst_;
+  std::vector<double> regime_left_;
+  CostTracker costs_;
+  Rng rng_;
+};
+
+}  // namespace apc
+
+#endif  // APC_BASELINE_STALE_SYSTEM_H_

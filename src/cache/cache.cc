@@ -1,0 +1,47 @@
+#include "cache/cache.h"
+
+namespace apc {
+
+const CacheEntry* Cache::Find(int id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+int Cache::WidestId() const {
+  int widest = -1;
+  double widest_width = -1.0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.raw_width > widest_width ||
+        (entry.raw_width == widest_width && id > widest)) {
+      widest = id;
+      widest_width = entry.raw_width;
+    }
+  }
+  return widest;
+}
+
+bool Cache::Offer(int id, const CachedApprox& approx, double raw_width) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.approx = approx;
+    it->second.raw_width = raw_width;
+    return true;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(id, CacheEntry{approx, raw_width});
+    return true;
+  }
+  if (capacity_ == 0) return false;
+  int widest = WidestId();
+  const CacheEntry& incumbent = entries_.at(widest);
+  // "the modified approximation may still be the widest and remain
+  // uncached" — ties keep the incumbent to avoid pointless churn.
+  if (raw_width >= incumbent.raw_width) return false;
+  entries_.erase(widest);
+  entries_.emplace(id, CacheEntry{approx, raw_width});
+  return true;
+}
+
+void Cache::Erase(int id) { entries_.erase(id); }
+
+}  // namespace apc

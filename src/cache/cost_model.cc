@@ -1,0 +1,54 @@
+#include "cache/cost_model.h"
+
+namespace apc {
+
+void CostTracker::BeginMeasurement(int64_t now) {
+  measuring_ = true;
+  start_tick_ = now;
+  end_tick_ = now;
+}
+
+void CostTracker::RecordValueRefresh() {
+  if (measuring_) {
+    ++value_refreshes_;
+  } else {
+    ++warmup_value_refreshes_;
+  }
+}
+
+void CostTracker::RecordQueryRefresh() {
+  if (measuring_) {
+    ++query_refreshes_;
+  } else {
+    ++warmup_query_refreshes_;
+  }
+}
+
+void CostTracker::EndMeasurement(int64_t now) { end_tick_ = now; }
+
+double CostTracker::total_cost() const {
+  return costs_.cvr * static_cast<double>(value_refreshes_) +
+         costs_.cqr * static_cast<double>(query_refreshes_);
+}
+
+int64_t CostTracker::measured_ticks() const { return end_tick_ - start_tick_; }
+
+double CostTracker::CostRate() const {
+  int64_t ticks = measured_ticks();
+  if (ticks <= 0) return 0.0;
+  return total_cost() / static_cast<double>(ticks);
+}
+
+double CostTracker::MeasuredPvr() const {
+  int64_t ticks = measured_ticks();
+  if (ticks <= 0) return 0.0;
+  return static_cast<double>(value_refreshes_) / static_cast<double>(ticks);
+}
+
+double CostTracker::MeasuredPqr() const {
+  int64_t ticks = measured_ticks();
+  if (ticks <= 0) return 0.0;
+  return static_cast<double>(query_refreshes_) / static_cast<double>(ticks);
+}
+
+}  // namespace apc

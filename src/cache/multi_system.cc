@@ -1,0 +1,106 @@
+#include "cache/multi_system.h"
+
+#include "util/rng.h"
+
+namespace apc {
+
+MultiCacheSystem::MultiCacheSystem(
+    const MultiSystemConfig& config,
+    std::vector<std::unique_ptr<UpdateStream>> streams, uint64_t seed)
+    : config_(config), streams_(std::move(streams)), costs_(config.costs) {
+  AdaptivePolicyParams params = config_.policy;
+  params.cvr = config_.costs.cvr;
+  params.cqr = config_.costs.cqr;
+
+  Rng seeder(seed);
+  entries_.resize(static_cast<size_t>(config_.num_caches));
+  for (auto& cache : entries_) {
+    cache.resize(streams_.size());
+    for (size_t id = 0; id < streams_.size(); ++id) {
+      Entry& e = cache[id];
+      e.policy = std::make_unique<AdaptivePolicy>(params,
+                                                  seeder.NextUint64());
+      e.raw_width = params.initial_width;
+      e.approx = e.policy->MakeApprox(streams_[id]->current(), e.raw_width,
+                                      0);
+    }
+  }
+}
+
+void MultiCacheSystem::Refresh(int cache, int id, RefreshType type,
+                               int64_t now) {
+  Entry& e = entry(cache, id);
+  double value = streams_[static_cast<size_t>(id)]->current();
+  RefreshContext ctx;
+  ctx.type = type;
+  ctx.escaped_above = (type == RefreshType::kValueInitiated) &&
+                      value > e.approx.base.hi();
+  ctx.time = now;
+  e.raw_width = e.policy->NextWidth(e.raw_width, ctx);
+  e.approx = e.policy->MakeApprox(value, e.raw_width, now);
+}
+
+void MultiCacheSystem::Tick(int64_t now) {
+  for (size_t id = 0; id < streams_.size(); ++id) {
+    double v = streams_[id]->Next();
+    // The source applies Valid(Aj, V') for EACH cache Cj holding an
+    // approximation (paper §1.1) and refreshes exactly the invalidated
+    // ones.
+    for (int cache = 0; cache < config_.num_caches; ++cache) {
+      if (!entry(cache, static_cast<int>(id)).approx.Valid(v, now)) {
+        costs_.RecordValueRefresh();
+        Refresh(cache, static_cast<int>(id),
+                RefreshType::kValueInitiated, now);
+      }
+    }
+  }
+}
+
+Interval MultiCacheSystem::ExecuteQuery(int cache, const Query& query,
+                                        int64_t now) {
+  std::vector<QueryItem> items;
+  items.reserve(query.source_ids.size());
+  for (int id : query.source_ids) {
+    items.push_back({id, entry(cache, id).approx.AtTime(now)});
+  }
+
+  auto pull = [&](size_t idx) {
+    costs_.RecordQueryRefresh();
+    int id = items[idx].source_id;
+    Refresh(cache, id, RefreshType::kQueryInitiated, now);
+    items[idx].interval =
+        Interval::Exact(streams_[static_cast<size_t>(id)]->current());
+  };
+
+  switch (query.kind) {
+    case AggregateKind::kSum: {
+      for (size_t idx : SumRefreshSelection(items, query.constraint)) {
+        pull(idx);
+      }
+      return SumInterval(items);
+    }
+    case AggregateKind::kAvg: {
+      for (size_t idx : AvgRefreshSelection(items, query.constraint)) {
+        pull(idx);
+      }
+      return AvgInterval(items);
+    }
+    case AggregateKind::kMax: {
+      int idx;
+      while ((idx = NextMaxRefreshCandidate(items, query.constraint)) >= 0) {
+        pull(static_cast<size_t>(idx));
+      }
+      return MaxInterval(items);
+    }
+    case AggregateKind::kMin: {
+      int idx;
+      while ((idx = NextMinRefreshCandidate(items, query.constraint)) >= 0) {
+        pull(static_cast<size_t>(idx));
+      }
+      return MinInterval(items);
+    }
+  }
+  return Interval(0.0, 0.0);
+}
+
+}  // namespace apc

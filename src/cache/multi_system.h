@@ -1,0 +1,92 @@
+#ifndef APC_CACHE_MULTI_SYSTEM_H_
+#define APC_CACHE_MULTI_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "cache/cost_model.h"
+#include "core/adaptive_policy.h"
+#include "data/update_stream.h"
+#include "query/aggregate.h"
+
+namespace apc {
+
+/// The general topology of paper §1.1: "Each exact value V may be cached
+/// as an approximation by zero or more caches C1, C2, ... Cm", with the
+/// source applying the validity test *per cache* — every cache holds its
+/// own approximation at its own precision, and the source pushes a refresh
+/// only to the caches whose interval the new value escapes.
+///
+/// Width setting is per (cache, value): each pair runs its own instance of
+/// the adaptive algorithm, so a value read tightly at one cache and
+/// loosely at another converges to different widths at the two — the
+/// flat-m generalization of the single-cache CacheSystem (and of the
+/// hierarchical variant, minus the middle tier).
+struct MultiSystemConfig {
+  RefreshCosts costs;
+  int num_caches = 2;
+  /// Per-(cache,value) width policy parameters; cvr/cqr are overwritten
+  /// from `costs`.
+  AdaptivePolicyParams policy;
+
+  bool IsValid() const { return num_caches > 0 && costs.IsValid(); }
+};
+
+/// Protocol engine for the multi-cache topology. Queries execute at a
+/// specific cache against that cache's approximations; pulls refresh only
+/// that cache's interval, pushes go to exactly the caches invalidated by
+/// an update.
+class MultiCacheSystem {
+ public:
+  MultiCacheSystem(const MultiSystemConfig& config,
+                   std::vector<std::unique_ptr<UpdateStream>> streams,
+                   uint64_t seed);
+
+  /// Advances every source one tick; pushes a refresh (cost Cvr each) to
+  /// every cache whose approximation the new value escaped.
+  void Tick(int64_t now);
+
+  /// Executes a bounded aggregate query at cache `cache`; pulls (cost Cqr
+  /// each) refresh only this cache's approximations.
+  Interval ExecuteQuery(int cache, const Query& query, int64_t now);
+
+  CostTracker& costs() { return costs_; }
+  const CostTracker& costs() const { return costs_; }
+  int num_caches() const { return config_.num_caches; }
+  size_t num_sources() const { return streams_.size(); }
+  double exact_value(int id) const {
+    return streams_[static_cast<size_t>(id)]->current();
+  }
+  Interval interval(int cache, int id) const {
+    return entry(cache, id).approx.base;
+  }
+  double raw_width(int cache, int id) const {
+    return entry(cache, id).raw_width;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<AdaptivePolicy> policy;
+    double raw_width = 0.0;
+    CachedApprox approx;
+  };
+
+  Entry& entry(int cache, int id) {
+    return entries_[static_cast<size_t>(cache)][static_cast<size_t>(id)];
+  }
+  const Entry& entry(int cache, int id) const {
+    return entries_[static_cast<size_t>(cache)][static_cast<size_t>(id)];
+  }
+
+  /// Re-ships (cache, id)'s approximation after a refresh of `type`.
+  void Refresh(int cache, int id, RefreshType type, int64_t now);
+
+  MultiSystemConfig config_;
+  std::vector<std::unique_ptr<UpdateStream>> streams_;
+  std::vector<std::vector<Entry>> entries_;  // [cache][id]
+  CostTracker costs_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CACHE_MULTI_SYSTEM_H_

@@ -1,0 +1,63 @@
+#ifndef APC_CACHE_SOURCE_H_
+#define APC_CACHE_SOURCE_H_
+
+#include <memory>
+
+#include "core/precision_policy.h"
+#include "data/update_stream.h"
+
+namespace apc {
+
+/// A data source hosting one exact numeric value (paper §4.1: "each source
+/// holds one exact numeric value"). The source owns:
+///
+///  * the update stream that drives the value,
+///  * its per-value precision policy instance, and
+///  * the *retained raw width* plus the last approximation it shipped.
+///
+/// The last shipped approximation matters because caches never notify
+/// sources of evictions (paper §2): the source keeps testing validity
+/// against what it last sent and keeps pushing value-initiated refreshes
+/// even if the cache has since dropped the entry.
+class Source {
+ public:
+  Source(int id, std::unique_ptr<UpdateStream> stream,
+         std::unique_ptr<PrecisionPolicy> policy);
+
+  int id() const { return id_; }
+  double value() const { return stream_->current(); }
+  double raw_width() const { return raw_width_; }
+  const CachedApprox& last_approx() const { return last_approx_; }
+  PrecisionPolicy* policy() { return policy_.get(); }
+
+  /// Advances the update stream one tick and returns the new exact value.
+  double Tick();
+
+  /// True when the current exact value has escaped the last shipped
+  /// approximation — the trigger for a value-initiated refresh.
+  bool NeedsValueRefresh(int64_t now) const;
+
+  /// True when the escape is above the interval's upper endpoint (consulted
+  /// by the uncentered policy variant).
+  bool EscapedAbove(int64_t now) const;
+
+  /// Applies the policy's width update for a refresh of kind `type` and
+  /// returns the fresh approximation of the current exact value. Updates
+  /// both the retained raw width and the last shipped approximation.
+  CachedApprox Refresh(RefreshType type, int64_t now);
+
+  /// Ships the very first approximation (initial cache population; the
+  /// paper's warm-up period absorbs its cost).
+  CachedApprox InitialApprox(int64_t now);
+
+ private:
+  int id_;
+  std::unique_ptr<UpdateStream> stream_;
+  std::unique_ptr<PrecisionPolicy> policy_;
+  double raw_width_;
+  CachedApprox last_approx_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CACHE_SOURCE_H_

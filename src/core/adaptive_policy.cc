@@ -1,0 +1,67 @@
+#include "core/adaptive_policy.h"
+
+#include <algorithm>
+
+namespace apc {
+
+namespace {
+
+// Raw widths are clamped to this range so repeated multiplicative updates
+// can neither underflow to zero (which would freeze the width forever) nor
+// overflow to infinity. The range is far wider than any meaningful data
+// scale, so the clamp never binds in practice.
+constexpr double kMinRawWidth = 1e-30;
+constexpr double kMaxRawWidth = 1e30;
+
+}  // namespace
+
+bool AdaptivePolicyParams::IsValid() const {
+  return cvr > 0.0 && cqr > 0.0 && alpha >= 0.0 && delta0 >= 0.0 &&
+         delta1 >= delta0 && initial_width > 0.0 && theta_multiplier > 0.0;
+}
+
+AdaptivePolicy::AdaptivePolicy(const AdaptivePolicyParams& params,
+                               uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+AdaptivePolicy::AdaptivePolicy(const AdaptivePolicyParams& params,
+                               const Rng& rng)
+    : params_(params), rng_(rng) {}
+
+double AdaptivePolicy::GrowProbability() const {
+  return std::min(params_.Theta(), 1.0);
+}
+
+double AdaptivePolicy::ShrinkProbability() const {
+  return std::min(1.0 / params_.Theta(), 1.0);
+}
+
+double AdaptivePolicy::NextWidth(double raw_width,
+                                 const RefreshContext& ctx) {
+  double w = std::clamp(raw_width, kMinRawWidth, kMaxRawWidth);
+  switch (ctx.type) {
+    case RefreshType::kValueInitiated:
+      if (rng_.Bernoulli(GrowProbability())) {
+        w *= (1.0 + params_.alpha);
+      }
+      break;
+    case RefreshType::kQueryInitiated:
+      if (rng_.Bernoulli(ShrinkProbability())) {
+        w /= (1.0 + params_.alpha);
+      }
+      break;
+  }
+  return std::clamp(w, kMinRawWidth, kMaxRawWidth);
+}
+
+double AdaptivePolicy::EffectiveWidth(double raw_width) const {
+  if (raw_width < params_.delta0) return 0.0;
+  if (raw_width >= params_.delta1) return kInfinity;
+  return raw_width;
+}
+
+std::unique_ptr<PrecisionPolicy> AdaptivePolicy::Clone() const {
+  return std::make_unique<AdaptivePolicy>(params_, rng_.Fork());
+}
+
+}  // namespace apc

@@ -1,0 +1,80 @@
+#ifndef APC_CORE_ADAPTIVE_POLICY_H_
+#define APC_CORE_ADAPTIVE_POLICY_H_
+
+#include <memory>
+
+#include "core/precision_policy.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// Parameters of the adaptive precision-setting algorithm (paper §2,
+/// Table 1). The first two are properties of the environment; the last
+/// three tune the algorithm.
+struct AdaptivePolicyParams {
+  /// Cost of a value-initiated refresh (Cvr).
+  double cvr = 1.0;
+  /// Cost of a query-initiated refresh (Cqr).
+  double cqr = 2.0;
+  /// Adaptivity parameter alpha >= 0: widths are multiplied/divided by
+  /// (1 + alpha). The paper's experiments find alpha = 1 a good overall
+  /// setting (Figure 6).
+  double alpha = 1.0;
+  /// Lower threshold delta0: computed widths below it are shipped as 0
+  /// (exact copy). Should be a small positive epsilon when exact-precision
+  /// queries exist (paper §4.4).
+  double delta0 = 0.0;
+  /// Upper threshold delta1: computed widths at or above it are shipped as
+  /// infinity (effectively uncached). Infinity disables the threshold;
+  /// delta1 == delta0 degenerates to pure exact caching.
+  double delta1 = kInfinity;
+  /// Raw width assigned when a value is first cached.
+  double initial_width = 1.0;
+  /// Multiplier in the cost factor theta = multiplier * cvr / cqr. The
+  /// interval model's analysis (Pvr ∝ 1/W², Appendix A) yields 2; the
+  /// stale-value model (Pvr ∝ 1/W, §4.7) yields 1.
+  double theta_multiplier = 2.0;
+
+  /// Cost factor theta controlling the width-adjustment probabilities.
+  double Theta() const { return theta_multiplier * cvr / cqr; }
+
+  /// True when every parameter is in its documented domain.
+  bool IsValid() const;
+};
+
+/// The paper's adaptive precision-setting algorithm. On each refresh of a
+/// value the source updates the retained raw width W:
+///
+///   value-initiated:  with probability min(theta, 1),   W <- W * (1+alpha)
+///   query-initiated:  with probability min(1/theta, 1), W <- W / (1+alpha)
+///
+/// which converges to the width W* minimizing the expected cost rate
+/// Ω = Cvr·Pvr + Cqr·Pqr by equalizing theta·Pvr with Pqr (paper §3).
+/// EffectiveWidth applies the delta0/delta1 threshold snapping.
+class AdaptivePolicy : public PrecisionPolicy {
+ public:
+  /// `seed` derives this instance's private RNG stream; Clone() forks it.
+  explicit AdaptivePolicy(const AdaptivePolicyParams& params,
+                          uint64_t seed = 0);
+  AdaptivePolicy(const AdaptivePolicyParams& params, const Rng& rng);
+
+  double InitialWidth() const override { return params_.initial_width; }
+  double NextWidth(double raw_width, const RefreshContext& ctx) override;
+  double EffectiveWidth(double raw_width) const override;
+  std::unique_ptr<PrecisionPolicy> Clone() const override;
+
+  const AdaptivePolicyParams& params() const { return params_; }
+
+  /// Probability that a value-initiated refresh grows the width.
+  double GrowProbability() const;
+  /// Probability that a query-initiated refresh shrinks the width.
+  double ShrinkProbability() const;
+
+ private:
+  AdaptivePolicyParams params_;
+  mutable Rng rng_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_ADAPTIVE_POLICY_H_

@@ -1,0 +1,81 @@
+#include "core/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace apc {
+
+namespace {
+double ClampProb(double p) { return std::clamp(p, 0.0, 1.0); }
+}  // namespace
+
+double IntervalCostModel::Pvr(double width) const {
+  if (width <= 0.0) return 1.0;
+  if (width == kInfinity) return 0.0;
+  return ClampProb(k1 / (width * width));
+}
+
+double IntervalCostModel::Pqr(double width) const {
+  if (width == kInfinity) return ClampProb(k2 * 1e30);
+  return ClampProb(k2 * width);
+}
+
+double IntervalCostModel::CostRate(double width) const {
+  return cvr * Pvr(width) + cqr * Pqr(width);
+}
+
+double IntervalCostModel::OptimalWidth() const {
+  return std::cbrt(Theta() * k1 / k2);
+}
+
+double IntervalCostModel::BalanceWidth() const {
+  // Solve theta * K1/W^2 = K2 * W  =>  W^3 = theta*K1/K2.
+  return std::cbrt(Theta() * k1 / k2);
+}
+
+IntervalCostModel IntervalCostModel::FromWorkload(double step, double tq,
+                                                  double delta_max,
+                                                  double cvr, double cqr) {
+  IntervalCostModel m;
+  // Appendix A: Pvr ~ t*(2s/W)^2 per step; with per-step accounting t = 1.
+  m.k1 = 4.0 * step * step;
+  m.k2 = 1.0 / (tq * delta_max);
+  m.cvr = cvr;
+  m.cqr = cqr;
+  return m;
+}
+
+double StaleCostModel::Pvr(double bound) const {
+  if (bound <= 0.0) return 1.0;
+  if (bound == kInfinity) return 0.0;
+  return ClampProb(k1 / bound);
+}
+
+double StaleCostModel::Pqr(double bound) const {
+  if (bound == kInfinity) return 1.0;
+  return ClampProb(k2 * bound);
+}
+
+double StaleCostModel::CostRate(double bound) const {
+  return cvr * Pvr(bound) + cqr * Pqr(bound);
+}
+
+double StaleCostModel::OptimalBound() const {
+  return std::sqrt(Theta() * k1 / k2);
+}
+
+std::vector<ModelCurvePoint> SweepModel(const IntervalCostModel& model,
+                                        double lo, double hi, int steps) {
+  std::vector<ModelCurvePoint> out;
+  if (steps <= 0 || hi < lo) return out;
+  out.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    double w = steps == 1 ? lo : lo + (hi - lo) * i / (steps - 1);
+    out.push_back({w, model.Pvr(w), model.Pqr(w), model.CostRate(w)});
+  }
+  return out;
+}
+
+}  // namespace apc

@@ -1,0 +1,77 @@
+#ifndef APC_CORE_ANALYTIC_MODEL_H_
+#define APC_CORE_ANALYTIC_MODEL_H_
+
+#include <vector>
+
+namespace apc {
+
+/// Closed-form cost model of paper §3 / Appendix A for interval
+/// approximations of a random-walk value:
+///
+///   Pvr(W) = K1 / W²      (probability of a value-initiated refresh)
+///   Pqr(W) = K2 · W       (probability of a query-initiated refresh)
+///   Ω(W)   = Cvr·Pvr + Cqr·Pqr
+///
+/// K1 captures update volatility (step size); K2 captures query frequency
+/// and the precision-constraint distribution (K2 = 1/(Tq·δmax) for
+/// constraints uniform on [0, δmax]). The optimum is
+/// W* = (θ·K1/K2)^{1/3} with θ = 2·Cvr/Cqr, and at W* the balance
+/// θ·Pvr = Pqr holds — the invariant the adaptive algorithm hunts for.
+struct IntervalCostModel {
+  double k1 = 1.0;
+  double k2 = 1.0 / 200.0;
+  double cvr = 1.0;
+  double cqr = 2.0;
+
+  double Theta() const { return 2.0 * cvr / cqr; }
+  /// Pvr(W); clamped to [0, 1] since it is a probability.
+  double Pvr(double width) const;
+  /// Pqr(W); clamped to [0, 1].
+  double Pqr(double width) const;
+  /// Expected cost per time step at the given width.
+  double CostRate(double width) const;
+  /// The width minimizing CostRate: (θ·K1/K2)^{1/3}.
+  double OptimalWidth() const;
+  /// The width where θ·Pvr(W) = Pqr(W); equals OptimalWidth().
+  double BalanceWidth() const;
+
+  /// Builds K1/K2 from workload primitives: random-walk step bound s,
+  /// query period Tq and max precision constraint δmax (Appendix A):
+  /// Pvr ≈ (2s/W)², Pqr = W/(Tq·δmax).
+  static IntervalCostModel FromWorkload(double step, double tq,
+                                        double delta_max, double cvr,
+                                        double cqr);
+};
+
+/// Closed-form cost model for the stale-value setting (paper §4.7): a
+/// divergence bound of W updates is exceeded once every W updates, so
+/// Pvr(W) = K1/W and the optimum is W* = sqrt(θ'·K1/K2) with
+/// θ' = Cvr/Cqr.
+struct StaleCostModel {
+  double k1 = 1.0;
+  double k2 = 1.0;
+  double cvr = 1.0;
+  double cqr = 2.0;
+
+  double Theta() const { return cvr / cqr; }
+  double Pvr(double bound) const;
+  double Pqr(double bound) const;
+  double CostRate(double bound) const;
+  double OptimalBound() const;
+};
+
+/// One row of a swept analytic curve (used by the Figure 2 bench).
+struct ModelCurvePoint {
+  double width;
+  double pvr;
+  double pqr;
+  double cost_rate;
+};
+
+/// Evaluates the model on `steps` evenly spaced widths in [lo, hi].
+std::vector<ModelCurvePoint> SweepModel(const IntervalCostModel& model,
+                                        double lo, double hi, int steps);
+
+}  // namespace apc
+
+#endif  // APC_CORE_ANALYTIC_MODEL_H_

@@ -1,0 +1,40 @@
+#include "core/precision_policy.h"
+
+#include <cmath>
+
+namespace apc {
+
+Interval CachedApprox::AtTime(int64_t now) const {
+  if (IsStatic()) return base;
+  double elapsed = static_cast<double>(now - refresh_time);
+  if (elapsed < 0.0) elapsed = 0.0;
+  Interval result = base;
+  if (growth_coeff != 0.0) {
+    result = result.Inflated(growth_coeff * std::pow(elapsed, growth_exp));
+  }
+  if (drift_rate != 0.0) {
+    result = result.Shifted(drift_rate * elapsed);
+  }
+  return result;
+}
+
+PrecisionPolicy::~PrecisionPolicy() = default;
+
+double PrecisionPolicy::EffectiveWidth(double raw_width) const {
+  return raw_width;
+}
+
+CachedApprox PrecisionPolicy::MakeApprox(double value, double raw_width,
+                                         int64_t now) const {
+  CachedApprox approx;
+  approx.base = Interval::Centered(value, EffectiveWidth(raw_width));
+  approx.refresh_time = now;
+  return approx;
+}
+
+double FixedWidthPolicy::NextWidth(double /*raw_width*/,
+                                   const RefreshContext& /*ctx*/) {
+  return width_;
+}
+
+}  // namespace apc

@@ -1,0 +1,107 @@
+#ifndef APC_CORE_PRECISION_POLICY_H_
+#define APC_CORE_PRECISION_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/interval.h"
+
+namespace apc {
+
+/// The two refresh kinds of the protocol (paper §1.1): a value-initiated
+/// refresh is pushed by the source when the exact value escapes the cached
+/// interval; a query-initiated refresh is pulled by the cache when a query
+/// finds the interval too wide.
+enum class RefreshType {
+  kValueInitiated,
+  kQueryInitiated,
+};
+
+/// Context handed to a policy when a refresh occurs. `escaped_above`
+/// distinguishes the two directions of a value-initiated escape; only the
+/// uncentered variant (paper §4.5) uses it.
+struct RefreshContext {
+  RefreshType type = RefreshType::kValueInitiated;
+  bool escaped_above = false;
+  int64_t time = 0;
+};
+
+/// An approximation as shipped to a cache: a base interval plus optional
+/// time-varying behaviour (paper §4.5 studies widths growing like c·t^p and
+/// intervals drifting linearly). For the main algorithm the base interval is
+/// constant in time (growth and drift are zero).
+struct CachedApprox {
+  Interval base;
+  int64_t refresh_time = 0;
+  /// Each side of the interval grows by growth_coeff * elapsed^growth_exp.
+  double growth_coeff = 0.0;
+  double growth_exp = 0.0;
+  /// Both endpoints translate by drift_rate * elapsed.
+  double drift_rate = 0.0;
+
+  /// The interval in force at time `now`.
+  Interval AtTime(int64_t now) const;
+
+  /// Validity test for the exact value `v` at time `now`.
+  bool Valid(double v, int64_t now) const { return AtTime(now).Contains(v); }
+
+  /// True when the approximation never changes with time.
+  bool IsStatic() const { return growth_coeff == 0.0 && drift_rate == 0.0; }
+};
+
+/// Strategy that decides how wide each refreshed interval should be.
+///
+/// The protocol separates a *raw* width — the number the source retains and
+/// keeps adjusting across refreshes — from the *effective* width actually
+/// shipped to the cache. For the adaptive algorithm the two differ only when
+/// the thresholds delta0/delta1 snap the effective width to 0 (exact copy)
+/// or infinity (effectively uncached); the paper is explicit that the source
+/// "still retains the original width, and uses it when setting the next
+/// width" (§2). Eviction ordering likewise uses raw widths.
+///
+/// Policies may carry per-value state (uncentered and history variants), so
+/// each source value owns its own instance, produced by Clone().
+class PrecisionPolicy {
+ public:
+  virtual ~PrecisionPolicy();
+
+  /// Raw width assigned when a value is first cached.
+  virtual double InitialWidth() const = 0;
+
+  /// Returns the new raw width given the retained raw width and the refresh
+  /// that just occurred. May consult and update per-value state.
+  virtual double NextWidth(double raw_width, const RefreshContext& ctx) = 0;
+
+  /// Maps a raw width to the effective width shipped to the cache. Identity
+  /// unless the policy implements thresholds.
+  virtual double EffectiveWidth(double raw_width) const;
+
+  /// Builds the approximation for the current exact value. The default
+  /// centers a constant interval of EffectiveWidth(raw_width) on `value`.
+  virtual CachedApprox MakeApprox(double value, double raw_width,
+                                  int64_t now) const;
+
+  /// Deep copy, including per-value state and an independent RNG stream.
+  virtual std::unique_ptr<PrecisionPolicy> Clone() const = 0;
+};
+
+/// Policy that always uses the same width. Used to measure refresh
+/// probabilities as a function of a pinned W (paper Figure 3, where the
+/// adaptive part of the algorithm is switched off).
+class FixedWidthPolicy : public PrecisionPolicy {
+ public:
+  explicit FixedWidthPolicy(double width) : width_(width) {}
+
+  double InitialWidth() const override { return width_; }
+  double NextWidth(double raw_width, const RefreshContext& ctx) override;
+  std::unique_ptr<PrecisionPolicy> Clone() const override {
+    return std::make_unique<FixedWidthPolicy>(width_);
+  }
+
+ private:
+  double width_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_PRECISION_POLICY_H_

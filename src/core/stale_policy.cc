@@ -1,0 +1,22 @@
+#include "core/stale_policy.h"
+
+namespace apc {
+
+AdaptivePolicyParams StalePolicyParams::ToAdaptiveParams() const {
+  AdaptivePolicyParams p;
+  p.cvr = cvr;
+  p.cqr = cqr;
+  p.alpha = alpha;
+  p.delta0 = delta0;
+  p.delta1 = delta1;
+  p.initial_width = initial_bound;
+  p.theta_multiplier = 1.0;
+  return p;
+}
+
+std::unique_ptr<AdaptivePolicy> MakeStaleAdaptivePolicy(
+    const StalePolicyParams& params, uint64_t seed) {
+  return std::make_unique<AdaptivePolicy>(params.ToAdaptiveParams(), seed);
+}
+
+}  // namespace apc

@@ -1,0 +1,44 @@
+#ifndef APC_CORE_STALE_POLICY_H_
+#define APC_CORE_STALE_POLICY_H_
+
+#include <memory>
+
+#include "core/adaptive_policy.h"
+
+namespace apc {
+
+/// Adaptation of the algorithm to *stale value approximations* (paper §2.1
+/// and §4.7, the Divergence Caching setting of [HSW94]): the "width" W is a
+/// bound on the number of source updates not yet reflected in the cached
+/// copy, rather than a numeric interval width.
+///
+/// In this model a value-initiated refresh happens deterministically after
+/// W updates, so Pvr ∝ 1/W instead of 1/W²; minimizing
+/// Ω(W) = Cvr·K1/W + Cqr·K2·W puts the optimum where theta'·Pvr = Pqr with
+/// theta' = Cvr/Cqr — i.e. the same algorithm with theta_multiplier = 1
+/// (the paper: "we needed to adjust our formula for the cost factor to
+/// theta' = Cvr/Cqr; no other modifications were necessary").
+struct StalePolicyParams {
+  double cvr = 1.0;
+  double cqr = 2.0;
+  double alpha = 1.0;
+  /// Thresholds in units of updates; delta0 > 0 enables exact caching of
+  /// values whose divergence bound becomes very small.
+  double delta0 = 0.0;
+  double delta1 = kInfinity;
+  double initial_bound = 1.0;
+
+  /// Lowers into the interval-policy parameter struct with the stale-model
+  /// cost factor theta' = Cvr/Cqr.
+  AdaptivePolicyParams ToAdaptiveParams() const;
+};
+
+/// Builds the stale-value specialization of the adaptive policy. The
+/// returned policy adjusts the divergence bound exactly as AdaptivePolicy
+/// adjusts interval widths, with theta' = Cvr/Cqr.
+std::unique_ptr<AdaptivePolicy> MakeStaleAdaptivePolicy(
+    const StalePolicyParams& params, uint64_t seed = 0);
+
+}  // namespace apc
+
+#endif  // APC_CORE_STALE_POLICY_H_

@@ -1,0 +1,68 @@
+#include "core/variants/history_policy.h"
+
+#include <algorithm>
+
+namespace apc {
+
+namespace {
+constexpr double kMinRawWidth = 1e-30;
+constexpr double kMaxRawWidth = 1e30;
+}  // namespace
+
+HistoryPolicy::HistoryPolicy(const AdaptivePolicyParams& params, int window,
+                             double recency_weight, uint64_t seed)
+    : params_(params),
+      window_(std::max(window, 1)),
+      recency_weight_(recency_weight),
+      rng_(seed) {}
+
+HistoryPolicy::HistoryPolicy(const AdaptivePolicyParams& params, int window,
+                             double recency_weight, const Rng& rng,
+                             std::deque<RefreshType> history)
+    : params_(params),
+      window_(std::max(window, 1)),
+      recency_weight_(recency_weight),
+      rng_(rng),
+      history_(std::move(history)) {}
+
+double HistoryPolicy::VoteBalance() const {
+  double balance = 0.0;
+  double weight = 1.0;
+  // Walk from most recent (back) to oldest, discounting older votes.
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    balance += (*it == RefreshType::kValueInitiated) ? weight : -weight;
+    weight *= recency_weight_;
+  }
+  return balance;
+}
+
+double HistoryPolicy::NextWidth(double raw_width, const RefreshContext& ctx) {
+  history_.push_back(ctx.type);
+  while (static_cast<int>(history_.size()) > window_) history_.pop_front();
+
+  double w = std::clamp(raw_width, kMinRawWidth, kMaxRawWidth);
+  double theta = params_.Theta();
+  double balance = VoteBalance();
+  if (balance > 0.0) {
+    if (rng_.Bernoulli(std::min(theta, 1.0))) w *= (1.0 + params_.alpha);
+  } else if (balance < 0.0) {
+    if (rng_.Bernoulli(std::min(1.0 / theta, 1.0))) {
+      w /= (1.0 + params_.alpha);
+    }
+  }
+  // A tied vote leaves the width unchanged.
+  return std::clamp(w, kMinRawWidth, kMaxRawWidth);
+}
+
+double HistoryPolicy::EffectiveWidth(double raw_width) const {
+  if (raw_width < params_.delta0) return 0.0;
+  if (raw_width >= params_.delta1) return kInfinity;
+  return raw_width;
+}
+
+std::unique_ptr<PrecisionPolicy> HistoryPolicy::Clone() const {
+  return std::make_unique<HistoryPolicy>(params_, window_, recency_weight_,
+                                         rng_.Fork(), history_);
+}
+
+}  // namespace apc

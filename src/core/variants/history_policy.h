@@ -1,0 +1,49 @@
+#ifndef APC_CORE_VARIANTS_HISTORY_POLICY_H_
+#define APC_CORE_VARIANTS_HISTORY_POLICY_H_
+
+#include <deque>
+#include <memory>
+
+#include "core/adaptive_policy.h"
+
+namespace apc {
+
+/// Refresh-history variant (paper §4.5): instead of reacting to each
+/// refresh independently, consider the r most recent refreshes and grow the
+/// width when the (optionally exponentially weighted) majority were
+/// value-initiated, shrink otherwise. The base algorithm is the r = 1
+/// special case; the paper reports that no r > 1 configuration beat it.
+///
+/// The theta-based probabilistic gating is preserved so the comparison with
+/// the base algorithm isolates the effect of the history window alone.
+class HistoryPolicy : public PrecisionPolicy {
+ public:
+  /// `window` is r >= 1; `recency_weight` in (0, 1] multiplies each older
+  /// vote (1.0 = unweighted majority).
+  HistoryPolicy(const AdaptivePolicyParams& params, int window,
+                double recency_weight = 1.0, uint64_t seed = 0);
+  HistoryPolicy(const AdaptivePolicyParams& params, int window,
+                double recency_weight, const Rng& rng,
+                std::deque<RefreshType> history);
+
+  double InitialWidth() const override { return params_.initial_width; }
+  double NextWidth(double raw_width, const RefreshContext& ctx) override;
+  double EffectiveWidth(double raw_width) const override;
+  std::unique_ptr<PrecisionPolicy> Clone() const override;
+
+  int window() const { return window_; }
+
+ private:
+  /// Weighted vote over the current history; > 0 means grow.
+  double VoteBalance() const;
+
+  AdaptivePolicyParams params_;
+  int window_;
+  double recency_weight_;
+  mutable Rng rng_;
+  std::deque<RefreshType> history_;  // most recent at the back
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_VARIANTS_HISTORY_POLICY_H_

@@ -1,0 +1,80 @@
+#include "core/variants/time_varying.h"
+
+#include <algorithm>
+
+namespace apc {
+
+namespace {
+constexpr double kMinRawWidth = 1e-30;
+constexpr double kMaxRawWidth = 1e30;
+}  // namespace
+
+TimeVaryingPolicy::TimeVaryingPolicy(const AdaptivePolicyParams& params,
+                                     TimeVaryingMode mode, double coeff,
+                                     uint64_t seed)
+    : params_(params), mode_(mode), coeff_(coeff), rng_(seed) {}
+
+TimeVaryingPolicy::TimeVaryingPolicy(const AdaptivePolicyParams& params,
+                                     TimeVaryingMode mode, double coeff,
+                                     const Rng& rng)
+    : params_(params), mode_(mode), coeff_(coeff), rng_(rng) {}
+
+double TimeVaryingPolicy::NextWidth(double raw_width,
+                                    const RefreshContext& ctx) {
+  // Width adaptation is the base algorithm's; only the shipped
+  // approximation differs.
+  double w = std::clamp(raw_width, kMinRawWidth, kMaxRawWidth);
+  double theta = params_.Theta();
+  switch (ctx.type) {
+    case RefreshType::kValueInitiated:
+      if (rng_.Bernoulli(std::min(theta, 1.0))) w *= (1.0 + params_.alpha);
+      break;
+    case RefreshType::kQueryInitiated:
+      if (rng_.Bernoulli(std::min(1.0 / theta, 1.0))) {
+        w /= (1.0 + params_.alpha);
+      }
+      break;
+  }
+  return std::clamp(w, kMinRawWidth, kMaxRawWidth);
+}
+
+double TimeVaryingPolicy::EffectiveWidth(double raw_width) const {
+  if (raw_width < params_.delta0) return 0.0;
+  if (raw_width >= params_.delta1) return kInfinity;
+  return raw_width;
+}
+
+CachedApprox TimeVaryingPolicy::MakeApprox(double value, double raw_width,
+                                           int64_t now) const {
+  CachedApprox approx;
+  approx.refresh_time = now;
+  double effective = EffectiveWidth(raw_width);
+  approx.base = Interval::Centered(value, effective);
+  if (effective == 0.0 || effective == kInfinity) {
+    // Threshold-snapped approximations stay static: growing an exact copy
+    // would silently reintroduce imprecision, and the unbounded interval
+    // has nothing to grow.
+    return approx;
+  }
+  switch (mode_) {
+    case TimeVaryingMode::kSqrtGrowth:
+      approx.growth_coeff = coeff_ * 0.5 * effective;
+      approx.growth_exp = 0.5;
+      break;
+    case TimeVaryingMode::kCbrtGrowth:
+      approx.growth_coeff = coeff_ * 0.5 * effective;
+      approx.growth_exp = 1.0 / 3.0;
+      break;
+    case TimeVaryingMode::kLinearDrift:
+      approx.drift_rate = coeff_;
+      break;
+  }
+  return approx;
+}
+
+std::unique_ptr<PrecisionPolicy> TimeVaryingPolicy::Clone() const {
+  return std::make_unique<TimeVaryingPolicy>(params_, mode_, coeff_,
+                                             rng_.Fork());
+}
+
+}  // namespace apc

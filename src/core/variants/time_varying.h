@@ -1,0 +1,56 @@
+#ifndef APC_CORE_VARIANTS_TIME_VARYING_H_
+#define APC_CORE_VARIANTS_TIME_VARYING_H_
+
+#include <memory>
+
+#include "core/adaptive_policy.h"
+
+namespace apc {
+
+/// How a shipped interval evolves after the refresh (paper §4.5).
+enum class TimeVaryingMode {
+  /// Each side grows by coeff * t^(1/2).
+  kSqrtGrowth,
+  /// Each side grows by coeff * t^(1/3).
+  kCbrtGrowth,
+  /// Both endpoints translate by coeff * t (the variant that helped on
+  /// biased random walks: L(t) = L + k·t, H(t) = H + k·t).
+  kLinearDrift,
+};
+
+/// Time-varying-interval variant: width adjustment is identical to the base
+/// adaptive algorithm, but the approximation shipped to the cache widens or
+/// drifts with time. For the growth modes the coefficient is *relative*:
+/// each side of a shipped interval of width W grows by
+/// coeff * (W/2) * t^p — "width increases with time proportionately to
+/// t^p" in the paper's words, anchored to the interval's own scale. The paper found widening intervals strictly worse than
+/// constant ones on both synthetic and network data, and linear drift useful
+/// only when the data trends predictably; the ablation bench reproduces
+/// both findings.
+class TimeVaryingPolicy : public PrecisionPolicy {
+ public:
+  TimeVaryingPolicy(const AdaptivePolicyParams& params, TimeVaryingMode mode,
+                    double coeff, uint64_t seed = 0);
+  TimeVaryingPolicy(const AdaptivePolicyParams& params, TimeVaryingMode mode,
+                    double coeff, const Rng& rng);
+
+  double InitialWidth() const override { return params_.initial_width; }
+  double NextWidth(double raw_width, const RefreshContext& ctx) override;
+  double EffectiveWidth(double raw_width) const override;
+  CachedApprox MakeApprox(double value, double raw_width,
+                          int64_t now) const override;
+  std::unique_ptr<PrecisionPolicy> Clone() const override;
+
+  TimeVaryingMode mode() const { return mode_; }
+  double coeff() const { return coeff_; }
+
+ private:
+  AdaptivePolicyParams params_;
+  TimeVaryingMode mode_;
+  double coeff_;
+  mutable Rng rng_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_VARIANTS_TIME_VARYING_H_

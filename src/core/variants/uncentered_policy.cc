@@ -1,0 +1,80 @@
+#include "core/variants/uncentered_policy.h"
+
+#include <algorithm>
+
+namespace apc {
+
+namespace {
+constexpr double kMinSideWidth = 5e-31;
+constexpr double kMaxSideWidth = 5e29;
+
+double ClampSide(double w) {
+  return std::clamp(w, kMinSideWidth, kMaxSideWidth);
+}
+}  // namespace
+
+UncenteredPolicy::UncenteredPolicy(const AdaptivePolicyParams& params,
+                                   uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      lower_width_(0.5 * params.initial_width),
+      upper_width_(0.5 * params.initial_width) {}
+
+UncenteredPolicy::UncenteredPolicy(const AdaptivePolicyParams& params,
+                                   const Rng& rng, double lower_width,
+                                   double upper_width)
+    : params_(params),
+      rng_(rng),
+      lower_width_(lower_width),
+      upper_width_(upper_width) {}
+
+double UncenteredPolicy::NextWidth(double /*raw_width*/,
+                                   const RefreshContext& ctx) {
+  double theta = params_.Theta();
+  switch (ctx.type) {
+    case RefreshType::kValueInitiated:
+      if (rng_.Bernoulli(std::min(theta, 1.0))) {
+        if (ctx.escaped_above) {
+          upper_width_ = ClampSide(upper_width_ * (1.0 + params_.alpha));
+        } else {
+          lower_width_ = ClampSide(lower_width_ * (1.0 + params_.alpha));
+        }
+      }
+      break;
+    case RefreshType::kQueryInitiated:
+      if (rng_.Bernoulli(std::min(1.0 / theta, 1.0))) {
+        lower_width_ = ClampSide(lower_width_ / (1.0 + params_.alpha));
+        upper_width_ = ClampSide(upper_width_ / (1.0 + params_.alpha));
+      }
+      break;
+  }
+  return lower_width_ + upper_width_;
+}
+
+double UncenteredPolicy::EffectiveWidth(double raw_width) const {
+  if (raw_width < params_.delta0) return 0.0;
+  if (raw_width >= params_.delta1) return kInfinity;
+  return raw_width;
+}
+
+CachedApprox UncenteredPolicy::MakeApprox(double value, double raw_width,
+                                          int64_t now) const {
+  CachedApprox approx;
+  approx.refresh_time = now;
+  double effective = EffectiveWidth(raw_width);
+  if (effective == 0.0) {
+    approx.base = Interval::Exact(value);
+  } else if (effective == kInfinity) {
+    approx.base = Interval::Unbounded();
+  } else {
+    approx.base = Interval::Uncentered(value, lower_width_, upper_width_);
+  }
+  return approx;
+}
+
+std::unique_ptr<PrecisionPolicy> UncenteredPolicy::Clone() const {
+  return std::make_unique<UncenteredPolicy>(params_, rng_.Fork(),
+                                            lower_width_, upper_width_);
+}
+
+}  // namespace apc

@@ -1,0 +1,57 @@
+#ifndef APC_CORE_VARIANTS_UNCENTERED_POLICY_H_
+#define APC_CORE_VARIANTS_UNCENTERED_POLICY_H_
+
+#include <memory>
+
+#include "core/adaptive_policy.h"
+
+namespace apc {
+
+/// Uncentered-interval variant of the adaptive algorithm (paper §4.5).
+/// Two widths are maintained per value — a lower extent and an upper
+/// extent — and adjusted independently:
+///
+///  * value escapes above the upper bound: with probability min(theta, 1)
+///    grow the upper width;
+///  * value escapes below the lower bound: with the same probability grow
+///    the lower width;
+///  * query-initiated refresh: with probability min(1/theta, 1) shrink
+///    BOTH widths.
+///
+/// The paper found this variant worse than centered intervals except on
+/// biased random walks, where it helps slightly; the ablation bench
+/// reproduces that comparison.
+class UncenteredPolicy : public PrecisionPolicy {
+ public:
+  UncenteredPolicy(const AdaptivePolicyParams& params, uint64_t seed = 0);
+  UncenteredPolicy(const AdaptivePolicyParams& params, const Rng& rng,
+                   double lower_width, double upper_width);
+
+  double InitialWidth() const override { return params_.initial_width; }
+
+  /// Returns the new *total* raw width (lower + upper); the split is
+  /// internal per-value state.
+  double NextWidth(double raw_width, const RefreshContext& ctx) override;
+
+  double EffectiveWidth(double raw_width) const override;
+
+  /// Builds [value - lower, value + upper] with threshold snapping applied
+  /// proportionally to both sides.
+  CachedApprox MakeApprox(double value, double raw_width,
+                          int64_t now) const override;
+
+  std::unique_ptr<PrecisionPolicy> Clone() const override;
+
+  double lower_width() const { return lower_width_; }
+  double upper_width() const { return upper_width_; }
+
+ private:
+  AdaptivePolicyParams params_;
+  mutable Rng rng_;
+  double lower_width_;
+  double upper_width_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_VARIANTS_UNCENTERED_POLICY_H_

@@ -1,0 +1,29 @@
+#include "data/random_walk.h"
+
+namespace apc {
+
+RandomWalkStream::RandomWalkStream(const RandomWalkParams& params,
+                                   uint64_t seed)
+    : params_(params), rng_(seed), value_(params.start) {}
+
+double RandomWalkStream::Next() {
+  double step = rng_.Uniform(params_.step_lo, params_.step_hi);
+  if (!rng_.Bernoulli(params_.up_probability)) step = -step;
+  value_ += step;
+  return value_;
+}
+
+SeriesStream::SeriesStream(std::vector<double> series)
+    : series_(std::move(series)),
+      pos_(series_.empty() ? 0 : 1),
+      value_(series_.empty() ? 0.0 : series_.front()) {}
+
+double SeriesStream::Next() {
+  if (pos_ < series_.size()) {
+    value_ = series_[pos_];
+    ++pos_;
+  }
+  return value_;
+}
+
+}  // namespace apc

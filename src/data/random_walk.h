@@ -1,0 +1,64 @@
+#ifndef APC_DATA_RANDOM_WALK_H_
+#define APC_DATA_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "data/update_stream.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// Configuration of a one-dimensional random walk. The paper's synthetic
+/// experiments use an unbiased walk whose per-second step is sampled
+/// uniformly from [0.5, 1.5] (§4.2); §4.5 additionally studies biased walks
+/// where upward moves are much more likely than downward ones.
+struct RandomWalkParams {
+  double start = 0.0;
+  double step_lo = 0.5;
+  double step_hi = 1.5;
+  /// Probability that a step moves up; 0.5 is the unbiased walk.
+  double up_probability = 0.5;
+
+  bool IsValid() const {
+    return step_lo >= 0.0 && step_hi >= step_lo && up_probability >= 0.0 &&
+           up_probability <= 1.0;
+  }
+};
+
+/// Random-walk update stream: V += ±U[step_lo, step_hi] each tick.
+class RandomWalkStream : public UpdateStream {
+ public:
+  RandomWalkStream(const RandomWalkParams& params, uint64_t seed);
+
+  double Next() override;
+  double current() const override { return value_; }
+
+  const RandomWalkParams& params() const { return params_; }
+
+ private:
+  RandomWalkParams params_;
+  Rng rng_;
+  double value_;
+};
+
+/// Plays back a precomputed series: current() starts at series[0] (the
+/// value at time 0) and the i-th Next() returns series[i]. After the series
+/// is exhausted the last value repeats (sources never disappear mid-run).
+class SeriesStream : public UpdateStream {
+ public:
+  explicit SeriesStream(std::vector<double> series);
+
+  double Next() override;
+  double current() const override { return value_; }
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::vector<double> series_;
+  size_t pos_ = 0;
+  double value_;
+};
+
+}  // namespace apc
+
+#endif  // APC_DATA_RANDOM_WALK_H_

@@ -1,0 +1,76 @@
+#include "data/trace_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace apc {
+
+Status SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t duration = trace.duration();
+  for (size_t t = 0; t < duration; ++t) {
+    for (size_t h = 0; h < trace.hosts.size(); ++h) {
+      if (h > 0) out << ',';
+      out << trace.hosts[h][t];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || errno == ERANGE) {
+        return Status::Corruption("non-numeric field '" + field +
+                                  "' at line " + std::to_string(line_no));
+      }
+      row.push_back(v);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::Corruption("ragged row at line " +
+                                std::to_string(line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty trace file: " + path);
+  }
+
+  Trace trace;
+  size_t num_hosts = rows.front().size();
+  trace.hosts.assign(num_hosts, std::vector<double>(rows.size()));
+  for (size_t t = 0; t < rows.size(); ++t) {
+    for (size_t h = 0; h < num_hosts; ++h) {
+      trace.hosts[h][t] = rows[t][h];
+    }
+  }
+  return trace;
+}
+
+}  // namespace apc

@@ -1,0 +1,24 @@
+#ifndef APC_DATA_TRACE_IO_H_
+#define APC_DATA_TRACE_IO_H_
+
+#include <string>
+
+#include "data/traffic_trace.h"
+#include "util/status.h"
+
+namespace apc {
+
+/// Writes a trace as CSV: one row per second, one column per host. Lets
+/// users export the synthetic trace or import a real one (e.g. actual
+/// network monitoring data) in its place.
+Status SaveTraceCsv(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by SaveTraceCsv (or any rectangular numeric CSV
+/// with the same layout). Returns Corruption on ragged rows or non-numeric
+/// fields, IOError when the file cannot be opened, InvalidArgument on an
+/// empty file.
+Result<Trace> LoadTraceCsv(const std::string& path);
+
+}  // namespace apc
+
+#endif  // APC_DATA_TRACE_IO_H_

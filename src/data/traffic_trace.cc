@@ -1,0 +1,147 @@
+#include "data/traffic_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace apc {
+
+bool TrafficTraceParams::IsValid() const {
+  return num_hosts > 0 && duration_seconds > 0 && flows_per_host > 0 &&
+         duration_shape > 1.0 && on_min_seconds > 0.0 &&
+         off_min_seconds > 0.0 && rate_shape > 1.0 && rate_min > 0.0 &&
+         rate_cap >= rate_min && active_mean_seconds > 0.0 &&
+         idle_mean_seconds > 0.0 && smoothing_window_seconds > 0 &&
+         level_cap > 0.0;
+}
+
+namespace {
+
+/// One on/off flow: alternates Pareto-distributed ON bursts (at a per-burst
+/// rate) with Pareto-distributed OFF silences.
+class OnOffFlow {
+ public:
+  OnOffFlow(const TrafficTraceParams& p, Rng* rng) : p_(p), rng_(rng) {
+    // Start in a random phase so flows are not synchronized at t=0.
+    on_ = rng_->Bernoulli(0.5);
+    remaining_ = SampleDuration();
+    rate_ = on_ ? SampleRate() : 0.0;
+  }
+
+  /// Rate contributed during the next one-second tick.
+  double Tick() {
+    double rate = on_ ? rate_ : 0.0;
+    remaining_ -= 1.0;
+    if (remaining_ <= 0.0) {
+      on_ = !on_;
+      remaining_ = SampleDuration();
+      rate_ = on_ ? SampleRate() : 0.0;
+    }
+    return rate;
+  }
+
+ private:
+  double SampleDuration() {
+    double min = on_ ? p_.on_min_seconds : p_.off_min_seconds;
+    return rng_->Pareto(p_.duration_shape, min);
+  }
+  double SampleRate() {
+    return std::min(rng_->Pareto(p_.rate_shape, p_.rate_min), p_.rate_cap);
+  }
+
+  const TrafficTraceParams& p_;
+  Rng* rng_;
+  bool on_;
+  double remaining_;
+  double rate_;
+};
+
+}  // namespace
+
+std::vector<double> MovingAverage(const std::vector<double>& series,
+                                  int window) {
+  std::vector<double> out(series.size(), 0.0);
+  if (window <= 1) return series;
+  double sum = 0.0;
+  for (size_t t = 0; t < series.size(); ++t) {
+    sum += series[t];
+    if (t >= static_cast<size_t>(window)) sum -= series[t - window];
+    size_t n = std::min(t + 1, static_cast<size_t>(window));
+    out[t] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+Trace GenerateTrafficTrace(const TrafficTraceParams& params, uint64_t seed) {
+  Trace trace;
+  if (!params.IsValid()) return trace;
+  Rng root(seed);
+  trace.hosts.reserve(static_cast<size_t>(params.num_hosts));
+
+  for (int h = 0; h < params.num_hosts; ++h) {
+    Rng rng = root.Fork();
+    std::vector<OnOffFlow> flows;
+    flows.reserve(static_cast<size_t>(params.flows_per_host));
+    for (int f = 0; f < params.flows_per_host; ++f) {
+      flows.emplace_back(params, &rng);
+    }
+
+    // Host-level regime switching: long active phases interleaved with
+    // idle phases during which the host sends (almost) nothing.
+    bool active = rng.Bernoulli(0.7);
+    double regime_left = rng.Exponential(
+        1.0 / (active ? params.active_mean_seconds
+                      : params.idle_mean_seconds));
+
+    std::vector<double> raw(static_cast<size_t>(params.duration_seconds));
+    for (int t = 0; t < params.duration_seconds; ++t) {
+      double level = 0.0;
+      for (auto& flow : flows) level += flow.Tick();
+      if (!active) level = 0.0;  // idle hosts send nothing, exactly
+      raw[static_cast<size_t>(t)] = std::min(level, params.level_cap);
+      regime_left -= 1.0;
+      if (regime_left <= 0.0) {
+        active = !active;
+        regime_left = rng.Exponential(
+            1.0 / (active ? params.active_mean_seconds
+                          : params.idle_mean_seconds));
+      }
+    }
+
+    std::vector<double> smoothed =
+        MovingAverage(raw, params.smoothing_window_seconds);
+    // Traffic levels are integer byte counts: quantize so that idle hosts
+    // (and slow-moving averages) form exactly-constant plateaus, as in the
+    // real counter-derived traces -- this is what makes exact caching of
+    // quiet hosts worthwhile for the baselines of paper SS4.6.
+    for (double& v : smoothed) {
+      v = std::round(std::min(v, params.level_cap));
+    }
+    trace.hosts.push_back(std::move(smoothed));
+  }
+  return trace;
+}
+
+std::vector<size_t> TopHostsByVolume(const Trace& trace, size_t k) {
+  std::vector<std::pair<double, size_t>> volume;
+  volume.reserve(trace.hosts.size());
+  for (size_t h = 0; h < trace.hosts.size(); ++h) {
+    double total = std::accumulate(trace.hosts[h].begin(),
+                                   trace.hosts[h].end(), 0.0);
+    volume.emplace_back(total, h);
+  }
+  std::sort(volume.begin(), volume.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<size_t> out;
+  out.reserve(std::min(k, volume.size()));
+  for (size_t i = 0; i < volume.size() && i < k; ++i) {
+    out.push_back(volume[i].second);
+  }
+  return out;
+}
+
+}  // namespace apc

@@ -1,0 +1,71 @@
+#ifndef APC_DATA_TRAFFIC_TRACE_H_
+#define APC_DATA_TRAFFIC_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apc {
+
+/// A set of per-host value series sampled once per second. hosts[h][t] is
+/// the traffic level (bytes/second, smoothed) of host h at second t.
+struct Trace {
+  std::vector<std::vector<double>> hosts;
+
+  size_t num_hosts() const { return hosts.size(); }
+  size_t duration() const { return hosts.empty() ? 0 : hosts[0].size(); }
+};
+
+/// Synthetic stand-in for the Paxson/Floyd wide-area traffic traces used in
+/// the paper's §4.3 (publicly distributed then, not shipped here).
+///
+/// The generator superposes heavy-tailed on/off flows per host — the
+/// standard explanation of the self-similarity [PF95] documents — then
+/// applies the same preprocessing as the paper: a 60-second moving-window
+/// average sampled every second, values clamped to [0, 5.2e6] bytes/s.
+/// Hosts additionally alternate between long active and idle regimes so
+/// that, as in the paper's Figures 4–5, some hosts "become active after a
+/// period of inactivity".
+struct TrafficTraceParams {
+  int num_hosts = 50;
+  /// Trace length in seconds (the paper uses a two-hour window).
+  int duration_seconds = 7200;
+  /// Concurrent on/off flows superposed per host.
+  int flows_per_host = 6;
+  /// Pareto shape for ON/OFF durations; 1 < shape < 2 gives the infinite-
+  /// variance durations that produce long-range dependence.
+  double duration_shape = 1.5;
+  /// Minimum ON and OFF durations (seconds).
+  double on_min_seconds = 2.0;
+  double off_min_seconds = 6.0;
+  /// Per-flow transfer rate while ON: Pareto(shape=rate_shape, xm=rate_min),
+  /// capped at rate_cap bytes/s.
+  double rate_shape = 1.2;
+  double rate_min = 5e3;
+  double rate_cap = 1.5e6;
+  /// Host-level activity regimes (seconds, exponential means).
+  double active_mean_seconds = 900.0;
+  double idle_mean_seconds = 450.0;
+  /// Smoothing window (seconds) and final clamp, matching the paper.
+  int smoothing_window_seconds = 60;
+  double level_cap = 5.2e6;
+
+  bool IsValid() const;
+};
+
+/// Generates a deterministic synthetic trace for the given seed.
+Trace GenerateTrafficTrace(const TrafficTraceParams& params, uint64_t seed);
+
+/// Applies an s-second trailing moving average to `series` (the paper's
+/// "one minute moving window average ... every second").
+std::vector<double> MovingAverage(const std::vector<double>& series,
+                                  int window);
+
+/// Returns indices of the `k` hosts with the largest total traffic, most
+/// trafficked first — the paper picks "the 50 most heavily trafficked
+/// hosts" from the raw trace.
+std::vector<size_t> TopHostsByVolume(const Trace& trace, size_t k);
+
+}  // namespace apc
+
+#endif  // APC_DATA_TRAFFIC_TRACE_H_

@@ -1,0 +1,25 @@
+#ifndef APC_DATA_UPDATE_STREAM_H_
+#define APC_DATA_UPDATE_STREAM_H_
+
+#include <memory>
+
+namespace apc {
+
+/// A stream of values for one source datum, advanced once per simulation
+/// tick (the paper's synthetic experiments update every time unit; trace
+/// playback reproduces recorded timing by embedding it in the series).
+class UpdateStream {
+ public:
+  virtual ~UpdateStream() = default;
+
+  /// Advances one tick and returns the new exact value.
+  virtual double Next() = 0;
+
+  /// The value produced by the most recent Next() (or the initial value
+  /// before the first call).
+  virtual double current() const = 0;
+};
+
+}  // namespace apc
+
+#endif  // APC_DATA_UPDATE_STREAM_H_

@@ -1,0 +1,179 @@
+#include "hierarchy/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace apc {
+
+namespace {
+
+AdaptivePolicyParams BindCosts(AdaptivePolicyParams params,
+                               const RefreshCosts& costs) {
+  params.cvr = costs.cvr;
+  params.cqr = costs.cqr;
+  params.theta_multiplier = 2.0;
+  return params;
+}
+
+}  // namespace
+
+HierarchicalSystem::HierarchicalSystem(
+    const HierarchyConfig& config,
+    std::vector<std::unique_ptr<UpdateStream>> streams, uint64_t seed)
+    : config_(config), wan_costs_(config.wan), lan_costs_(config.lan) {
+  Rng seeder(seed);
+  AdaptivePolicyParams regional_params =
+      BindCosts(config_.regional_policy, config_.wan);
+  AdaptivePolicyParams edge_params =
+      BindCosts(config_.edge_policy, config_.lan);
+
+  regional_.resize(streams.size());
+  for (size_t id = 0; id < streams.size(); ++id) {
+    RegionalEntry& entry = regional_[id];
+    entry.stream = std::move(streams[id]);
+    entry.policy = std::make_unique<AdaptivePolicy>(regional_params,
+                                                    seeder.NextUint64());
+    entry.raw_width = regional_params.initial_width;
+    entry.interval = Interval::Centered(
+        entry.stream->current(),
+        entry.policy->EffectiveWidth(entry.raw_width));
+  }
+
+  edges_.resize(static_cast<size_t>(config_.num_edges));
+  for (auto& edge : edges_) {
+    edge.resize(regional_.size());
+    for (size_t id = 0; id < regional_.size(); ++id) {
+      EdgeEntry& entry = edge[id];
+      entry.policy = std::make_unique<AdaptivePolicy>(edge_params,
+                                                      seeder.NextUint64());
+      entry.raw_width = edge_params.initial_width;
+      double width = std::max(entry.policy->EffectiveWidth(entry.raw_width),
+                              regional_[id].interval.Width());
+      Interval centered =
+          Interval::Centered(regional_[id].interval.Center(), width);
+      entry.interval =
+          Interval(std::min(centered.lo(), regional_[id].interval.lo()),
+                   std::max(centered.hi(), regional_[id].interval.hi()));
+    }
+  }
+}
+
+void HierarchicalSystem::RefreshRegional(int id, RefreshType type,
+                                         int64_t now, int skip_edge) {
+  if (type == RefreshType::kValueInitiated) {
+    wan_costs_.RecordValueRefresh();
+  } else {
+    wan_costs_.RecordQueryRefresh();
+  }
+  RegionalEntry& entry = regional_[static_cast<size_t>(id)];
+  RefreshContext ctx;
+  ctx.type = type;
+  ctx.escaped_above = entry.stream->current() > entry.interval.hi();
+  ctx.time = now;
+  entry.raw_width = entry.policy->NextWidth(entry.raw_width, ctx);
+  entry.interval = Interval::Centered(
+      entry.stream->current(),
+      entry.policy->EffectiveWidth(entry.raw_width));
+
+  // Cascade: derived edge intervals must keep containing the regional
+  // one. From an edge's perspective this is always a value-initiated push
+  // (its parent's data moved), whatever triggered the regional refresh.
+  for (int edge = 0; edge < config_.num_edges; ++edge) {
+    if (edge == skip_edge) continue;
+    if (!edge_entry(edge, id).interval.Contains(entry.interval)) {
+      lan_costs_.RecordValueRefresh();
+      RefreshEdge(edge, id, RefreshType::kValueInitiated, now);
+    }
+  }
+}
+
+void HierarchicalSystem::RefreshEdge(int edge, int id, RefreshType type,
+                                     int64_t now) {
+  EdgeEntry& entry = edge_entry(edge, id);
+  const RegionalEntry& parent = regional_[static_cast<size_t>(id)];
+  RefreshContext ctx;
+  ctx.type = type;
+  ctx.time = now;
+  entry.raw_width = entry.policy->NextWidth(entry.raw_width, ctx);
+  // Derived precision: the edge never learns more than the regional cache
+  // knows, so the shipped interval is at least as wide as the parent's.
+  // Taking the hull with the parent interval (rather than re-centering at
+  // the parent's midpoint) keeps containment exact under floating-point
+  // rounding.
+  double width = std::max(entry.policy->EffectiveWidth(entry.raw_width),
+                          parent.interval.Width());
+  Interval centered = Interval::Centered(parent.interval.Center(), width);
+  entry.interval =
+      Interval(std::min(centered.lo(), parent.interval.lo()),
+               std::max(centered.hi(), parent.interval.hi()));
+}
+
+void HierarchicalSystem::Tick(int64_t now) {
+  for (size_t id = 0; id < regional_.size(); ++id) {
+    RegionalEntry& entry = regional_[id];
+    double v = entry.stream->Next();
+    if (!entry.interval.Contains(v)) {
+      RefreshRegional(static_cast<int>(id), RefreshType::kValueInitiated,
+                      now);
+    }
+  }
+}
+
+Interval HierarchicalSystem::Read(int edge, int id, double constraint,
+                                  int64_t now) {
+  EdgeEntry& entry = edge_entry(edge, id);
+  if (entry.interval.Width() <= constraint) {
+    return entry.interval;  // served locally, free
+  }
+
+  // Escalate to the regional cache: the edge pays one LAN read and its
+  // width shrinks (query-initiated refresh of the derived approximation).
+  lan_costs_.RecordQueryRefresh();
+  RegionalEntry& parent = regional_[static_cast<size_t>(id)];
+  Interval answer = parent.interval;
+  if (answer.Width() > constraint) {
+    // Regional interval too wide as well: escalate to the source over the
+    // WAN, which returns the exact value and a fresh regional interval.
+    RefreshRegional(id, RefreshType::kQueryInitiated, now, edge);
+    answer = Interval::Exact(parent.stream->current());
+  }
+  RefreshEdge(edge, id, RefreshType::kQueryInitiated, now);
+  return answer;
+}
+
+void HierarchicalSystem::BeginMeasurement(int64_t now) {
+  wan_costs_.BeginMeasurement(now);
+  lan_costs_.BeginMeasurement(now);
+}
+
+void HierarchicalSystem::EndMeasurement(int64_t now) {
+  wan_costs_.EndMeasurement(now);
+  lan_costs_.EndMeasurement(now);
+}
+
+double HierarchicalSystem::TotalCostRate() const {
+  return wan_costs_.CostRate() + lan_costs_.CostRate();
+}
+
+Interval HierarchicalSystem::regional_interval(int id) const {
+  return regional_[static_cast<size_t>(id)].interval;
+}
+
+Interval HierarchicalSystem::edge_interval(int edge, int id) const {
+  return edge_entry(edge, id).interval;
+}
+
+double HierarchicalSystem::regional_raw_width(int id) const {
+  return regional_[static_cast<size_t>(id)].raw_width;
+}
+
+double HierarchicalSystem::edge_raw_width(int edge, int id) const {
+  return edge_entry(edge, id).raw_width;
+}
+
+double HierarchicalSystem::exact_value(int id) const {
+  return regional_[static_cast<size_t>(id)].stream->current();
+}
+
+}  // namespace apc

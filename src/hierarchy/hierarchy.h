@@ -1,0 +1,134 @@
+#ifndef APC_HIERARCHY_HIERARCHY_H_
+#define APC_HIERARCHY_HIERARCHY_H_
+
+#include <memory>
+#include <vector>
+
+#include "cache/cost_model.h"
+#include "core/adaptive_policy.h"
+#include "data/update_stream.h"
+
+namespace apc {
+
+/// Multi-level approximate caching — the extension sketched in the paper's
+/// future work (§5): "each data object resides on one source and there is
+/// a hierarchy of caches ... the precision of an approximation in one
+/// cache may affect the precision of derived approximations in other
+/// caches in the hierarchy."
+///
+/// Topology: each value lives on one source; a single regional (L1) cache
+/// holds an interval per value, refreshed over the expensive WAN link; a
+/// set of edge (L2) caches each hold a derived interval per value,
+/// refreshed from L1 over the cheap LAN link. Queries arrive at edges.
+///
+/// Derived-precision invariant: an edge interval is valid only because it
+/// contains the regional interval (the edge never sees the exact value
+/// outside of escalated reads), so every shipped edge interval satisfies
+/// A_edge ⊇ A_regional — an edge can never be more precise than its
+/// parent. Width setting at both levels uses the paper's adaptive
+/// algorithm, with the cost factor of the link the refresh crosses.
+struct HierarchyConfig {
+  int num_sources = 50;
+  int num_edges = 4;
+  /// Costs on the source <-> regional link (WAN: expensive).
+  RefreshCosts wan{4.0, 8.0};
+  /// Costs on the regional <-> edge link (LAN: cheap).
+  RefreshCosts lan{1.0, 2.0};
+  /// Adaptivity and thresholds for the regional widths (source policy) and
+  /// the per-edge widths. cvr/cqr inside are overwritten from wan/lan.
+  AdaptivePolicyParams regional_policy;
+  AdaptivePolicyParams edge_policy;
+
+  bool IsValid() const {
+    return num_sources > 0 && num_edges > 0 && wan.IsValid() &&
+           lan.IsValid();
+  }
+};
+
+/// The two-level protocol engine.
+///
+/// Pushes (value-initiated): when a source value escapes the regional
+/// interval, the source ships a new regional interval (cost wan.cvr), and
+/// every edge whose interval no longer contains the new regional interval
+/// receives a derived refresh (cost lan.cvr each).
+///
+/// Reads (query-initiated): a read at an edge with precision constraint δ
+/// is served from the edge interval when narrow enough; otherwise it
+/// escalates to the regional cache (cost lan.cqr) and, if the regional
+/// interval is also too wide, on to the source (cost wan.cqr), exactly the
+/// single-level protocol applied per hop.
+class HierarchicalSystem {
+ public:
+  HierarchicalSystem(const HierarchyConfig& config,
+                     std::vector<std::unique_ptr<UpdateStream>> streams,
+                     uint64_t seed);
+
+  /// Advances all sources one tick and performs the push cascade.
+  void Tick(int64_t now);
+
+  /// Reads value `id` at edge `edge` under precision constraint
+  /// `constraint`; returns an interval of width <= constraint that
+  /// contains the exact value. Performs escalating query-initiated
+  /// refreshes as needed.
+  Interval Read(int edge, int id, double constraint, int64_t now);
+
+  /// Begins the measured period on both links.
+  void BeginMeasurement(int64_t now);
+  void EndMeasurement(int64_t now);
+
+  const CostTracker& wan_costs() const { return wan_costs_; }
+  const CostTracker& lan_costs() const { return lan_costs_; }
+  /// Combined cost per tick over the measured period.
+  double TotalCostRate() const;
+
+  Interval regional_interval(int id) const;
+  Interval edge_interval(int edge, int id) const;
+  double regional_raw_width(int id) const;
+  double edge_raw_width(int edge, int id) const;
+  double exact_value(int id) const;
+  int num_edges() const { return config_.num_edges; }
+  int num_sources() const { return config_.num_sources; }
+
+ private:
+  struct RegionalEntry {
+    std::unique_ptr<UpdateStream> stream;
+    std::unique_ptr<AdaptivePolicy> policy;  // lives at the source
+    double raw_width = 0.0;
+    Interval interval;
+  };
+  struct EdgeEntry {
+    std::unique_ptr<AdaptivePolicy> policy;  // lives at the regional cache
+    double raw_width = 0.0;
+    Interval interval;
+  };
+
+  /// Ships a new regional interval for `id` centered on the exact value
+  /// and cascades derived refreshes (LAN pushes) to edges whose interval
+  /// no longer contains it. `skip_edge` exempts the edge that triggered an
+  /// escalated read — it receives its derived interval in the read reply
+  /// it already paid for.
+  void RefreshRegional(int id, RefreshType type, int64_t now,
+                       int skip_edge = -1);
+
+  /// Ships a derived interval for (edge, id): centered like the regional
+  /// interval, width max(edge raw width, regional width) so that it always
+  /// contains the regional interval.
+  void RefreshEdge(int edge, int id, RefreshType type, int64_t now);
+
+  EdgeEntry& edge_entry(int edge, int id) {
+    return edges_[static_cast<size_t>(edge)][static_cast<size_t>(id)];
+  }
+  const EdgeEntry& edge_entry(int edge, int id) const {
+    return edges_[static_cast<size_t>(edge)][static_cast<size_t>(id)];
+  }
+
+  HierarchyConfig config_;
+  std::vector<RegionalEntry> regional_;
+  std::vector<std::vector<EdgeEntry>> edges_;  // [edge][id]
+  CostTracker wan_costs_;
+  CostTracker lan_costs_;
+};
+
+}  // namespace apc
+
+#endif  // APC_HIERARCHY_HIERARCHY_H_

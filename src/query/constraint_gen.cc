@@ -1,0 +1,18 @@
+#include "query/constraint_gen.h"
+
+#include <algorithm>
+
+namespace apc {
+
+ConstraintGenerator::ConstraintGenerator(const ConstraintParams& params,
+                                         uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+double ConstraintGenerator::Next() {
+  double lo = params_.Min();
+  double hi = params_.Max();
+  if (hi <= lo) return std::max(lo, 0.0);
+  return std::max(rng_.Uniform(lo, hi), 0.0);
+}
+
+}  // namespace apc

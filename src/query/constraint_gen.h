@@ -1,0 +1,39 @@
+#ifndef APC_QUERY_CONSTRAINT_GEN_H_
+#define APC_QUERY_CONSTRAINT_GEN_H_
+
+#include "util/rng.h"
+
+namespace apc {
+
+/// Distribution of query precision constraints (paper §4.1): constraints
+/// are sampled uniformly from [avg·(1-rho), avg·(1+rho)], where `avg` is
+/// the average constraint (δ_avg) and `rho` the variation across queries.
+/// rho = 0 gives every query the same constraint; rho = 1 spreads them over
+/// [0, 2·avg].
+struct ConstraintParams {
+  double avg = 0.0;
+  double rho = 1.0;
+
+  double Min() const { return avg * (1.0 - rho); }
+  double Max() const { return avg * (1.0 + rho); }
+  bool IsValid() const { return avg >= 0.0 && rho >= 0.0 && rho <= 1.0; }
+};
+
+/// Samples precision constraints from a ConstraintParams distribution.
+class ConstraintGenerator {
+ public:
+  ConstraintGenerator(const ConstraintParams& params, uint64_t seed);
+
+  /// Next constraint δ >= 0.
+  double Next();
+
+  const ConstraintParams& params() const { return params_; }
+
+ private:
+  ConstraintParams params_;
+  Rng rng_;
+};
+
+}  // namespace apc
+
+#endif  // APC_QUERY_CONSTRAINT_GEN_H_

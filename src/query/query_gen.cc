@@ -1,0 +1,42 @@
+#include "query/query_gen.h"
+
+#include <numeric>
+
+namespace apc {
+
+QueryGenerator::QueryGenerator(const QueryWorkloadParams& params,
+                               uint64_t seed)
+    : params_(params), rng_(seed), constraints_(params.constraints, seed ^ 0xc0ffee) {
+  scratch_ids_.resize(static_cast<size_t>(params_.num_sources));
+  std::iota(scratch_ids_.begin(), scratch_ids_.end(), 0);
+}
+
+Query QueryGenerator::Next() {
+  Query q;
+  double roll = rng_.Uniform(0.0, 1.0);
+  if (roll < params_.max_fraction) {
+    q.kind = AggregateKind::kMax;
+  } else if (roll < params_.max_fraction + params_.min_fraction) {
+    q.kind = AggregateKind::kMin;
+  } else if (roll < params_.max_fraction + params_.min_fraction +
+                        params_.avg_fraction) {
+    q.kind = AggregateKind::kAvg;
+  } else {
+    q.kind = AggregateKind::kSum;
+  }
+  q.constraint = constraints_.Next();
+
+  // Partial Fisher-Yates: the first group_size slots become a uniform
+  // sample of distinct ids.
+  int n = params_.num_sources;
+  int g = params_.group_size;
+  for (int i = 0; i < g; ++i) {
+    int j = static_cast<int>(rng_.UniformInt(i, n - 1));
+    std::swap(scratch_ids_[static_cast<size_t>(i)],
+              scratch_ids_[static_cast<size_t>(j)]);
+  }
+  q.source_ids.assign(scratch_ids_.begin(), scratch_ids_.begin() + g);
+  return q;
+}
+
+}  // namespace apc

@@ -1,0 +1,55 @@
+#ifndef APC_QUERY_QUERY_GEN_H_
+#define APC_QUERY_QUERY_GEN_H_
+
+#include <vector>
+
+#include "query/aggregate.h"
+#include "query/constraint_gen.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// Workload mix for query generation: queries aggregate `group_size`
+/// distinct sources chosen uniformly at random (the paper uses SUM or MAX
+/// over 10 randomly selected sources), with constraints drawn from
+/// `constraints`.
+struct QueryWorkloadParams {
+  int num_sources = 50;
+  int group_size = 10;
+  /// Fractions of MAX / MIN / AVG queries; the remainder are SUM. The
+  /// paper runs pure-SUM and pure-MAX workloads (max_fraction 0 or 1).
+  double max_fraction = 0.0;
+  double min_fraction = 0.0;
+  double avg_fraction = 0.0;
+  ConstraintParams constraints;
+
+  bool IsValid() const {
+    return num_sources > 0 && group_size > 0 &&
+           group_size <= num_sources && max_fraction >= 0.0 &&
+           min_fraction >= 0.0 && avg_fraction >= 0.0 &&
+           max_fraction + min_fraction + avg_fraction <= 1.0 &&
+           constraints.IsValid();
+  }
+};
+
+/// Generates the paper's query workload deterministically from a seed.
+class QueryGenerator {
+ public:
+  QueryGenerator(const QueryWorkloadParams& params, uint64_t seed);
+
+  /// Next query: kind per `max_fraction`, `group_size` distinct source ids,
+  /// constraint from the configured distribution.
+  Query Next();
+
+  const QueryWorkloadParams& params() const { return params_; }
+
+ private:
+  QueryWorkloadParams params_;
+  Rng rng_;
+  ConstraintGenerator constraints_;
+  std::vector<int> scratch_ids_;
+};
+
+}  // namespace apc
+
+#endif  // APC_QUERY_QUERY_GEN_H_

@@ -1,0 +1,209 @@
+#include "sim/experiments.h"
+
+#include "core/stale_policy.h"
+#include "baseline/divergence_caching.h"
+#include "util/rng.h"
+
+namespace apc {
+
+RefreshCosts CostsForTheta(double theta) {
+  RefreshCosts costs;
+  costs.cqr = 2.0;
+  costs.cvr = theta;  // theta = 2*cvr/cqr = cvr when cqr == 2
+  return costs;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> MakeRandomWalkStreams(
+    int n, const RandomWalkParams& params, uint64_t seed) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.reserve(static_cast<size_t>(n));
+  Rng root(seed);
+  for (int i = 0; i < n; ++i) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(params, root.NextUint64()));
+  }
+  return streams;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> MakeTraceStreams(
+    const Trace& trace) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.reserve(trace.hosts.size());
+  for (const auto& series : trace.hosts) {
+    streams.push_back(std::make_unique<SeriesStream>(series));
+  }
+  return streams;
+}
+
+const Trace& SharedNetworkTrace() {
+  static const Trace trace = [] {
+    TrafficTraceParams params;  // defaults: 50 hosts, 7200 s, see header
+    return GenerateTrafficTrace(params, /*seed=*/20010521);
+  }();
+  return trace;
+}
+
+SimConfig NetworkExperiment::ToSimConfig() const {
+  SimConfig config;
+  config.horizon = horizon;
+  config.warmup = warmup;
+  config.seed = seed;
+  config.system.costs = CostsForTheta(theta);
+  config.system.cache_capacity = chi;
+  config.workload.tq = tq;
+  config.workload.query.num_sources =
+      static_cast<int>(SharedNetworkTrace().num_hosts());
+  config.workload.query.group_size = 10;
+  config.workload.query.max_fraction = max_fraction;
+  config.workload.query.constraints.avg = delta_avg;
+  config.workload.query.constraints.rho = rho;
+  return config;
+}
+
+AdaptivePolicyParams NetworkExperiment::ToPolicyParams() const {
+  AdaptivePolicyParams params;
+  RefreshCosts costs = CostsForTheta(theta);
+  params.cvr = costs.cvr;
+  params.cqr = costs.cqr;
+  params.alpha = alpha;
+  params.delta0 = delta0;
+  params.delta1 = delta1;
+  params.initial_width = initial_width;
+  params.theta_multiplier = 2.0;
+  return params;
+}
+
+SimResult RunNetworkAdaptive(const NetworkExperiment& exp) {
+  AdaptivePolicy prototype(exp.ToPolicyParams(), exp.seed ^ 0x9a11ce);
+  return RunIntervalSimulation(exp.ToSimConfig(),
+                               MakeTraceStreams(SharedNetworkTrace()),
+                               prototype);
+}
+
+SimResult RunNetworkExactCaching(const NetworkExperiment& exp,
+                                 const std::vector<int>& x_grid,
+                                 int* best_x) {
+  return BestExactCachingSimulation(
+      exp.ToSimConfig(), x_grid,
+      [] { return MakeTraceStreams(SharedNetworkTrace()); }, best_x);
+}
+
+const std::vector<int>& DefaultExactCachingXGrid() {
+  static const std::vector<int> grid = {3, 5, 8, 12, 18, 25, 35, 45};
+  return grid;
+}
+
+SimConfig WalkExperiment::ToSimConfig() const {
+  SimConfig config;
+  config.horizon = horizon;
+  config.warmup = warmup;
+  config.seed = seed;
+  config.system.costs = CostsForTheta(theta);
+  config.system.cache_capacity = 1;
+  config.workload.tq = tq;
+  config.workload.query.num_sources = 1;
+  config.workload.query.group_size = 1;
+  config.workload.query.max_fraction = 0.0;
+  config.workload.query.constraints.avg = delta_avg;
+  config.workload.query.constraints.rho = rho;
+  return config;
+}
+
+SimResult RunWalkExperiment(const WalkExperiment& exp) {
+  RandomWalkParams walk;  // step uniform in [0.5, 1.5], unbiased
+  auto streams = MakeRandomWalkStreams(1, walk, exp.seed);
+  SimConfig config = exp.ToSimConfig();
+  if (exp.fixed_width > 0.0) {
+    FixedWidthPolicy prototype(exp.fixed_width);
+    return RunIntervalSimulation(config, std::move(streams), prototype);
+  }
+  AdaptivePolicyParams params;
+  RefreshCosts costs = CostsForTheta(exp.theta);
+  params.cvr = costs.cvr;
+  params.cqr = costs.cqr;
+  params.alpha = exp.alpha;
+  params.delta0 = 0.0;
+  params.delta1 = kInfinity;
+  params.initial_width = exp.initial_width;
+  AdaptivePolicy prototype(params, exp.seed ^ 0x9a11ce);
+  return RunIntervalSimulation(config, std::move(streams), prototype);
+}
+
+std::vector<SimResult> SweepFixedWidths(const WalkExperiment& exp,
+                                        const std::vector<double>& widths) {
+  std::vector<SimResult> results;
+  results.reserve(widths.size());
+  for (double w : widths) {
+    WalkExperiment point = exp;
+    point.fixed_width = w;
+    results.push_back(RunWalkExperiment(point));
+  }
+  return results;
+}
+
+StaleSimConfig StaleExperiment::ToConfig() const {
+  StaleSimConfig config;
+  config.horizon = horizon;
+  config.warmup = warmup;
+  config.seed = seed;
+  config.system.costs.cvr = cvr;
+  config.system.costs.cqr = cqr;
+  config.system.num_sources = num_sources;
+  config.system.update_probability = base_update_probability;
+  config.system.burst_update_probability = burst_update_probability;
+  config.system.regime_mean_seconds = regime_mean_seconds;
+  config.tq = tq;
+  config.group_size = group_size;
+  config.constraints.avg = delta_avg;
+  config.constraints.rho = rho;
+  config.hot_read_fraction = hot_read_fraction;
+  return config;
+}
+
+SimResult RunStaleAdaptive(const StaleExperiment& exp) {
+  StalePolicyParams params;
+  params.cvr = exp.cvr;
+  params.cqr = exp.cqr;
+  params.alpha = exp.alpha;
+  params.delta0 = 1.0;
+  // Paper §4.7: delta1 = delta0 for exact-precision workloads, infinity
+  // otherwise.
+  params.delta1 = (exp.delta_avg == 0.0) ? 1.0 : kInfinity;
+  params.initial_bound = 2.0;
+  auto bounds = std::make_unique<AdaptiveStaleBounds>(
+      params.ToAdaptiveParams(), exp.num_sources, exp.seed ^ 0x57a1e);
+  return RunStaleSimulation(exp.ToConfig(), std::move(bounds));
+}
+
+SimResult RunStaleDivergenceCaching(const StaleExperiment& exp) {
+  DivergenceCachingParams params;
+  params.costs.cvr = exp.cvr;
+  params.costs.cqr = exp.cqr;
+  params.window_k = exp.divergence_window_k;
+  params.initial_bound = 2.0;
+  auto bounds =
+      std::make_unique<DivergenceCachingBounds>(params, exp.num_sources);
+  return RunStaleSimulation(exp.ToConfig(), std::move(bounds));
+}
+
+IntervalTimeSeries RecordHostInterval(const NetworkExperiment& exp,
+                                      int host_id, int64_t from,
+                                      int64_t to) {
+  IntervalTimeSeries series;
+  AdaptivePolicy prototype(exp.ToPolicyParams(), exp.seed ^ 0x9a11ce);
+  TickObserver observer = [&](int64_t now, const CacheSystem& system) {
+    if (now < from || now >= to) return;
+    series.value.Record(now, system.source(host_id)->value());
+    const CacheEntry* entry = system.cache().Find(host_id);
+    Interval iv = (entry != nullptr) ? entry->approx.AtTime(now)
+                                     : Interval::Unbounded();
+    series.lo.Record(now, iv.lo());
+    series.hi.Record(now, iv.hi());
+  };
+  RunIntervalSimulation(exp.ToSimConfig(),
+                        MakeTraceStreams(SharedNetworkTrace()), prototype,
+                        observer);
+  return series;
+}
+
+}  // namespace apc

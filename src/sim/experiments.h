@@ -1,0 +1,155 @@
+#ifndef APC_SIM_EXPERIMENTS_H_
+#define APC_SIM_EXPERIMENTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_policy.h"
+#include "data/random_walk.h"
+#include "data/traffic_trace.h"
+#include "sim/simulation.h"
+#include "stats/stats.h"
+
+namespace apc {
+
+/// Costs used throughout the paper's study (§4.3): a remote read is one
+/// request/response pair (Cqr = 2), and Cvr is chosen so that
+/// theta = 2·Cvr/Cqr equals the requested cost factor (theta = 1: loose
+/// consistency, Cvr = 1; theta = 4: two-phase locking, Cvr = 4).
+RefreshCosts CostsForTheta(double theta);
+
+/// n independent random-walk streams with per-stream derived seeds.
+std::vector<std::unique_ptr<UpdateStream>> MakeRandomWalkStreams(
+    int n, const RandomWalkParams& params, uint64_t seed);
+
+/// One SeriesStream per trace host.
+std::vector<std::unique_ptr<UpdateStream>> MakeTraceStreams(
+    const Trace& trace);
+
+/// The repository's stand-in for the paper's network monitoring data set:
+/// a 50-host, two-hour synthetic self-similar trace, generated once per
+/// process with a fixed seed (see DESIGN.md §4 for the substitution
+/// rationale).
+const Trace& SharedNetworkTrace();
+
+/// Configuration of one point of the paper's network-data experiments
+/// (§4.3–§4.6). Defaults mirror the paper's base setting: 50 sources, full
+/// cache, SUM queries over 10 random sources every Tq seconds, alpha = 1,
+/// delta0 = 1K, delta1 = infinity, theta = 1.
+struct NetworkExperiment {
+  double tq = 1.0;
+  double theta = 1.0;
+  double delta_avg = 100e3;
+  double rho = 0.5;
+  double alpha = 1.0;
+  double delta0 = 1e3;
+  double delta1 = kInfinity;
+  double initial_width = 10e3;
+  size_t chi = 50;
+  /// 0.0 = pure SUM (the paper's default workload); 1.0 = pure MAX.
+  double max_fraction = 0.0;
+  int64_t horizon = 7200;
+  int64_t warmup = 1200;
+  uint64_t seed = 42;
+
+  SimConfig ToSimConfig() const;
+  AdaptivePolicyParams ToPolicyParams() const;
+};
+
+/// Runs our adaptive algorithm on the shared network trace.
+SimResult RunNetworkAdaptive(const NetworkExperiment& exp);
+
+/// Runs the [WJH97] exact-caching baseline on the shared network trace,
+/// tuning the reevaluation parameter x over `x_grid` as the paper does.
+SimResult RunNetworkExactCaching(const NetworkExperiment& exp,
+                                 const std::vector<int>& x_grid,
+                                 int* best_x = nullptr);
+
+/// The default x grid the paper sweeps ("x, which varied from 3 to 45").
+const std::vector<int>& DefaultExactCachingXGrid();
+
+/// Configuration of the synthetic steady-state experiments of §4.2: a
+/// single random-walk source (step uniform in [0.5, 1.5] per second),
+/// queries with group size 1 every Tq seconds.
+struct WalkExperiment {
+  double tq = 2.0;
+  double theta = 1.0;
+  double delta_avg = 20.0;
+  double rho = 1.0;
+  double alpha = 1.0;
+  /// When > 0 the width is pinned (FixedWidthPolicy), reproducing the
+  /// measurement mode of Figure 3.
+  double fixed_width = 0.0;
+  double initial_width = 1.0;
+  int64_t horizon = 200000;
+  int64_t warmup = 5000;
+  uint64_t seed = 7;
+
+  SimConfig ToSimConfig() const;
+};
+
+/// Runs the single-source random-walk experiment (fixed or adaptive width).
+SimResult RunWalkExperiment(const WalkExperiment& exp);
+
+/// Sweeps fixed widths and returns one SimResult per width (the measured
+/// Pvr/Pqr/cost curves of Figure 3).
+std::vector<SimResult> SweepFixedWidths(const WalkExperiment& exp,
+                                        const std::vector<double>& widths);
+
+/// Configuration of the stale-value comparison of §4.7 (Figures 14–15):
+/// Cvr = 1, Cqr = 2 (theta' = 0.5), 50 sources updated every tick, reads of
+/// 10 random values with staleness constraints uniform in
+/// [delta_avg(1-rho), delta_avg(1+rho)].
+struct StaleExperiment {
+  double tq = 1.0;
+  double delta_avg = 7.0;
+  double rho = 1.0;
+  int num_sources = 50;
+  int group_size = 10;
+  double cvr = 1.0;
+  double cqr = 2.0;
+  double alpha = 1.0;
+  int divergence_window_k = 23;
+  /// Write-rate regime: sources alternate between quiet
+  /// (base_update_probability per tick) and bursty
+  /// (burst_update_probability) phases of mean regime_mean_seconds, like
+  /// the bursty hosts of the paper's network evaluation. Set
+  /// burst_update_probability = 0 for a stationary write stream at
+  /// base_update_probability.
+  double base_update_probability = 0.2;
+  double burst_update_probability = 1.0;
+  double regime_mean_seconds = 150.0;
+  /// Readers follow the action: this fraction of read-group members is
+  /// steered toward currently-bursting sources.
+  double hot_read_fraction = 0.8;
+  int64_t horizon = 30000;
+  int64_t warmup = 3000;
+  uint64_t seed = 11;
+
+  StaleSimConfig ToConfig() const;
+};
+
+/// Our algorithm specialized to stale-value approximations (theta' =
+/// Cvr/Cqr, delta0 = 1, delta1 = delta0 for exact workloads and infinity
+/// otherwise — the paper's §4.7 settings).
+SimResult RunStaleAdaptive(const StaleExperiment& exp);
+
+/// The Divergence Caching baseline [HSW94] with moving-window size k.
+SimResult RunStaleDivergenceCaching(const StaleExperiment& exp);
+
+/// Recorded (source value, interval lo, interval hi) series for one host,
+/// for the interval-tracking plots of Figures 4–5.
+struct IntervalTimeSeries {
+  SeriesRecorder value;
+  SeriesRecorder lo;
+  SeriesRecorder hi;
+};
+
+/// Runs RunNetworkAdaptive while recording host `host_id`'s exact value and
+/// cached interval endpoints over [from, to).
+IntervalTimeSeries RecordHostInterval(const NetworkExperiment& exp,
+                                      int host_id, int64_t from, int64_t to);
+
+}  // namespace apc
+
+#endif  // APC_SIM_EXPERIMENTS_H_

@@ -1,0 +1,143 @@
+#include "sim/simulation.h"
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace apc {
+
+namespace {
+
+SimResult CollectResult(const CostTracker& costs, double mean_raw_width) {
+  SimResult r;
+  r.cost_rate = costs.CostRate();
+  r.pvr = costs.MeasuredPvr();
+  r.pqr = costs.MeasuredPqr();
+  r.value_refreshes = costs.value_refreshes();
+  r.query_refreshes = costs.query_refreshes();
+  r.total_cost = costs.total_cost();
+  r.measured_ticks = costs.measured_ticks();
+  r.mean_raw_width = mean_raw_width;
+  return r;
+}
+
+}  // namespace
+
+SimResult RunIntervalSimulation(
+    const SimConfig& config,
+    std::vector<std::unique_ptr<UpdateStream>> streams,
+    const PrecisionPolicy& policy_prototype, const TickObserver& observer) {
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(streams.size());
+  for (size_t id = 0; id < streams.size(); ++id) {
+    sources.push_back(std::make_unique<Source>(
+        static_cast<int>(id), std::move(streams[id]),
+        policy_prototype.Clone()));
+  }
+
+  CacheSystem system(config.system, std::move(sources),
+                     config.seed ^ 0x1055);
+  system.PopulateInitial(0);
+
+  QueryGenerator queries(config.workload.query, config.seed ^ 0x5eed);
+
+  if (config.warmup <= 0) system.costs().BeginMeasurement(0);
+  double next_query = config.workload.tq;
+  for (int64_t t = 1; t <= config.horizon; ++t) {
+    if (t == config.warmup) system.costs().BeginMeasurement(t);
+    system.Tick(t);
+    while (next_query <= static_cast<double>(t)) {
+      system.ExecuteQuery(queries.Next(), t);
+      next_query += config.workload.tq;
+    }
+    if (observer) observer(t, system);
+  }
+  system.costs().EndMeasurement(config.horizon);
+  return CollectResult(system.costs(), system.MeanRawWidth());
+}
+
+SimResult RunExactCachingSimulation(
+    const SimConfig& config, int reevaluation_x,
+    std::vector<std::unique_ptr<UpdateStream>> streams) {
+  ExactCachingParams params;
+  params.costs = config.system.costs;
+  params.reevaluation_x = reevaluation_x;
+  params.cache_capacity = config.system.cache_capacity;
+
+  ExactCachingSystem system(params, std::move(streams));
+  QueryGenerator queries(config.workload.query, config.seed ^ 0x5eed);
+
+  if (config.warmup <= 0) system.costs().BeginMeasurement(0);
+  double next_query = config.workload.tq;
+  for (int64_t t = 1; t <= config.horizon; ++t) {
+    if (t == config.warmup) system.costs().BeginMeasurement(t);
+    system.Tick(t);
+    while (next_query <= static_cast<double>(t)) {
+      system.ExecuteQuery(queries.Next(), t);
+      next_query += config.workload.tq;
+    }
+  }
+  system.costs().EndMeasurement(config.horizon);
+  return CollectResult(system.costs(), 0.0);
+}
+
+SimResult BestExactCachingSimulation(
+    const SimConfig& config, const std::vector<int>& x_grid,
+    const std::function<std::vector<std::unique_ptr<UpdateStream>>()>&
+        make_streams,
+    int* best_x) {
+  SimResult best;
+  best.cost_rate = std::numeric_limits<double>::infinity();
+  int winner = 0;
+  for (int x : x_grid) {
+    SimResult r = RunExactCachingSimulation(config, x, make_streams());
+    if (r.cost_rate < best.cost_rate) {
+      best = r;
+      winner = x;
+    }
+  }
+  if (best_x != nullptr) *best_x = winner;
+  return best;
+}
+
+SimResult RunStaleSimulation(const StaleSimConfig& config,
+                             std::unique_ptr<StaleBoundPolicy> policy) {
+  StaleCacheSystem system(config.system, std::move(policy),
+                          config.seed ^ 0xabcd);
+  ConstraintGenerator constraints(config.constraints, config.seed ^ 0xbeef);
+  Rng rng(config.seed ^ 0xfeed);
+
+  if (config.warmup <= 0) system.costs().BeginMeasurement(0);
+  double next_read = config.tq;
+  for (int64_t t = 1; t <= config.horizon; ++t) {
+    if (t == config.warmup) system.costs().BeginMeasurement(t);
+    system.Tick(t);
+    while (next_read <= static_cast<double>(t)) {
+      std::vector<int> ids;
+      ids.reserve(static_cast<size_t>(config.group_size));
+      // Sample distinct ids for the read group; with probability
+      // hot_read_fraction a member is steered toward a bursting source.
+      while (static_cast<int>(ids.size()) < config.group_size) {
+        int id = static_cast<int>(
+            rng.UniformInt(0, config.system.num_sources - 1));
+        if (config.hot_read_fraction > 0.0 &&
+            rng.Bernoulli(config.hot_read_fraction)) {
+          for (int attempt = 0; attempt < 8 && !system.InBurst(id);
+               ++attempt) {
+            id = static_cast<int>(
+                rng.UniformInt(0, config.system.num_sources - 1));
+          }
+        }
+        bool dup = false;
+        for (int existing : ids) dup = dup || (existing == id);
+        if (!dup) ids.push_back(id);
+      }
+      system.ExecuteRead(ids, constraints.Next(), t);
+      next_read += config.tq;
+    }
+  }
+  system.costs().EndMeasurement(config.horizon);
+  return CollectResult(system.costs(), 0.0);
+}
+
+}  // namespace apc

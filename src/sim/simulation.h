@@ -1,0 +1,116 @@
+#ifndef APC_SIM_SIMULATION_H_
+#define APC_SIM_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/exact_caching.h"
+#include "baseline/stale_system.h"
+#include "cache/system.h"
+#include "data/update_stream.h"
+#include "query/query_gen.h"
+
+namespace apc {
+
+/// Query-arrival and mix configuration: one query is executed every Tq
+/// seconds (Tq < 1 executes several per tick), with kind, group and
+/// constraint chosen by QueryWorkloadParams.
+struct WorkloadConfig {
+  double tq = 1.0;
+  QueryWorkloadParams query;
+
+  bool IsValid() const { return tq > 0.0 && query.IsValid(); }
+};
+
+/// A full interval-caching simulation run (paper §4.1): horizon in
+/// one-second ticks, of which the first `warmup` are discarded from cost
+/// measurement.
+struct SimConfig {
+  int64_t horizon = 7200;
+  int64_t warmup = 600;
+  SystemConfig system;
+  WorkloadConfig workload;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return horizon > 0 && warmup >= 0 && warmup < horizon &&
+           workload.IsValid() && system.costs.IsValid();
+  }
+};
+
+/// Outcome of a run; cost_rate is the paper's Ω averaged over the measured
+/// (post-warm-up) period.
+struct SimResult {
+  double cost_rate = 0.0;
+  double pvr = 0.0;
+  double pqr = 0.0;
+  int64_t value_refreshes = 0;
+  int64_t query_refreshes = 0;
+  double total_cost = 0.0;
+  int64_t measured_ticks = 0;
+  /// Mean retained raw width across sources at the end of the run (the
+  /// convergence observable of §4.2).
+  double mean_raw_width = 0.0;
+};
+
+/// Optional per-tick hook (after updates and queries for that tick); used
+/// to record time series like the paper's Figures 4–5.
+using TickObserver = std::function<void(int64_t now, const CacheSystem&)>;
+
+/// Runs the interval-caching simulation: builds one Source per stream with
+/// a clone of `policy_prototype`, populates the cache, then alternates
+/// source updates and precision-constrained aggregate queries.
+SimResult RunIntervalSimulation(
+    const SimConfig& config,
+    std::vector<std::unique_ptr<UpdateStream>> streams,
+    const PrecisionPolicy& policy_prototype,
+    const TickObserver& observer = nullptr);
+
+/// Runs the [WJH97] exact-caching baseline on the same workload shape.
+/// Queries read every accessed value exactly; constraints are ignored.
+SimResult RunExactCachingSimulation(
+    const SimConfig& config, int reevaluation_x,
+    std::vector<std::unique_ptr<UpdateStream>> streams);
+
+/// Runs RunExactCachingSimulation for every x in `x_grid` (streams are
+/// produced fresh per run by `make_streams`) and returns the best cost
+/// rate, matching the paper's per-run tuning of x. `best_x` receives the
+/// winning setting when non-null.
+SimResult BestExactCachingSimulation(
+    const SimConfig& config, const std::vector<int>& x_grid,
+    const std::function<std::vector<std::unique_ptr<UpdateStream>>()>&
+        make_streams,
+    int* best_x = nullptr);
+
+/// Stale-value (Divergence Caching setting) simulation: every tick applies
+/// updates; every Tq seconds a read of `group_size` random values with a
+/// staleness constraint drawn from `constraints` is executed.
+struct StaleSimConfig {
+  int64_t horizon = 20000;
+  int64_t warmup = 2000;
+  StaleSystemConfig system;
+  double tq = 1.0;
+  int group_size = 10;
+  ConstraintParams constraints;
+  /// Fraction of read-group members drawn preferentially from sources
+  /// currently in a write burst ("watch the busy hosts"); the rest are
+  /// uniform. Correlates read and write load per value over time, the
+  /// regime the paper's monitoring workload lives in.
+  double hot_read_fraction = 0.0;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return horizon > 0 && warmup >= 0 && warmup < horizon && tq > 0.0 &&
+           group_size > 0 && group_size <= system.num_sources &&
+           constraints.IsValid() && system.costs.IsValid();
+  }
+};
+
+/// Runs the stale-value simulation with the given bound-setting policy.
+SimResult RunStaleSimulation(const StaleSimConfig& config,
+                             std::unique_ptr<StaleBoundPolicy> policy);
+
+}  // namespace apc
+
+#endif  // APC_SIM_SIMULATION_H_

@@ -1,0 +1,121 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace apc {
+
+namespace {
+
+std::vector<double> LinearEdges(double lo, double hi, int bins) {
+  std::vector<double> edges(static_cast<size_t>(bins) + 1);
+  for (int i = 0; i <= bins; ++i) {
+    edges[static_cast<size_t>(i)] = lo + (hi - lo) * i / bins;
+  }
+  return edges;
+}
+
+std::vector<double> LogEdges(double lo, double hi, int bins) {
+  std::vector<double> edges(static_cast<size_t>(bins) + 1);
+  double llo = std::log(lo);
+  double lhi = std::log(hi);
+  for (int i = 0; i <= bins; ++i) {
+    edges[static_cast<size_t>(i)] = std::exp(llo + (lhi - llo) * i / bins);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : Histogram(LinearEdges(lo, hi, std::max(bins, 1)), false) {}
+
+Histogram Histogram::LogSpaced(double lo, double hi, int bins) {
+  return Histogram(LogEdges(lo, hi, std::max(bins, 1)), true);
+}
+
+Histogram::Histogram(std::vector<double> edges, bool log_spaced)
+    : edges_(std::move(edges)),
+      counts_(edges_.size() - 1, 0),
+      log_spaced_(log_spaced) {}
+
+int Histogram::BinOf(double x) const {
+  if (x < edges_.front()) return -1;
+  if (x >= edges_.back()) return static_cast<int>(counts_.size());
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  return static_cast<int>(it - edges_.begin()) - 1;
+}
+
+void Histogram::Add(double x) { AddN(x, 1); }
+
+void Histogram::AddN(double x, int64_t n) {
+  if (n <= 0) return;
+  int bin = BinOf(x);
+  if (bin < 0) {
+    underflow_ += n;
+  } else if (bin >= static_cast<int>(counts_.size())) {
+    overflow_ += n;
+  } else {
+    counts_[static_cast<size_t>(bin)] += n;
+  }
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::bin_lo(int bin) const {
+  return edges_.at(static_cast<size_t>(bin));
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double running = static_cast<double>(underflow_);
+  if (target <= running) return edges_.front();
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    double next = running + static_cast<double>(counts_[bin]);
+    if (target <= next && counts_[bin] > 0) {
+      double frac = (target - running) / static_cast<double>(counts_[bin]);
+      return edges_[bin] + frac * (edges_[bin + 1] - edges_[bin]);
+    }
+    running = next;
+  }
+  return edges_.back();
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (other.edges_ != edges_ || other.log_spaced_ != log_spaced_) {
+    return false;
+  }
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    counts_[bin] += other.counts_[bin];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  if (underflow_ > 0) {
+    os << "(-inf, " << edges_.front() << ") " << underflow_ << "\n";
+  }
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (counts_[bin] == 0) continue;
+    os << "[" << edges_[bin] << ", " << edges_[bin + 1] << ") "
+       << counts_[bin] << "\n";
+  }
+  if (overflow_ > 0) {
+    os << "[" << edges_.back() << ", +inf) " << overflow_ << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace apc

@@ -1,0 +1,66 @@
+#ifndef APC_STATS_HISTOGRAM_H_
+#define APC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apc {
+
+/// Fixed-bin histogram with approximate quantiles, used to report width
+/// and cost distributions in the benches (e.g. the spread of converged
+/// interval widths across sources). Supports linear or logarithmic bin
+/// spacing; samples outside [lo, hi) land in underflow/overflow bins that
+/// participate in counts and quantiles (clamped to the range edges).
+class Histogram {
+ public:
+  /// Linear bins over [lo, hi). Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, int bins);
+
+  /// Log-spaced bins over [lo, hi); requires 0 < lo < hi.
+  static Histogram LogSpaced(double lo, double hi, int bins);
+
+  void Add(double x);
+  /// Adds `n` occurrences of x (bulk accounting).
+  void AddN(double x, int64_t n);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t bin_count(int bin) const {
+    return counts_.at(static_cast<size_t>(bin));
+  }
+  /// Inclusive lower edge of `bin`.
+  double bin_lo(int bin) const;
+  double bin_hi(int bin) const { return bin_lo(bin + 1); }
+
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation within
+  /// the containing bin. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merges a histogram with identical bin layout; mismatched layouts are
+  /// ignored (returns false).
+  bool Merge(const Histogram& other);
+
+  /// One line per nonempty bin: "[lo, hi) count".
+  std::string ToString() const;
+
+ private:
+  Histogram(std::vector<double> edges, bool log_spaced);
+
+  int BinOf(double x) const;
+
+  std::vector<double> edges_;  // bins+1 edges, ascending
+  std::vector<int64_t> counts_;
+  bool log_spaced_;
+  int64_t count_ = 0;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace apc
+
+#endif  // APC_STATS_HISTOGRAM_H_

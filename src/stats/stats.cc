@@ -1,0 +1,57 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apc {
+
+void SummaryStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double SummaryStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double SummaryStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double nn = static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / nn;
+  mean_ += delta * nb / nn;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double SeriesRecorder::Mean() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points_) sum += p.value;
+  return sum / static_cast<double>(points_.size());
+}
+
+}  // namespace apc

@@ -1,0 +1,59 @@
+#ifndef APC_STATS_STATS_H_
+#define APC_STATS_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apc {
+
+/// Streaming summary statistics (Welford's algorithm): numerically stable
+/// mean/variance without storing samples.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merges another summary into this one (parallel-sweep aggregation).
+  void Merge(const SummaryStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A recorded (time, value) series, e.g. the source value and interval
+/// endpoints plotted in the paper's Figures 4 and 5.
+struct SeriesPoint {
+  int64_t time = 0;
+  double value = 0.0;
+};
+
+/// Append-only recorder for time series produced during a simulation run.
+class SeriesRecorder {
+ public:
+  void Record(int64_t time, double value) { points_.push_back({time, value}); }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  /// Mean of the recorded values (0 when empty).
+  double Mean() const;
+
+ private:
+  std::vector<SeriesPoint> points_;
+};
+
+}  // namespace apc
+
+#endif  // APC_STATS_STATS_H_

@@ -1,0 +1,103 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace apc {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("expected --name[=value], got '" + arg +
+                                     "'");
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value = "true";
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    if (values_.count(name) == 0) order_.push_back(name);
+    values_[name] = value;
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+Result<std::string> FlagParser::GetString(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return Status::NotFound("flag --" + name + " not set");
+  }
+  return it->second;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name) const {
+  Result<std::string> raw = GetString(name);
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  if (text == "inf") return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + "=" + text +
+                                   " is not a number");
+  }
+  return v;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name) const {
+  Result<std::string> raw = GetString(name);
+  if (!raw.ok()) return raw.status();
+  const std::string& text = raw.value();
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + "=" + text +
+                                   " is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> FlagParser::GetDoubleOr(const std::string& name,
+                                       double fallback) const {
+  if (!Has(name)) return fallback;
+  return GetDouble(name);
+}
+
+Result<int64_t> FlagParser::GetIntOr(const std::string& name,
+                                     int64_t fallback) const {
+  if (!Has(name)) return fallback;
+  return GetInt(name);
+}
+
+std::string FlagParser::GetStringOr(const std::string& name,
+                                    const std::string& fallback) const {
+  Result<std::string> raw = GetString(name);
+  return raw.ok() ? raw.value() : fallback;
+}
+
+Result<bool> FlagParser::GetBoolOr(const std::string& name,
+                                   bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  if (text == "true" || text == "1") return true;
+  if (text == "false" || text == "0") return false;
+  return Status::InvalidArgument("--" + name + "=" + text +
+                                 " is not a boolean");
+}
+
+}  // namespace apc

@@ -1,0 +1,48 @@
+#ifndef APC_UTIL_FLAGS_H_
+#define APC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace apc {
+
+/// Minimal command-line flag parser for the repository's executables.
+/// Accepts `--name=value` and bare boolean `--name`; anything else is an
+/// error. No global state: each binary owns its parser.
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). Returns InvalidArgument on a malformed or
+  /// positional argument; on error the parser's state is unspecified.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed access. The Get* forms fail with InvalidArgument when the flag
+  /// is present but unparsable, NotFound when absent; the *Or forms
+  /// substitute `fallback` when the flag is absent but still surface parse
+  /// errors via their Result.
+  Result<double> GetDouble(const std::string& name) const;
+  Result<int64_t> GetInt(const std::string& name) const;
+  Result<std::string> GetString(const std::string& name) const;
+
+  Result<double> GetDoubleOr(const std::string& name, double fallback) const;
+  Result<int64_t> GetIntOr(const std::string& name, int64_t fallback) const;
+  std::string GetStringOr(const std::string& name,
+                          const std::string& fallback) const;
+  /// Bare `--name` and `--name=true/1` are true; `--name=false/0` false.
+  Result<bool> GetBoolOr(const std::string& name, bool fallback) const;
+
+  /// Flags in parse order (for --help style listings).
+  const std::vector<std::string>& names() const { return order_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace apc
+
+#endif  // APC_UTIL_FLAGS_H_

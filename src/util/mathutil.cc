@@ -1,0 +1,19 @@
+#include "util/mathutil.h"
+
+#include <algorithm>
+
+namespace apc {
+
+bool ApproxEqual(double a, double b, double abs_tol, double rel_tol) {
+  if (a == b) return true;  // handles equal infinities
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  double diff = std::fabs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+double RelativeError(double measured, double reference) {
+  if (reference == 0.0) return std::fabs(measured);
+  return std::fabs(measured - reference) / std::fabs(reference);
+}
+
+}  // namespace apc

@@ -1,0 +1,27 @@
+#ifndef APC_UTIL_MATHUTIL_H_
+#define APC_UTIL_MATHUTIL_H_
+
+#include <cmath>
+#include <limits>
+
+namespace apc {
+
+/// Positive infinity; the width of an interval that conveys no information
+/// (precision zero) and the sentinel for "effectively uncached".
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Returns true when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+/// Infinities compare equal to themselves.
+bool ApproxEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// Relative error |measured - reference| / |reference|; returns absolute
+/// error when the reference is zero.
+double RelativeError(double measured, double reference);
+
+/// True for finite, non-NaN values.
+inline bool IsFinite(double x) { return std::isfinite(x); }
+
+}  // namespace apc
+
+#endif  // APC_UTIL_MATHUTIL_H_

@@ -1,0 +1,54 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apc {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::Pareto(double alpha, double xm) {
+  // Inverse-CDF sampling: X = xm / U^{1/alpha}. Guard against U == 0, which
+  // uniform_real_distribution can in principle return.
+  double u = Uniform(0.0, 1.0);
+  if (u <= 0.0) u = 1e-300;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  // splitmix64 finalizer over the next raw draw decorrelates the child
+  // stream from the parent's subsequent output.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace apc

@@ -1,0 +1,49 @@
+#ifndef APC_UTIL_RNG_H_
+#define APC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace apc {
+
+/// Deterministic pseudo-random source used throughout the library. Every
+/// stochastic component receives an Rng (or a seed) explicitly so that
+/// simulations, tests and benchmarks are exactly reproducible; there is no
+/// global random state anywhere in the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns true with probability p (p outside [0,1] is clamped).
+  bool Bernoulli(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Pareto with shape `alpha` and minimum `xm`: heavy-tailed durations used
+  /// by the synthetic self-similar traffic generator.
+  double Pareto(double alpha, double xm);
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean, double stddev);
+
+  /// Raw 64-bit draw; useful for deriving independent child seeds.
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Derives a child Rng whose stream is independent of subsequent draws
+  /// from this one (splitmix-style mixing of the next raw draw).
+  Rng Fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace apc
+
+#endif  // APC_UTIL_RNG_H_

@@ -1,0 +1,261 @@
+#include "core/adaptive_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apc {
+namespace {
+
+AdaptivePolicyParams BaseParams() {
+  AdaptivePolicyParams p;
+  p.cvr = 1.0;
+  p.cqr = 2.0;  // theta = 2*1/2 = 1
+  p.alpha = 1.0;
+  p.initial_width = 8.0;
+  return p;
+}
+
+RefreshContext ValueRefresh() {
+  return {RefreshType::kValueInitiated, true, 0};
+}
+RefreshContext QueryRefresh() {
+  return {RefreshType::kQueryInitiated, false, 0};
+}
+
+TEST(AdaptivePolicyParamsTest, ThetaFormula) {
+  AdaptivePolicyParams p = BaseParams();
+  EXPECT_DOUBLE_EQ(p.Theta(), 1.0);
+  p.cvr = 4.0;
+  EXPECT_DOUBLE_EQ(p.Theta(), 4.0);
+  p.theta_multiplier = 1.0;  // stale-value specialization
+  EXPECT_DOUBLE_EQ(p.Theta(), 2.0);
+}
+
+TEST(AdaptivePolicyParamsTest, Validation) {
+  EXPECT_TRUE(BaseParams().IsValid());
+  AdaptivePolicyParams p = BaseParams();
+  p.cvr = 0.0;
+  EXPECT_FALSE(p.IsValid());
+  p = BaseParams();
+  p.alpha = -0.1;
+  EXPECT_FALSE(p.IsValid());
+  p = BaseParams();
+  p.delta1 = 1.0;
+  p.delta0 = 2.0;  // delta1 < delta0
+  EXPECT_FALSE(p.IsValid());
+  p = BaseParams();
+  p.initial_width = 0.0;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(AdaptivePolicyTest, ThetaOneAlwaysAdjusts) {
+  // theta = 1: both adjustment probabilities are 1, so every refresh
+  // deterministically doubles or halves the width (alpha = 1).
+  AdaptivePolicy policy(BaseParams(), 1);
+  EXPECT_DOUBLE_EQ(policy.GrowProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.ShrinkProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, ValueRefresh()), 16.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, QueryRefresh()), 4.0);
+}
+
+TEST(AdaptivePolicyTest, AlphaControlsMagnitude) {
+  AdaptivePolicyParams p = BaseParams();
+  p.alpha = 0.5;
+  AdaptivePolicy policy(p, 1);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, ValueRefresh()), 12.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(12.0, QueryRefresh()), 8.0);
+}
+
+TEST(AdaptivePolicyTest, AlphaZeroFreezesWidth) {
+  AdaptivePolicyParams p = BaseParams();
+  p.alpha = 0.0;
+  AdaptivePolicy policy(p, 1);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, ValueRefresh()), 8.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, QueryRefresh()), 8.0);
+}
+
+TEST(AdaptivePolicyTest, ThetaAboveOneAlwaysGrowsSometimesShrinks) {
+  AdaptivePolicyParams p = BaseParams();
+  p.cvr = 4.0;  // theta = 4
+  AdaptivePolicy policy(p, 99);
+  EXPECT_DOUBLE_EQ(policy.GrowProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.ShrinkProbability(), 0.25);
+
+  // Growth is deterministic.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, ValueRefresh()), 16.0);
+  }
+  // Shrinks happen at roughly rate 1/theta.
+  int shrinks = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.NextWidth(8.0, QueryRefresh()) < 8.0) ++shrinks;
+  }
+  EXPECT_NEAR(static_cast<double>(shrinks) / n, 0.25, 0.02);
+}
+
+TEST(AdaptivePolicyTest, ThetaBelowOneAlwaysShrinksSometimesGrows) {
+  AdaptivePolicyParams p = BaseParams();
+  p.cvr = 0.5;  // theta = 0.5
+  AdaptivePolicy policy(p, 99);
+  EXPECT_DOUBLE_EQ(policy.GrowProbability(), 0.5);
+  EXPECT_DOUBLE_EQ(policy.ShrinkProbability(), 1.0);
+
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, QueryRefresh()), 4.0);
+  }
+  int grows = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.NextWidth(8.0, ValueRefresh()) > 8.0) ++grows;
+  }
+  EXPECT_NEAR(static_cast<double>(grows) / n, 0.5, 0.02);
+}
+
+TEST(AdaptivePolicyTest, ThresholdSnapping) {
+  AdaptivePolicyParams p = BaseParams();
+  p.delta0 = 1.0;
+  p.delta1 = 100.0;
+  AdaptivePolicy policy(p, 1);
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(0.5), 0.0);     // below delta0
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(1.0), 1.0);     // at delta0: kept
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(50.0), 50.0);   // in between
+  EXPECT_EQ(policy.EffectiveWidth(100.0), kInfinity);    // at delta1
+  EXPECT_EQ(policy.EffectiveWidth(1e6), kInfinity);
+}
+
+TEST(AdaptivePolicyTest, Delta1EqualsDelta0IsExactOrNothing) {
+  AdaptivePolicyParams p = BaseParams();
+  p.delta0 = 1e3;
+  p.delta1 = 1e3;
+  AdaptivePolicy policy(p, 1);
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(999.0), 0.0);
+  EXPECT_EQ(policy.EffectiveWidth(1000.0), kInfinity);
+}
+
+TEST(AdaptivePolicyTest, RawWidthRetainedAcrossThresholds) {
+  // The raw width keeps adjusting below delta0 / above delta1 (the paper:
+  // the source "still retains the original width").
+  AdaptivePolicyParams p = BaseParams();
+  p.delta0 = 4.0;
+  AdaptivePolicy policy(p, 1);
+  double raw = 2.0;  // effective width 0 (exact copy)
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(raw), 0.0);
+  raw = policy.NextWidth(raw, ValueRefresh());
+  EXPECT_DOUBLE_EQ(raw, 4.0);  // grew from the retained 2.0, not from 0
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(raw), 4.0);
+}
+
+TEST(AdaptivePolicyTest, MakeApproxSnapsToExact) {
+  AdaptivePolicyParams p = BaseParams();
+  p.delta0 = 4.0;
+  AdaptivePolicy policy(p, 1);
+  CachedApprox approx = policy.MakeApprox(10.0, 2.0, 0);
+  EXPECT_TRUE(approx.base.IsExact());
+  EXPECT_TRUE(approx.base.Contains(10.0));
+}
+
+TEST(AdaptivePolicyTest, MakeApproxSnapsToUnbounded) {
+  AdaptivePolicyParams p = BaseParams();
+  p.delta1 = 16.0;
+  AdaptivePolicy policy(p, 1);
+  CachedApprox approx = policy.MakeApprox(10.0, 20.0, 0);
+  EXPECT_TRUE(approx.base.IsUnbounded());
+}
+
+TEST(AdaptivePolicyTest, WidthNeverUnderflowsToZero) {
+  AdaptivePolicy policy(BaseParams(), 1);
+  double w = 1.0;
+  for (int i = 0; i < 5000; ++i) w = policy.NextWidth(w, QueryRefresh());
+  EXPECT_GT(w, 0.0);
+  // And it can recover.
+  for (int i = 0; i < 5000; ++i) w = policy.NextWidth(w, ValueRefresh());
+  EXPECT_GT(w, 1.0);
+  EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(AdaptivePolicyTest, WidthNeverOverflowsToInfinity) {
+  AdaptivePolicy policy(BaseParams(), 1);
+  double w = 1.0;
+  for (int i = 0; i < 5000; ++i) w = policy.NextWidth(w, ValueRefresh());
+  EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(AdaptivePolicyTest, CloneForksIndependentStream) {
+  AdaptivePolicyParams p = BaseParams();
+  p.cvr = 4.0;  // theta = 4 so shrink decisions are random
+  AdaptivePolicy policy(p, 7);
+  auto clone = policy.Clone();
+  // Clone has the same parameters.
+  EXPECT_DOUBLE_EQ(clone->InitialWidth(), p.initial_width);
+  // Streams diverge: run both and check they do not mirror each other
+  // exactly (probability of full agreement over 64 random decisions ~0).
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) {
+    double a = policy.NextWidth(8.0, QueryRefresh());
+    double b = clone->NextWidth(8.0, QueryRefresh());
+    if (a == b) ++agreements;
+  }
+  EXPECT_LT(agreements, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the stationary balance of the width process. For theta=1,
+// equal numbers of value- and query-initiated refreshes leave the width
+// unchanged in expectation (multiplicative symmetric walk).
+// ---------------------------------------------------------------------------
+
+class AdaptivePolicyThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptivePolicyThetaTest, AdjustmentProbabilitiesMatchTheta) {
+  AdaptivePolicyParams p = BaseParams();
+  p.cqr = 2.0;
+  p.cvr = GetParam();  // theta = cvr with cqr=2
+  AdaptivePolicy policy(p, 1234);
+  double theta = p.Theta();
+
+  const int n = 40000;
+  int grows = 0, shrinks = 0;
+  for (int i = 0; i < n; ++i) {
+    if (policy.NextWidth(8.0, ValueRefresh()) > 8.0) ++grows;
+    if (policy.NextWidth(8.0, QueryRefresh()) < 8.0) ++shrinks;
+  }
+  EXPECT_NEAR(static_cast<double>(grows) / n, std::min(theta, 1.0), 0.02);
+  EXPECT_NEAR(static_cast<double>(shrinks) / n, std::min(1.0 / theta, 1.0),
+              0.02);
+}
+
+TEST_P(AdaptivePolicyThetaTest, ExpectedDriftBalancesAtTheta) {
+  // In the stationary regime the algorithm equalizes theta*Pvr = Pqr. Feed
+  // the policy refreshes in exactly that ratio and verify the log-width
+  // drift is ~0: grows happen with probability min(theta,1) on a fraction
+  // pvr of events, shrinks with min(1/theta,1) on pqr of events, and
+  // theta*pvr = pqr makes expected grow count == expected shrink count.
+  AdaptivePolicyParams p = BaseParams();
+  p.cqr = 2.0;
+  p.cvr = GetParam();
+  AdaptivePolicy policy(p, 99);
+  double theta = p.Theta();
+  double pvr = 1.0 / (1.0 + theta);  // so pqr = theta*pvr, pvr+pqr=1
+  Rng rng(5);
+
+  double log_w = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    bool is_value = rng.Bernoulli(pvr);
+    double w0 = 8.0;
+    double w1 = policy.NextWidth(
+        w0, is_value ? ValueRefresh() : QueryRefresh());
+    log_w += std::log(w1 / w0);
+  }
+  // Mean drift per event should be close to zero relative to the step
+  // magnitude log(2).
+  EXPECT_NEAR(log_w / n, 0.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, AdaptivePolicyThetaTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace apc

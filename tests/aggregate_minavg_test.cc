@@ -1,0 +1,166 @@
+// Tests for the MIN and AVG bounded aggregates that round out the paper's
+// SUM/MAX workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/aggregate.h"
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+std::vector<QueryItem> Items(std::initializer_list<Interval> intervals) {
+  std::vector<QueryItem> items;
+  int id = 0;
+  for (const Interval& iv : intervals) items.push_back({id++, iv});
+  return items;
+}
+
+TEST(MinIntervalTest, TakesMinOfEndpoints) {
+  auto items = Items({Interval(0, 5), Interval(3, 4), Interval(-10, 2)});
+  Interval m = MinInterval(items);
+  EXPECT_DOUBLE_EQ(m.lo(), -10.0);
+  EXPECT_DOUBLE_EQ(m.hi(), 2.0);
+}
+
+TEST(MinIntervalTest, EmptyIsZero) {
+  EXPECT_EQ(MinInterval({}), Interval(0, 0));
+}
+
+TEST(AvgIntervalTest, ScalesSumByCount) {
+  auto items = Items({Interval(0, 4), Interval(2, 6)});
+  Interval a = AvgInterval(items);
+  EXPECT_DOUBLE_EQ(a.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(a.hi(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Width(), 4.0);  // (4 + 4) / 2
+}
+
+TEST(AvgIntervalTest, EmptyIsZero) {
+  EXPECT_EQ(AvgInterval({}), Interval(0, 0));
+}
+
+TEST(MinSelectionTest, NoCandidateWhenConstraintMet) {
+  auto items = Items({Interval(0, 5), Interval(3, 4)});
+  // MIN interval is [0, 4]: width 4.
+  EXPECT_EQ(NextMinRefreshCandidate(items, 4.0), -1);
+  EXPECT_EQ(NextMinRefreshCandidate(items, 3.0), 0);
+}
+
+TEST(MinSelectionTest, PicksSmallestLowerEndpoint) {
+  auto items = Items({Interval(0, 5), Interval(-3, 9), Interval(1, 2)});
+  EXPECT_EQ(NextMinRefreshCandidate(items, 1.0), 1);
+}
+
+TEST(MinSelectionTest, DominatedItemsNeverChosen) {
+  // Item 1's lo (4) is above min_hi (2): it cannot be the minimum.
+  auto items = Items({Interval(0, 2), Interval(4, 9), Interval(-1, 3)});
+  std::vector<int> refreshed;
+  int idx;
+  while ((idx = NextMinRefreshCandidate(items, 0.0)) >= 0) {
+    refreshed.push_back(idx);
+    auto& item = items[static_cast<size_t>(idx)];
+    item.interval = Interval::Exact(item.interval.Center());
+    ASSERT_LE(refreshed.size(), items.size());
+  }
+  EXPECT_TRUE(std::find(refreshed.begin(), refreshed.end(), 1) ==
+              refreshed.end());
+  EXPECT_DOUBLE_EQ(MinInterval(items).Width(), 0.0);
+}
+
+TEST(MinSelectionTest, AllExactReturnsMinusOne) {
+  auto items = Items({Interval::Exact(1.0), Interval::Exact(5.0)});
+  EXPECT_EQ(NextMinRefreshCandidate(items, 0.0), -1);
+}
+
+TEST(AvgSelectionTest, ScalesConstraintByCount) {
+  // Widths 2, 8, 4 -> AVG width (14)/3. An AVG constraint of 7/3 equals a
+  // SUM constraint of 7: refresh only the widest item.
+  auto items = Items({Interval(0, 2), Interval(0, 8), Interval(0, 4)});
+  auto sel = AvgRefreshSelection(items, 7.0 / 3.0);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 1u);
+}
+
+TEST(AvgSelectionTest, EmptyWhenMet) {
+  auto items = Items({Interval(0, 2), Interval(0, 4)});
+  EXPECT_TRUE(AvgRefreshSelection(items, 3.0).empty());
+}
+
+class MinAvgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinAvgPropertyTest, MinProtocolMeetsConstraintAndContainsTruth) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<QueryItem> items;
+    std::vector<double> exact;
+    int n = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      double v = rng.Uniform(-100, 100);
+      exact.push_back(v);
+      items.push_back({i, Interval::Centered(v, rng.Uniform(0, 20))});
+    }
+    double constraint = rng.Uniform(0, 10);
+    int idx;
+    int rounds = 0;
+    while ((idx = NextMinRefreshCandidate(items, constraint)) >= 0) {
+      items[static_cast<size_t>(idx)].interval =
+          Interval::Exact(exact[static_cast<size_t>(idx)]);
+      ASSERT_LE(++rounds, n);
+    }
+    Interval result = MinInterval(items);
+    EXPECT_LE(result.Width(), constraint + 1e-9);
+    EXPECT_TRUE(
+        result.Contains(*std::min_element(exact.begin(), exact.end())));
+  }
+}
+
+TEST_P(MinAvgPropertyTest, MinIsMirrorOfMaxOnNegatedData) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<QueryItem> items, negated;
+    int n = static_cast<int>(rng.UniformInt(1, 10));
+    for (int i = 0; i < n; ++i) {
+      double center = rng.Uniform(-50, 50);
+      double width = rng.Uniform(0, 10);
+      items.push_back({i, Interval::Centered(center, width)});
+      negated.push_back({i, Interval::Centered(-center, width)});
+    }
+    Interval min_iv = MinInterval(items);
+    Interval max_iv = MaxInterval(negated);
+    EXPECT_NEAR(min_iv.lo(), -max_iv.hi(), 1e-9);
+    EXPECT_NEAR(min_iv.hi(), -max_iv.lo(), 1e-9);
+    // Candidate choice mirrors as well.
+    EXPECT_EQ(NextMinRefreshCandidate(items, 1.0),
+              NextMaxRefreshCandidate(negated, 1.0));
+  }
+}
+
+TEST_P(MinAvgPropertyTest, AvgSelectionGuaranteesConstraint) {
+  Rng rng(GetParam() ^ 0xa7a7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<QueryItem> items;
+    std::vector<double> exact;
+    int n = static_cast<int>(rng.UniformInt(1, 12));
+    double true_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double v = rng.Uniform(-100, 100);
+      exact.push_back(v);
+      true_sum += v;
+      items.push_back({i, Interval::Centered(v, rng.Uniform(0, 20))});
+    }
+    double constraint = rng.Uniform(0, 5);
+    for (size_t idx : AvgRefreshSelection(items, constraint)) {
+      items[idx].interval = Interval::Exact(exact[idx]);
+    }
+    Interval result = AvgInterval(items);
+    EXPECT_LE(result.Width(), constraint + 1e-9);
+    EXPECT_TRUE(result.Contains(true_sum / n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinAvgPropertyTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace apc

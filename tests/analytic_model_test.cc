@@ -1,0 +1,144 @@
+#include "core/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace apc {
+namespace {
+
+IntervalCostModel PaperFig2Model() {
+  // Figure 2 of the paper: K1 = 1, K2 = 1/200, theta = 1.
+  IntervalCostModel m;
+  m.k1 = 1.0;
+  m.k2 = 1.0 / 200.0;
+  m.cvr = 1.0;
+  m.cqr = 2.0;
+  return m;
+}
+
+TEST(IntervalCostModelTest, RefreshProbabilityShapes) {
+  IntervalCostModel m = PaperFig2Model();
+  // Pvr falls as 1/W^2; Pqr rises linearly.
+  EXPECT_DOUBLE_EQ(m.Pvr(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(m.Pvr(4.0), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(m.Pqr(10.0), 10.0 / 200.0);
+  EXPECT_DOUBLE_EQ(m.Pqr(20.0), 2.0 * m.Pqr(10.0));
+}
+
+TEST(IntervalCostModelTest, ProbabilitiesClampToOne) {
+  IntervalCostModel m = PaperFig2Model();
+  EXPECT_DOUBLE_EQ(m.Pvr(0.1), 1.0);   // 1/0.01 = 100 -> clamp
+  EXPECT_DOUBLE_EQ(m.Pvr(0.0), 1.0);   // zero width: every update escapes
+  EXPECT_DOUBLE_EQ(m.Pqr(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(m.Pvr(kInfinity), 0.0);
+}
+
+TEST(IntervalCostModelTest, OptimalWidthClosedForm) {
+  IntervalCostModel m = PaperFig2Model();
+  // W* = (theta*K1/K2)^(1/3) = (1*200)^(1/3).
+  EXPECT_NEAR(m.OptimalWidth(), std::cbrt(200.0), 1e-12);
+}
+
+TEST(IntervalCostModelTest, OptimumIsArgminOfCostRate) {
+  IntervalCostModel m = PaperFig2Model();
+  double wstar = m.OptimalWidth();
+  double at_opt = m.CostRate(wstar);
+  for (double w = 1.0; w <= 20.0; w += 0.25) {
+    EXPECT_GE(m.CostRate(w), at_opt - 1e-12) << "w=" << w;
+  }
+}
+
+TEST(IntervalCostModelTest, BalanceCoincidesWithOptimum) {
+  IntervalCostModel m = PaperFig2Model();
+  double w = m.BalanceWidth();
+  EXPECT_NEAR(w, m.OptimalWidth(), 1e-12);
+  // At W*, theta*Pvr == Pqr (the paper's key observation).
+  EXPECT_NEAR(m.Theta() * m.Pvr(w), m.Pqr(w), 1e-12);
+}
+
+TEST(IntervalCostModelTest, ThetaShiftsOptimumUp) {
+  IntervalCostModel m1 = PaperFig2Model();   // theta = 1
+  IntervalCostModel m4 = PaperFig2Model();
+  m4.cvr = 4.0;                              // theta = 4
+  EXPECT_GT(m4.OptimalWidth(), m1.OptimalWidth());
+  EXPECT_NEAR(m4.OptimalWidth() / m1.OptimalWidth(), std::cbrt(4.0), 1e-12);
+}
+
+TEST(IntervalCostModelTest, FromWorkloadMatchesAppendixA) {
+  // Pqr = W/(Tq*delta_max); Pvr uses the Chebyshev bound (2s/W)^2.
+  IntervalCostModel m = IntervalCostModel::FromWorkload(
+      /*step=*/1.0, /*tq=*/2.0, /*delta_max=*/40.0, /*cvr=*/1.0,
+      /*cqr=*/2.0);
+  EXPECT_DOUBLE_EQ(m.k1, 4.0);
+  EXPECT_DOUBLE_EQ(m.k2, 1.0 / 80.0);
+  EXPECT_DOUBLE_EQ(m.Pqr(8.0), 0.1);
+  EXPECT_DOUBLE_EQ(m.Pvr(4.0), 0.25);
+}
+
+TEST(StaleCostModelTest, LinearPvrAndSqrtOptimum) {
+  StaleCostModel m;
+  m.k1 = 1.0;
+  m.k2 = 0.01;
+  m.cvr = 1.0;
+  m.cqr = 2.0;  // theta' = 0.5
+  EXPECT_DOUBLE_EQ(m.Pvr(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(m.Pqr(4.0), 0.04);
+  EXPECT_NEAR(m.OptimalBound(), std::sqrt(0.5 * 1.0 / 0.01), 1e-12);
+}
+
+TEST(StaleCostModelTest, OptimumIsArgmin) {
+  StaleCostModel m;
+  m.k1 = 2.0;
+  m.k2 = 0.05;
+  m.cvr = 1.0;
+  m.cqr = 2.0;
+  double gstar = m.OptimalBound();
+  double at_opt = m.CostRate(gstar);
+  for (double g = 0.5; g <= 40.0; g += 0.5) {
+    EXPECT_GE(m.CostRate(g), at_opt - 1e-12) << "g=" << g;
+  }
+}
+
+TEST(SweepModelTest, ProducesRequestedGrid) {
+  IntervalCostModel m = PaperFig2Model();
+  auto curve = SweepModel(m, 2.0, 20.0, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  EXPECT_DOUBLE_EQ(curve.front().width, 2.0);
+  EXPECT_DOUBLE_EQ(curve.back().width, 20.0);
+  for (const auto& pt : curve) {
+    EXPECT_DOUBLE_EQ(pt.pvr, m.Pvr(pt.width));
+    EXPECT_DOUBLE_EQ(pt.pqr, m.Pqr(pt.width));
+    EXPECT_DOUBLE_EQ(pt.cost_rate, m.CostRate(pt.width));
+  }
+}
+
+TEST(SweepModelTest, EdgeCases) {
+  IntervalCostModel m = PaperFig2Model();
+  EXPECT_TRUE(SweepModel(m, 1.0, 10.0, 0).empty());
+  EXPECT_TRUE(SweepModel(m, 10.0, 1.0, 5).empty());
+  auto single = SweepModel(m, 3.0, 3.0, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].width, 3.0);
+}
+
+TEST(SweepModelTest, CurveIsUnimodalAroundOptimum) {
+  IntervalCostModel m = PaperFig2Model();
+  auto curve = SweepModel(m, 1.0, 20.0, 191);
+  double wstar = m.OptimalWidth();
+  // Strictly decreasing before W*, strictly increasing after (allowing a
+  // small numeric slack).
+  for (size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].width < wstar) {
+      EXPECT_LT(curve[i].cost_rate, curve[i - 1].cost_rate + 1e-12);
+    }
+    if (curve[i - 1].width > wstar) {
+      EXPECT_GT(curve[i].cost_rate, curve[i - 1].cost_rate - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apc

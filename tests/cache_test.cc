@@ -1,0 +1,114 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+CachedApprox Approx(double center, double width) {
+  CachedApprox a;
+  a.base = Interval::Centered(center, width);
+  return a;
+}
+
+TEST(CacheTest, FindOnEmptyReturnsNull) {
+  Cache cache(4);
+  EXPECT_EQ(cache.Find(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.WidestId(), -1);
+}
+
+TEST(CacheTest, OfferInsertsBelowCapacity) {
+  Cache cache(2);
+  EXPECT_TRUE(cache.Offer(1, Approx(0, 2), 2.0));
+  EXPECT_TRUE(cache.Offer(2, Approx(0, 4), 4.0));
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Find(1), nullptr);
+  EXPECT_DOUBLE_EQ(cache.Find(1)->raw_width, 2.0);
+}
+
+TEST(CacheTest, OfferReplacesExistingEntry) {
+  Cache cache(1);
+  cache.Offer(1, Approx(0, 2), 2.0);
+  EXPECT_TRUE(cache.Offer(1, Approx(5, 6), 6.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.Find(1)->raw_width, 6.0);
+  EXPECT_DOUBLE_EQ(cache.Find(1)->approx.base.Center(), 5.0);
+}
+
+TEST(CacheTest, EvictsWidestWhenFull) {
+  Cache cache(2);
+  cache.Offer(1, Approx(0, 10), 10.0);
+  cache.Offer(2, Approx(0, 2), 2.0);
+  // Offer a narrower entry: the widest (id 1) is evicted.
+  EXPECT_TRUE(cache.Offer(3, Approx(0, 5), 5.0));
+  EXPECT_EQ(cache.Find(1), nullptr);
+  EXPECT_NE(cache.Find(2), nullptr);
+  EXPECT_NE(cache.Find(3), nullptr);
+}
+
+TEST(CacheTest, RejectsOfferWiderThanAllResidents) {
+  Cache cache(2);
+  cache.Offer(1, Approx(0, 3), 3.0);
+  cache.Offer(2, Approx(0, 2), 2.0);
+  EXPECT_FALSE(cache.Offer(3, Approx(0, 9), 9.0));
+  EXPECT_EQ(cache.Find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CacheTest, TieKeepsIncumbent) {
+  Cache cache(1);
+  cache.Offer(1, Approx(0, 5), 5.0);
+  EXPECT_FALSE(cache.Offer(2, Approx(0, 5), 5.0));
+  EXPECT_NE(cache.Find(1), nullptr);
+}
+
+TEST(CacheTest, EvictionUsesRawWidthNotEffectiveWidth) {
+  // An entry snapped to an exact copy (effective width 0) but with a large
+  // retained raw width must still be the eviction victim.
+  Cache cache(2);
+  CachedApprox snapped;
+  snapped.base = Interval::Exact(1.0);  // effective width 0
+  cache.Offer(1, snapped, /*raw_width=*/100.0);
+  cache.Offer(2, Approx(0, 2), 2.0);
+  EXPECT_TRUE(cache.Offer(3, Approx(0, 5), 5.0));
+  EXPECT_EQ(cache.Find(1), nullptr) << "raw-widest entry should be evicted";
+}
+
+TEST(CacheTest, ZeroCapacityNeverStores) {
+  Cache cache(0);
+  EXPECT_FALSE(cache.Offer(1, Approx(0, 1), 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheTest, EraseRemoves) {
+  Cache cache(2);
+  cache.Offer(1, Approx(0, 1), 1.0);
+  cache.Erase(1);
+  EXPECT_EQ(cache.Find(1), nullptr);
+  cache.Erase(99);  // no-op
+}
+
+TEST(CacheTest, WidestIdTracksMaximum) {
+  Cache cache(3);
+  cache.Offer(1, Approx(0, 1), 1.0);
+  cache.Offer(2, Approx(0, 7), 7.0);
+  cache.Offer(3, Approx(0, 3), 3.0);
+  EXPECT_EQ(cache.WidestId(), 2);
+  cache.Offer(2, Approx(0, 0.5), 0.5);  // replaced with narrow
+  EXPECT_EQ(cache.WidestId(), 3);
+}
+
+TEST(CacheTest, ReofferAfterRejectionWithNarrowerWidthSucceeds) {
+  // The paper: a rejected (uncached) approximation whose next refresh
+  // shrinks it may be cached, evicting another.
+  Cache cache(1);
+  cache.Offer(1, Approx(0, 5), 5.0);
+  EXPECT_FALSE(cache.Offer(2, Approx(0, 9), 9.0));
+  EXPECT_TRUE(cache.Offer(2, Approx(0, 4), 4.0));
+  EXPECT_EQ(cache.Find(1), nullptr);
+  EXPECT_NE(cache.Find(2), nullptr);
+}
+
+}  // namespace
+}  // namespace apc

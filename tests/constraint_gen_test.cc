@@ -1,0 +1,98 @@
+#include "query/constraint_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(ConstraintParamsTest, RangeEndpoints) {
+  ConstraintParams p;
+  p.avg = 100.0;
+  p.rho = 0.5;
+  EXPECT_DOUBLE_EQ(p.Min(), 50.0);
+  EXPECT_DOUBLE_EQ(p.Max(), 150.0);
+}
+
+TEST(ConstraintParamsTest, RhoOneSpansFromZero) {
+  ConstraintParams p;
+  p.avg = 20.0;
+  p.rho = 1.0;
+  EXPECT_DOUBLE_EQ(p.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.Max(), 40.0);
+}
+
+TEST(ConstraintParamsTest, Validation) {
+  ConstraintParams p;
+  EXPECT_TRUE(p.IsValid());
+  p.avg = -1.0;
+  EXPECT_FALSE(p.IsValid());
+  p = ConstraintParams();
+  p.rho = 1.5;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(ConstraintGeneratorTest, SamplesWithinRange) {
+  ConstraintParams p;
+  p.avg = 100.0;
+  p.rho = 0.5;
+  ConstraintGenerator gen(p, 1);
+  for (int i = 0; i < 10000; ++i) {
+    double c = gen.Next();
+    EXPECT_GE(c, 50.0);
+    EXPECT_LE(c, 150.0);
+  }
+}
+
+TEST(ConstraintGeneratorTest, MeanApproachesAvg) {
+  ConstraintParams p;
+  p.avg = 100.0;
+  p.rho = 1.0;
+  ConstraintGenerator gen(p, 2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.Next();
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(ConstraintGeneratorTest, RhoZeroIsConstant) {
+  ConstraintParams p;
+  p.avg = 7.0;
+  p.rho = 0.0;
+  ConstraintGenerator gen(p, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(gen.Next(), 7.0);
+  }
+}
+
+TEST(ConstraintGeneratorTest, ZeroAvgMeansExactPrecision) {
+  ConstraintParams p;
+  p.avg = 0.0;
+  p.rho = 1.0;
+  ConstraintGenerator gen(p, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(gen.Next(), 0.0);
+  }
+}
+
+TEST(ConstraintGeneratorTest, NeverNegative) {
+  ConstraintParams p;
+  p.avg = 1.0;
+  p.rho = 1.0;  // range [0, 2]
+  ConstraintGenerator gen(p, 5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(gen.Next(), 0.0);
+  }
+}
+
+TEST(ConstraintGeneratorTest, Deterministic) {
+  ConstraintParams p;
+  p.avg = 50.0;
+  p.rho = 0.5;
+  ConstraintGenerator a(p, 9), b(p, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,78 @@
+#include "cache/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(RefreshCostsTest, PaperCostFactors) {
+  RefreshCosts loose{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(loose.ThetaInterval(), 1.0);
+  EXPECT_DOUBLE_EQ(loose.ThetaStale(), 0.5);
+
+  RefreshCosts two_phase{4.0, 2.0};
+  EXPECT_DOUBLE_EQ(two_phase.ThetaInterval(), 4.0);
+  EXPECT_DOUBLE_EQ(two_phase.ThetaStale(), 2.0);
+}
+
+TEST(RefreshCostsTest, Validation) {
+  EXPECT_TRUE((RefreshCosts{1.0, 2.0}).IsValid());
+  EXPECT_FALSE((RefreshCosts{0.0, 2.0}).IsValid());
+  EXPECT_FALSE((RefreshCosts{1.0, -1.0}).IsValid());
+}
+
+TEST(CostTrackerTest, WarmupEventsExcluded) {
+  CostTracker tracker(RefreshCosts{1.0, 2.0});
+  tracker.RecordValueRefresh();
+  tracker.RecordQueryRefresh();  // before measurement: excluded
+  tracker.BeginMeasurement(100);
+  tracker.RecordValueRefresh();
+  tracker.RecordQueryRefresh();
+  tracker.EndMeasurement(200);
+
+  EXPECT_EQ(tracker.value_refreshes(), 1);
+  EXPECT_EQ(tracker.query_refreshes(), 1);
+  EXPECT_DOUBLE_EQ(tracker.total_cost(), 3.0);
+  EXPECT_EQ(tracker.measured_ticks(), 100);
+  EXPECT_DOUBLE_EQ(tracker.CostRate(), 0.03);
+}
+
+TEST(CostTrackerTest, MeasuredProbabilities) {
+  CostTracker tracker(RefreshCosts{1.0, 2.0});
+  tracker.BeginMeasurement(0);
+  for (int i = 0; i < 25; ++i) tracker.RecordValueRefresh();
+  for (int i = 0; i < 50; ++i) tracker.RecordQueryRefresh();
+  tracker.EndMeasurement(1000);
+  EXPECT_DOUBLE_EQ(tracker.MeasuredPvr(), 0.025);
+  EXPECT_DOUBLE_EQ(tracker.MeasuredPqr(), 0.05);
+  EXPECT_DOUBLE_EQ(tracker.CostRate(), (25.0 * 1 + 50.0 * 2) / 1000.0);
+}
+
+TEST(CostTrackerTest, ZeroTicksIsSafe) {
+  CostTracker tracker(RefreshCosts{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(tracker.CostRate(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MeasuredPvr(), 0.0);
+  tracker.BeginMeasurement(5);
+  tracker.EndMeasurement(5);
+  EXPECT_DOUBLE_EQ(tracker.CostRate(), 0.0);
+}
+
+TEST(CostTrackerTest, CostWeightsByKind) {
+  CostTracker tracker(RefreshCosts{4.0, 2.0});
+  tracker.BeginMeasurement(0);
+  tracker.RecordValueRefresh();  // 4
+  tracker.RecordQueryRefresh();  // 2
+  tracker.RecordQueryRefresh();  // 2
+  tracker.EndMeasurement(1);
+  EXPECT_DOUBLE_EQ(tracker.total_cost(), 8.0);
+}
+
+TEST(CostTrackerTest, NotMeasuringByDefault) {
+  CostTracker tracker(RefreshCosts{1.0, 2.0});
+  EXPECT_FALSE(tracker.measuring());
+  tracker.BeginMeasurement(0);
+  EXPECT_TRUE(tracker.measuring());
+}
+
+}  // namespace
+}  // namespace apc

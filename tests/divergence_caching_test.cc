@@ -1,0 +1,151 @@
+#include "baseline/divergence_caching.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace apc {
+namespace {
+
+RefreshCosts PaperCosts() { return {1.0, 2.0}; }
+
+TEST(OptimalBoundTest, NoWritesMeansExactCaching) {
+  EXPECT_DOUBLE_EQ(
+      DivergenceCachingBounds::OptimalBound(PaperCosts(), 0.0, 1.0, 0, 10),
+      0.0);
+}
+
+TEST(OptimalBoundTest, NoReadsMeansWidestWindow) {
+  // The algorithm's vocabulary is a finite window: with no reads it
+  // installs the widest permitted bound, not "never cache".
+  EXPECT_DOUBLE_EQ(
+      DivergenceCachingBounds::OptimalBound(PaperCosts(), 1.0, 0.0, 0, 10),
+      10.0);
+}
+
+TEST(OptimalBoundTest, InteriorOptimumFormula) {
+  // g* = sqrt(Cvr*lw*(dmax-dmin)/(Cqr*lr)) when it lands inside the range
+  // and beats both boundary policies: here cost(g*) ~ 0.38 vs 1.0 for both
+  // exact caching (lw*Cvr) and no caching (lr*Cqr).
+  double lw = 1.0, lr = 0.5, dmin = 0.0, dmax = 28.0;
+  double expected = std::sqrt(1.0 * lw * (dmax - dmin) / (2.0 * lr));
+  double g = DivergenceCachingBounds::OptimalBound(PaperCosts(), lw, lr,
+                                                   dmin, dmax);
+  EXPECT_NEAR(g, std::clamp(expected, dmin, dmax), 1e-9);
+}
+
+TEST(OptimalBoundTest, LowReadRateStaysWithinWindow) {
+  // Even when "never push" would be globally cheaper, the installed bound
+  // stays finite and within the constraint window — stopping caching is
+  // the adaptive algorithm's move, not Divergence Caching's.
+  double g = DivergenceCachingBounds::OptimalBound(PaperCosts(), 1.0, 0.02,
+                                                   0.0, 28.0);
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_LE(g, 28.0);
+  EXPECT_GT(g, 20.0);  // interior optimum sqrt(700) ~ 26.5
+}
+
+TEST(OptimalBoundTest, InteriorClampedToDeltaMax) {
+  // Very cheap reads and expensive pushes want a huge g; the bound is
+  // clamped to the widest window any query would tolerate.
+  double g = DivergenceCachingBounds::OptimalBound(PaperCosts(), 10.0,
+                                                   0.0001, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(g, 5.0);
+}
+
+TEST(OptimalBoundTest, ZeroSlackForcesExactCaching) {
+  // delta_max == 0: every read demands exactness, and the only window that
+  // satisfies them is g = 0 (push every update) regardless of rates.
+  EXPECT_DOUBLE_EQ(DivergenceCachingBounds::OptimalBound(
+                       PaperCosts(), /*lw=*/0.1, /*lr=*/1.0, 0.0, 0.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(DivergenceCachingBounds::OptimalBound(
+                       PaperCosts(), /*lw=*/5.0, /*lr=*/1.0, 0.0, 0.0),
+                   0.0);
+}
+
+TEST(OptimalBoundTest, EqualConstraintsUseDeltaDirectly) {
+  // dmin == dmax == 8: a bound of exactly 8 incurs no query refreshes.
+  double g = DivergenceCachingBounds::OptimalBound(PaperCosts(), 1.0, 0.5,
+                                                   8.0, 8.0);
+  EXPECT_DOUBLE_EQ(g, 8.0);
+}
+
+TEST(OptimalBoundTest, ReturnedBoundIsArgminOverGrid) {
+  RefreshCosts costs = PaperCosts();
+  double lw = 1.0, lr = 0.1, dmin = 2.0, dmax = 20.0;
+  double g = DivergenceCachingBounds::OptimalBound(costs, lw, lr, dmin,
+                                                   dmax);
+  auto cost_at = [&](double x) {
+    if (x == kInfinity) return costs.cqr * lr;
+    if (x <= 0.0) return costs.cvr * lw;
+    double p = std::clamp((x - dmin) / (dmax - dmin), 0.0, 1.0);
+    return costs.cvr * lw / x + costs.cqr * lr * p;
+  };
+  double best = cost_at(g);
+  for (double x : {0.0, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0}) {
+    EXPECT_GE(cost_at(x), best - 1e-9) << "x=" << x;
+  }
+  EXPECT_LE(g, dmax);
+}
+
+TEST(DivergenceCachingBoundsTest, UsesInitialBoundWithoutHistory) {
+  DivergenceCachingParams params;
+  params.costs = PaperCosts();
+  params.initial_bound = 3.0;
+  DivergenceCachingBounds bounds(params, 2);
+  EXPECT_DOUBLE_EQ(bounds.InitialBound(0), 3.0);
+  EXPECT_DOUBLE_EQ(bounds.OnRefresh(0, RefreshType::kValueInitiated, 10),
+                   3.0);
+}
+
+TEST(DivergenceCachingBoundsTest, ProjectsFromObservedHistory) {
+  DivergenceCachingParams params;
+  params.costs = PaperCosts();
+  DivergenceCachingBounds bounds(params, 1);
+  // One write per tick, one read per 10 ticks with constraint 10.
+  for (int64_t t = 1; t <= 100; ++t) {
+    bounds.ObserveWrite(0, t);
+    if (t % 10 == 0) bounds.ObserveRead(0, t, 10.0);
+  }
+  double g = bounds.OnRefresh(0, RefreshType::kValueInitiated, 100);
+  // lw~1, lr~0.1, constraints all 10 -> bound should be 10 (no query
+  // misses, fewest pushes).
+  EXPECT_NEAR(g, 10.0, 1e-9);
+}
+
+TEST(DivergenceCachingBoundsTest, WindowIsBounded) {
+  DivergenceCachingParams params;
+  params.window_k = 5;
+  DivergenceCachingBounds bounds(params, 1);
+  // Old slow writes followed by recent fast writes: with a window of 5 the
+  // estimate must reflect the recent rate (1/tick), not the old (1/100).
+  for (int64_t t = 100; t <= 1000; t += 100) bounds.ObserveWrite(0, t);
+  for (int64_t t = 1001; t <= 1005; ++t) bounds.ObserveWrite(0, t);
+  for (int64_t t = 1001; t <= 1005; ++t) bounds.ObserveRead(0, t, 4.0);
+  double g = bounds.OnRefresh(0, RefreshType::kQueryInitiated, 1005);
+  // With a fast write rate and tight constraints the bound stays small
+  // (interior or exact), definitely not "never push".
+  EXPECT_NE(g, kInfinity);
+  EXPECT_LE(g, 4.0 + 1e-9);
+}
+
+TEST(DivergenceCachingBoundsTest, PerValueHistoriesAreIndependent) {
+  DivergenceCachingParams params;
+  params.costs = PaperCosts();
+  params.initial_bound = 3.0;
+  DivergenceCachingBounds bounds(params, 2);
+  for (int64_t t = 1; t <= 50; ++t) bounds.ObserveWrite(0, t);
+  for (int64_t t = 1; t <= 50; t += 5) bounds.ObserveRead(0, t, 6.0);
+  // Value 1 saw nothing: still uses the initial bound.
+  EXPECT_DOUBLE_EQ(bounds.OnRefresh(1, RefreshType::kValueInitiated, 50),
+                   3.0);
+  // Value 0 projects from its own history.
+  EXPECT_NE(bounds.OnRefresh(0, RefreshType::kValueInitiated, 50), 3.0);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,138 @@
+#include "baseline/exact_caching.h"
+
+#include <gtest/gtest.h>
+
+#include "data/random_walk.h"
+
+namespace apc {
+namespace {
+
+ExactCachingParams Params(int x = 4, size_t capacity = 10) {
+  ExactCachingParams p;
+  p.costs = {1.0, 2.0};
+  p.reevaluation_x = x;
+  p.cache_capacity = capacity;
+  return p;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> ConstantStreams(
+    std::initializer_list<double> values) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  for (double v : values) {
+    streams.push_back(
+        std::make_unique<SeriesStream>(std::vector<double>(1000, v)));
+  }
+  return streams;
+}
+
+Query ReadAll(int n) {
+  Query q;
+  q.kind = AggregateKind::kSum;
+  for (int i = 0; i < n; ++i) q.source_ids.push_back(i);
+  q.constraint = 0.0;
+  return q;
+}
+
+TEST(ExactCachingTest, NothingCachedInitially) {
+  ExactCachingSystem system(Params(), ConstantStreams({1.0, 2.0}));
+  EXPECT_EQ(system.num_cached(), 0u);
+}
+
+TEST(ExactCachingTest, UncachedReadsCostCqr) {
+  ExactCachingSystem system(Params(/*x=*/100), ConstantStreams({1.0, 2.0}));
+  system.costs().BeginMeasurement(0);
+  double sum = system.ExecuteQuery(ReadAll(2), 1);
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  EXPECT_EQ(system.costs().query_refreshes(), 2);
+}
+
+TEST(ExactCachingTest, ReadHeavyValueBecomesCached) {
+  ExactCachingSystem system(Params(/*x=*/4), ConstantStreams({1.0}));
+  // Four reads with no writes: r=4, w=0 -> Cnc=8 > Cc=0 -> cache.
+  for (int i = 0; i < 4; ++i) system.ExecuteQuery(ReadAll(1), i);
+  EXPECT_TRUE(system.IsCached(0));
+  // Subsequent reads are free.
+  system.costs().BeginMeasurement(10);
+  system.ExecuteQuery(ReadAll(1), 11);
+  EXPECT_EQ(system.costs().query_refreshes(), 0);
+}
+
+TEST(ExactCachingTest, WriteHeavyValueBecomesUncached) {
+  ExactCachingSystem system(Params(/*x=*/4), ConstantStreams({1.0}));
+  for (int i = 0; i < 4; ++i) system.ExecuteQuery(ReadAll(1), i);
+  ASSERT_TRUE(system.IsCached(0));
+  // Now hammer with writes: at the next reevaluation w*Cvr > r*Cqr.
+  for (int i = 0; i < 8; ++i) system.Tick(i);
+  EXPECT_FALSE(system.IsCached(0));
+}
+
+TEST(ExactCachingTest, CachedValuePaysCvrPerWrite) {
+  ExactCachingSystem system(Params(/*x=*/100), ConstantStreams({1.0}));
+  // Force caching via many reads first (x=100 so no reevaluation yet:
+  // use a smaller x system instead).
+  ExactCachingSystem sys2(Params(/*x=*/2), ConstantStreams({1.0}));
+  sys2.ExecuteQuery(ReadAll(1), 0);
+  sys2.ExecuteQuery(ReadAll(1), 1);  // reevaluation: cached
+  ASSERT_TRUE(sys2.IsCached(0));
+  sys2.costs().BeginMeasurement(10);
+  sys2.Tick(11);
+  EXPECT_EQ(sys2.costs().value_refreshes(), 1);
+  (void)system;
+}
+
+TEST(ExactCachingTest, CapacityRespected) {
+  // 3 read-heavy values but capacity 2.
+  ExactCachingSystem system(Params(/*x=*/4, /*capacity=*/2),
+                            ConstantStreams({1.0, 2.0, 3.0}));
+  for (int i = 0; i < 12; ++i) system.ExecuteQuery(ReadAll(3), i);
+  EXPECT_LE(system.num_cached(), 2u);
+}
+
+TEST(ExactCachingTest, QueriesReturnExactAggregates) {
+  ExactCachingSystem system(Params(), ConstantStreams({1.0, 5.0, 3.0}));
+  Query sum = ReadAll(3);
+  EXPECT_DOUBLE_EQ(system.ExecuteQuery(sum, 0), 9.0);
+  Query max = sum;
+  max.kind = AggregateKind::kMax;
+  EXPECT_DOUBLE_EQ(system.ExecuteQuery(max, 1), 5.0);
+}
+
+TEST(ExactCachingTest, MixedWorkloadConvergesToCheaperChoice) {
+  // Value updated every tick but read only rarely: caching costs 1/tick,
+  // not caching costs ~2 per read << 1/tick when reads are rare. The
+  // algorithm should settle on not caching.
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.push_back(std::make_unique<RandomWalkStream>(walk, 1));
+  ExactCachingSystem system(Params(/*x=*/10), std::move(streams));
+  system.costs().BeginMeasurement(0);
+  int64_t t = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 10; ++i) system.Tick(t++);
+    system.ExecuteQuery(ReadAll(1), t);  // one read per 10 writes
+  }
+  system.costs().EndMeasurement(t);
+  // Not caching costs 0.2/tick; caching would cost ~1/tick.
+  EXPECT_LT(system.costs().CostRate(), 0.5);
+  EXPECT_FALSE(system.IsCached(0));
+}
+
+TEST(ExactCachingTest, ReadHeavyWorkloadConvergesToCaching) {
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.push_back(std::make_unique<RandomWalkStream>(walk, 1));
+  ExactCachingSystem system(Params(/*x=*/10), std::move(streams));
+  system.costs().BeginMeasurement(0);
+  int64_t t = 0;
+  for (int round = 0; round < 200; ++round) {
+    system.Tick(t++);
+    for (int i = 0; i < 10; ++i) system.ExecuteQuery(ReadAll(1), t);
+  }
+  system.costs().EndMeasurement(t);
+  // Caching costs 1/tick; not caching would cost ~20/tick.
+  EXPECT_TRUE(system.IsCached(0));
+  EXPECT_LT(system.costs().CostRate(), 2.0);
+}
+
+}  // namespace
+}  // namespace apc

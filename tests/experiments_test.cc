@@ -1,0 +1,147 @@
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(CostsForThetaTest, PaperCostConfigurations) {
+  RefreshCosts theta1 = CostsForTheta(1.0);
+  EXPECT_DOUBLE_EQ(theta1.cvr, 1.0);
+  EXPECT_DOUBLE_EQ(theta1.cqr, 2.0);
+  EXPECT_DOUBLE_EQ(theta1.ThetaInterval(), 1.0);
+
+  RefreshCosts theta4 = CostsForTheta(4.0);
+  EXPECT_DOUBLE_EQ(theta4.cvr, 4.0);
+  EXPECT_DOUBLE_EQ(theta4.ThetaInterval(), 4.0);
+}
+
+TEST(MakeRandomWalkStreamsTest, CountAndIndependence) {
+  RandomWalkParams params;
+  auto streams = MakeRandomWalkStreams(3, params, 1);
+  ASSERT_EQ(streams.size(), 3u);
+  // Advance all; the three walks should not be identical.
+  double a = streams[0]->Next();
+  double b = streams[1]->Next();
+  double c = streams[2]->Next();
+  EXPECT_FALSE(a == b && b == c);
+}
+
+TEST(SharedNetworkTraceTest, MatchesPaperDimensions) {
+  const Trace& trace = SharedNetworkTrace();
+  EXPECT_EQ(trace.num_hosts(), 50u);   // 50 most trafficked hosts
+  EXPECT_EQ(trace.duration(), 7200u);  // two hours at 1 Hz
+  // Traffic levels within the paper's observed range.
+  for (const auto& host : trace.hosts) {
+    for (double v : host) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 5.2e6);
+    }
+  }
+}
+
+TEST(SharedNetworkTraceTest, StableAcrossCalls) {
+  const Trace& a = SharedNetworkTrace();
+  const Trace& b = SharedNetworkTrace();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MakeTraceStreamsTest, PlaysBackHostSeries) {
+  Trace trace;
+  trace.hosts = {{1.0, 2.0}, {5.0, 6.0}};
+  auto streams = MakeTraceStreams(trace);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_DOUBLE_EQ(streams[1]->current(), 5.0);
+  EXPECT_DOUBLE_EQ(streams[1]->Next(), 6.0);
+}
+
+TEST(NetworkExperimentTest, ConfigLowering) {
+  NetworkExperiment exp;
+  exp.tq = 0.5;
+  exp.theta = 4.0;
+  exp.delta_avg = 100e3;
+  exp.rho = 0.5;
+  exp.chi = 20;
+
+  SimConfig config = exp.ToSimConfig();
+  EXPECT_TRUE(config.IsValid());
+  EXPECT_DOUBLE_EQ(config.workload.tq, 0.5);
+  EXPECT_EQ(config.system.cache_capacity, 20u);
+  EXPECT_DOUBLE_EQ(config.system.costs.cvr, 4.0);
+  EXPECT_EQ(config.workload.query.num_sources, 50);
+  EXPECT_EQ(config.workload.query.group_size, 10);
+  EXPECT_DOUBLE_EQ(config.workload.query.constraints.Min(), 50e3);
+  EXPECT_DOUBLE_EQ(config.workload.query.constraints.Max(), 150e3);
+
+  AdaptivePolicyParams params = exp.ToPolicyParams();
+  EXPECT_TRUE(params.IsValid());
+  EXPECT_DOUBLE_EQ(params.Theta(), 4.0);
+}
+
+TEST(WalkExperimentTest, ConfigLowering) {
+  WalkExperiment exp;
+  SimConfig config = exp.ToSimConfig();
+  EXPECT_TRUE(config.IsValid());
+  EXPECT_EQ(config.workload.query.num_sources, 1);
+  EXPECT_EQ(config.workload.query.group_size, 1);
+}
+
+TEST(WalkExperimentTest, FixedWidthRunsMeasureProbabilities) {
+  WalkExperiment exp;
+  exp.horizon = 20000;
+  exp.warmup = 1000;
+  exp.fixed_width = 4.0;
+  SimResult r = RunWalkExperiment(exp);
+  EXPECT_GT(r.pvr, 0.0);
+  EXPECT_GT(r.pqr, 0.0);
+  // Width is pinned: mean raw width unchanged.
+  EXPECT_DOUBLE_EQ(r.mean_raw_width, 4.0);
+}
+
+TEST(SweepFixedWidthsTest, PvrFallsPqrRisesWithWidth) {
+  WalkExperiment exp;
+  exp.horizon = 40000;
+  exp.warmup = 1000;
+  auto results = SweepFixedWidths(exp, {1.0, 4.0, 9.0});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GT(results[0].pvr, results[1].pvr);
+  EXPECT_GT(results[1].pvr, results[2].pvr);
+  EXPECT_LT(results[0].pqr, results[2].pqr);
+}
+
+TEST(StaleExperimentTest, ConfigLowering) {
+  StaleExperiment exp;
+  StaleSimConfig config = exp.ToConfig();
+  EXPECT_TRUE(config.IsValid());
+  EXPECT_EQ(config.system.num_sources, 50);
+  EXPECT_DOUBLE_EQ(config.system.costs.cvr, 1.0);
+  EXPECT_DOUBLE_EQ(config.system.costs.cqr, 2.0);
+}
+
+TEST(DefaultExactCachingXGridTest, CoversPaperRange) {
+  const auto& grid = DefaultExactCachingXGrid();
+  EXPECT_GE(grid.size(), 4u);
+  EXPECT_EQ(grid.front(), 3);
+  EXPECT_EQ(grid.back(), 45);
+}
+
+TEST(RecordHostIntervalTest, SeriesBracketTheValue) {
+  NetworkExperiment exp;
+  exp.horizon = 400;  // keep the test fast
+  exp.warmup = 100;
+  exp.delta_avg = 50e3;
+  IntervalTimeSeries series = RecordHostInterval(exp, /*host_id=*/0,
+                                                 /*from=*/200, /*to=*/400);
+  ASSERT_EQ(series.value.size(), 200u);
+  ASSERT_EQ(series.lo.size(), 200u);
+  ASSERT_EQ(series.hi.size(), 200u);
+  for (size_t i = 0; i < series.value.size(); ++i) {
+    EXPECT_LE(series.lo.points()[i].value,
+              series.value.points()[i].value + 1e-9);
+    EXPECT_GE(series.hi.points()[i].value,
+              series.value.points()[i].value - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace apc

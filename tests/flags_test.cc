@@ -1,0 +1,116 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace apc {
+namespace {
+
+FlagParser Parsed(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  FlagParser parser;
+  Status s = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return parser;
+}
+
+TEST(FlagParserTest, EmptyArgsOk) {
+  FlagParser parser;
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_FALSE(parser.Has("anything"));
+}
+
+TEST(FlagParserTest, ParsesKeyValue) {
+  FlagParser p = Parsed({"--tq=0.5", "--workload=walk"});
+  EXPECT_TRUE(p.Has("tq"));
+  EXPECT_DOUBLE_EQ(p.GetDouble("tq").value(), 0.5);
+  EXPECT_EQ(p.GetString("workload").value(), "walk");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser p = Parsed({"--verbose"});
+  EXPECT_TRUE(p.GetBoolOr("verbose", false).value());
+  EXPECT_FALSE(p.GetBoolOr("quiet", false).value());
+}
+
+TEST(FlagParserTest, ExplicitBooleans) {
+  FlagParser p = Parsed({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(p.GetBoolOr("a", false).value());
+  EXPECT_FALSE(p.GetBoolOr("b", true).value());
+  EXPECT_TRUE(p.GetBoolOr("c", false).value());
+  EXPECT_FALSE(p.GetBoolOr("d", true).value());
+}
+
+TEST(FlagParserTest, MalformedBooleanIsError) {
+  FlagParser p = Parsed({"--a=maybe"});
+  EXPECT_FALSE(p.GetBoolOr("a", false).ok());
+}
+
+TEST(FlagParserTest, RejectsPositionalArguments) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "positional"};
+  Status s = parser.Parse(2, argv);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, RejectsSingleDash) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "-x=1"};
+  EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, RejectsEmptyName) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--=5"};
+  EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, MissingFlagIsNotFound) {
+  FlagParser p = Parsed({});
+  EXPECT_EQ(p.GetDouble("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(p.GetInt("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(FlagParserTest, UnparsableNumberIsInvalidArgument) {
+  FlagParser p = Parsed({"--x=abc", "--y=1.5"});
+  EXPECT_EQ(p.GetDouble("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetInt("y").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, InfinityLiteral) {
+  FlagParser p = Parsed({"--delta1=inf"});
+  EXPECT_EQ(p.GetDouble("delta1").value(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(FlagParserTest, FallbacksApplyOnlyWhenAbsent) {
+  FlagParser p = Parsed({"--x=3"});
+  EXPECT_DOUBLE_EQ(p.GetDoubleOr("x", 9.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(p.GetDoubleOr("y", 9.0).value(), 9.0);
+  EXPECT_EQ(p.GetIntOr("x", 9).value(), 3);
+  EXPECT_EQ(p.GetStringOr("z", "dflt"), "dflt");
+  // Present but malformed still errors even with a fallback.
+  FlagParser q = Parsed({"--x=bad"});
+  EXPECT_FALSE(q.GetDoubleOr("x", 9.0).ok());
+}
+
+TEST(FlagParserTest, LastValueWinsAndOrderPreserved) {
+  FlagParser p = Parsed({"--a=1", "--b=2", "--a=3"});
+  EXPECT_EQ(p.GetInt("a").value(), 3);
+  ASSERT_EQ(p.names().size(), 2u);
+  EXPECT_EQ(p.names()[0], "a");
+  EXPECT_EQ(p.names()[1], "b");
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser p = Parsed({"--x=-2.5", "--n=-7"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("x").value(), -2.5);
+  EXPECT_EQ(p.GetInt("n").value(), -7);
+}
+
+}  // namespace
+}  // namespace apc

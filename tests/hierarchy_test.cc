@@ -1,0 +1,208 @@
+#include "hierarchy/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/random_walk.h"
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+HierarchyConfig SmallConfig(int sources = 3, int edges = 2) {
+  HierarchyConfig config;
+  config.num_sources = sources;
+  config.num_edges = edges;
+  config.wan = {4.0, 8.0};
+  config.lan = {1.0, 2.0};
+  config.regional_policy.alpha = 1.0;
+  config.regional_policy.initial_width = 4.0;
+  config.edge_policy.alpha = 1.0;
+  config.edge_policy.initial_width = 8.0;
+  return config;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> ConstantStreams(
+    std::initializer_list<double> values) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  for (double v : values) {
+    streams.push_back(
+        std::make_unique<SeriesStream>(std::vector<double>(500, v)));
+  }
+  return streams;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> WalkStreams(int n,
+                                                       uint64_t seed) {
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  Rng seeder(seed);
+  for (int i = 0; i < n; ++i) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()));
+  }
+  return streams;
+}
+
+TEST(HierarchyConfigTest, Validation) {
+  EXPECT_TRUE(SmallConfig().IsValid());
+  HierarchyConfig bad = SmallConfig();
+  bad.num_edges = 0;
+  EXPECT_FALSE(bad.IsValid());
+  bad = SmallConfig();
+  bad.wan.cvr = 0.0;
+  EXPECT_FALSE(bad.IsValid());
+}
+
+TEST(HierarchicalSystemTest, InitialIntervalsNestAndContainValues) {
+  HierarchicalSystem system(SmallConfig(), ConstantStreams({1.0, 5.0, 9.0}),
+                            1);
+  for (int id = 0; id < 3; ++id) {
+    EXPECT_TRUE(system.regional_interval(id).Contains(
+        system.exact_value(id)));
+    for (int edge = 0; edge < 2; ++edge) {
+      EXPECT_TRUE(system.edge_interval(edge, id)
+                      .Contains(system.regional_interval(id)));
+    }
+  }
+}
+
+TEST(HierarchicalSystemTest, StableValuesCostNothing) {
+  HierarchicalSystem system(SmallConfig(), ConstantStreams({1.0, 5.0, 9.0}),
+                            1);
+  system.BeginMeasurement(0);
+  for (int64_t t = 1; t <= 100; ++t) system.Tick(t);
+  EXPECT_EQ(system.wan_costs().value_refreshes(), 0);
+  EXPECT_EQ(system.lan_costs().value_refreshes(), 0);
+}
+
+TEST(HierarchicalSystemTest, EscapeCascadesThroughLevels) {
+  // Value jumps far outside every interval: one WAN push and one LAN push
+  // per edge.
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.push_back(std::make_unique<SeriesStream>(
+      std::vector<double>{0.0, 1000.0, 1000.0}));
+  HierarchyConfig config = SmallConfig(/*sources=*/1, /*edges=*/2);
+  HierarchicalSystem system(config, std::move(streams), 1);
+  system.BeginMeasurement(0);
+  system.Tick(1);
+  EXPECT_EQ(system.wan_costs().value_refreshes(), 1);
+  EXPECT_EQ(system.lan_costs().value_refreshes(), 2);
+  // Everything nests again afterwards.
+  EXPECT_TRUE(system.regional_interval(0).Contains(1000.0));
+  for (int edge = 0; edge < 2; ++edge) {
+    EXPECT_TRUE(
+        system.edge_interval(edge, 0).Contains(system.regional_interval(0)));
+  }
+}
+
+TEST(HierarchicalSystemTest, LocalReadIsFree) {
+  HierarchicalSystem system(SmallConfig(), ConstantStreams({5.0, 6.0, 7.0}),
+                            1);
+  system.BeginMeasurement(0);
+  // Edge width is 8; a loose constraint is served locally.
+  Interval answer = system.Read(0, 0, /*constraint=*/10.0, 1);
+  EXPECT_EQ(system.lan_costs().query_refreshes(), 0);
+  EXPECT_EQ(system.wan_costs().query_refreshes(), 0);
+  EXPECT_TRUE(answer.Contains(5.0));
+}
+
+TEST(HierarchicalSystemTest, MediumReadStopsAtRegional) {
+  HierarchicalSystem system(SmallConfig(), ConstantStreams({5.0, 6.0, 7.0}),
+                            1);
+  system.BeginMeasurement(0);
+  // Regional width 4, edge width 8: a constraint of 5 needs the regional
+  // interval but not the source.
+  Interval answer = system.Read(0, 0, /*constraint=*/5.0, 1);
+  EXPECT_EQ(system.lan_costs().query_refreshes(), 1);
+  EXPECT_EQ(system.wan_costs().query_refreshes(), 0);
+  EXPECT_LE(answer.Width(), 5.0);
+  EXPECT_TRUE(answer.Contains(5.0));
+}
+
+TEST(HierarchicalSystemTest, TightReadEscalatesToSource) {
+  HierarchicalSystem system(SmallConfig(), ConstantStreams({5.0, 6.0, 7.0}),
+                            1);
+  system.BeginMeasurement(0);
+  Interval answer = system.Read(0, 0, /*constraint=*/1.0, 1);
+  EXPECT_EQ(system.lan_costs().query_refreshes(), 1);
+  EXPECT_EQ(system.wan_costs().query_refreshes(), 1);
+  EXPECT_TRUE(answer.IsExact());
+  EXPECT_TRUE(answer.Contains(5.0));
+}
+
+TEST(HierarchicalSystemTest, ReadAnswersAlwaysMeetConstraint) {
+  HierarchicalSystem system(SmallConfig(5, 3), WalkStreams(5, 3), 9);
+  Rng rng(4);
+  for (int64_t t = 1; t <= 2000; ++t) {
+    system.Tick(t);
+    int edge = static_cast<int>(rng.UniformInt(0, 2));
+    int id = static_cast<int>(rng.UniformInt(0, 4));
+    double constraint = rng.Uniform(0.0, 30.0);
+    Interval answer = system.Read(edge, id, constraint, t);
+    ASSERT_LE(answer.Width(), constraint + 1e-9);
+    ASSERT_TRUE(answer.Contains(system.exact_value(id)));
+  }
+}
+
+TEST(HierarchicalSystemTest, NestingInvariantHoldsUnderChurn) {
+  HierarchicalSystem system(SmallConfig(4, 3), WalkStreams(4, 5), 11);
+  Rng rng(6);
+  for (int64_t t = 1; t <= 2000; ++t) {
+    system.Tick(t);
+    if (t % 3 == 0) {
+      system.Read(static_cast<int>(rng.UniformInt(0, 2)),
+                  static_cast<int>(rng.UniformInt(0, 3)),
+                  rng.Uniform(0.0, 20.0), t);
+    }
+    for (int id = 0; id < 4; ++id) {
+      ASSERT_TRUE(
+          system.regional_interval(id).Contains(system.exact_value(id)))
+          << "regional validity broken at t=" << t;
+      for (int edge = 0; edge < 3; ++edge) {
+        ASSERT_TRUE(system.edge_interval(edge, id)
+                        .Contains(system.regional_interval(id)))
+            << "nesting broken at t=" << t;
+      }
+    }
+  }
+}
+
+TEST(HierarchicalSystemTest, EdgeNeverMorePreciseThanParent) {
+  // Hammer one edge with exact-precision reads: its raw width shrinks, but
+  // the SHIPPED interval width stays >= the regional width (the derived-
+  // precision effect of paper §5).
+  HierarchicalSystem system(SmallConfig(1, 2), WalkStreams(1, 7), 13);
+  for (int64_t t = 1; t <= 500; ++t) {
+    system.Tick(t);
+    system.Read(0, 0, /*constraint=*/0.0, t);
+  }
+  EXPECT_GE(system.edge_interval(0, 0).Width(),
+            system.regional_interval(0).Width() - 1e-9);
+}
+
+TEST(HierarchicalSystemTest, SharedEdgesAmortizeWanTraffic) {
+  // With many edges reading the same values, WAN cost should grow far
+  // slower than total read volume: the regional cache absorbs it.
+  auto run = [&](int edges) {
+    HierarchicalSystem system(SmallConfig(5, edges), WalkStreams(5, 21),
+                              17);
+    system.BeginMeasurement(0);
+    Rng rng(8);
+    for (int64_t t = 1; t <= 4000; ++t) {
+      system.Tick(t);
+      for (int e = 0; e < edges; ++e) {
+        system.Read(e, static_cast<int>(rng.UniformInt(0, 4)),
+                    rng.Uniform(5.0, 25.0), t);
+      }
+    }
+    system.EndMeasurement(4000);
+    return system.wan_costs().CostRate();
+  };
+  double wan1 = run(1);
+  double wan8 = run(8);
+  // 8x the read volume should cost far less than 8x the WAN traffic.
+  EXPECT_LT(wan8, 4.0 * wan1);
+}
+
+}  // namespace
+}  // namespace apc

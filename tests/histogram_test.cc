@@ -1,0 +1,115 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+TEST(HistogramTest, EmptyState) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.num_bins(), 5);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 10.0, 5);  // bins [0,2) [2,4) ...
+  h.Add(0.0);
+  h.Add(1.999);
+  h.Add(2.0);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);  // hi edge is exclusive -> overflow
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(), 3);
+}
+
+TEST(HistogramTest, MeanIsExactRegardlessOfBinning) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, AddN) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddN(3.0, 7);
+  h.AddN(3.0, 0);   // no-op
+  h.AddN(3.0, -2);  // no-op
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.bin_count(1), 7);
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Uniform(0.0, 1.0));
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.1), 0.1, 0.02);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileClampsArgument) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_GE(h.Quantile(2.0), h.Quantile(1.0) - 1e-12);
+}
+
+TEST(HistogramTest, LogSpacedBinsCoverDecades) {
+  Histogram h = Histogram::LogSpaced(1.0, 1000.0, 3);  // decades
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(500.0);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(2), 1);
+  EXPECT_NEAR(h.bin_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_lo(2), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeCompatible) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.Add(1.0);
+  b.Add(3.0);
+  b.Add(-5.0);
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.bin_count(0), 1);
+  EXPECT_EQ(a.bin_count(1), 1);
+  EXPECT_EQ(a.underflow(), 1);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedLayouts) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 4);
+  EXPECT_FALSE(a.Merge(b));
+  Histogram c = Histogram::LogSpaced(1.0, 10.0, 5);
+  Histogram d(1.0, 10.0, 5);
+  EXPECT_FALSE(d.Merge(c));
+}
+
+TEST(HistogramTest, ToStringListsNonemptyBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);
+  h.Add(20.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("[0, 2) 1"), std::string::npos);
+  EXPECT_NE(s.find("+inf) 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,210 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+TEST(IntervalTest, DefaultIsDegenerateZero) {
+  Interval iv;
+  EXPECT_EQ(iv.lo(), 0.0);
+  EXPECT_EQ(iv.hi(), 0.0);
+  EXPECT_TRUE(iv.IsExact());
+}
+
+TEST(IntervalTest, SwapsInvertedEndpoints) {
+  Interval iv(5.0, 2.0);
+  EXPECT_EQ(iv.lo(), 2.0);
+  EXPECT_EQ(iv.hi(), 5.0);
+}
+
+TEST(IntervalTest, CenteredConstruction) {
+  Interval iv = Interval::Centered(10.0, 4.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), 8.0);
+  EXPECT_DOUBLE_EQ(iv.hi(), 12.0);
+  EXPECT_DOUBLE_EQ(iv.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(iv.Center(), 10.0);
+}
+
+TEST(IntervalTest, CenteredWithInfiniteWidthIsUnbounded) {
+  Interval iv = Interval::Centered(10.0, kInfinity);
+  EXPECT_TRUE(iv.IsUnbounded());
+  EXPECT_TRUE(iv.Contains(1e308));
+  EXPECT_TRUE(iv.Contains(-1e308));
+}
+
+TEST(IntervalTest, UncenteredConstruction) {
+  Interval iv = Interval::Uncentered(10.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), 9.0);
+  EXPECT_DOUBLE_EQ(iv.hi(), 13.0);
+}
+
+TEST(IntervalTest, UncenteredWithInfiniteSides) {
+  Interval iv = Interval::Uncentered(0.0, kInfinity, 1.0);
+  EXPECT_EQ(iv.lo(), -kInfinity);
+  EXPECT_DOUBLE_EQ(iv.hi(), 1.0);
+  EXPECT_TRUE(iv.IsUnbounded());  // infinite total width
+}
+
+TEST(IntervalTest, ExactCopySemantics) {
+  Interval iv = Interval::Exact(7.5);
+  EXPECT_TRUE(iv.IsExact());
+  EXPECT_EQ(iv.Width(), 0.0);
+  EXPECT_EQ(iv.Precision(), kInfinity);
+  EXPECT_TRUE(iv.Contains(7.5));
+  EXPECT_FALSE(iv.Contains(7.5001));
+}
+
+TEST(IntervalTest, UnboundedSemantics) {
+  Interval iv = Interval::Unbounded();
+  EXPECT_TRUE(iv.IsUnbounded());
+  EXPECT_FALSE(iv.IsExact());
+  EXPECT_EQ(iv.Width(), kInfinity);
+  EXPECT_EQ(iv.Precision(), 0.0);
+}
+
+TEST(IntervalTest, PrecisionIsReciprocalWidth) {
+  EXPECT_DOUBLE_EQ(Interval(0.0, 4.0).Precision(), 0.25);
+  EXPECT_DOUBLE_EQ(Interval(-2.0, 2.0).Precision(), 0.25);
+}
+
+TEST(IntervalTest, ValidityAtEndpointsIsInclusive) {
+  Interval iv(3.0, 9.0);
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_TRUE(iv.Contains(9.0));
+  EXPECT_FALSE(iv.Contains(2.9999));
+  EXPECT_FALSE(iv.Contains(9.0001));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer(0.0, 10.0);
+  EXPECT_TRUE(outer.Contains(Interval(2.0, 8.0)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Interval(-1.0, 5.0)));
+  EXPECT_TRUE(Interval::Unbounded().Contains(outer));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(0, 5).Overlaps(Interval(5, 10)));  // shared endpoint
+  EXPECT_TRUE(Interval(0, 5).Overlaps(Interval(3, 4)));
+  EXPECT_FALSE(Interval(0, 5).Overlaps(Interval(6, 10)));
+}
+
+TEST(IntervalTest, SumIsMinkowski) {
+  Interval a(1.0, 3.0), b(10.0, 14.0);
+  Interval s = a + b;
+  EXPECT_DOUBLE_EQ(s.lo(), 11.0);
+  EXPECT_DOUBLE_EQ(s.hi(), 17.0);
+  EXPECT_DOUBLE_EQ(s.Width(), a.Width() + b.Width());
+}
+
+TEST(IntervalTest, SumWithUnboundedIsUnbounded) {
+  Interval s = Interval(1.0, 2.0) + Interval::Unbounded();
+  EXPECT_TRUE(s.IsUnbounded());
+}
+
+TEST(IntervalTest, MaxOfIntervals) {
+  Interval m = Interval::Max(Interval(0, 5), Interval(3, 4));
+  EXPECT_DOUBLE_EQ(m.lo(), 3.0);
+  EXPECT_DOUBLE_EQ(m.hi(), 5.0);
+}
+
+TEST(IntervalTest, MinOfIntervals) {
+  Interval m = Interval::Min(Interval(0, 5), Interval(3, 4));
+  EXPECT_DOUBLE_EQ(m.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(m.hi(), 4.0);
+}
+
+TEST(IntervalTest, Shifted) {
+  Interval iv = Interval(1.0, 3.0).Shifted(10.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), 11.0);
+  EXPECT_DOUBLE_EQ(iv.hi(), 13.0);
+}
+
+TEST(IntervalTest, InflatedGrows) {
+  Interval iv = Interval(1.0, 3.0).Inflated(0.5);
+  EXPECT_DOUBLE_EQ(iv.lo(), 0.5);
+  EXPECT_DOUBLE_EQ(iv.hi(), 3.5);
+}
+
+TEST(IntervalTest, InflatedShrinkCollapsesToCenter) {
+  Interval iv = Interval(1.0, 3.0).Inflated(-2.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(iv.hi(), 2.0);
+}
+
+TEST(IntervalTest, EqualityAndToString) {
+  EXPECT_EQ(Interval(1, 2), Interval(1, 2));
+  EXPECT_NE(Interval(1, 2), Interval(1, 3));
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: interval algebra invariants over random inputs.
+// ---------------------------------------------------------------------------
+
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalPropertyTest, SumContainsSumOfMembers) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    double va = rng.Uniform(-100, 100);
+    double vb = rng.Uniform(-100, 100);
+    Interval a = Interval::Centered(va, rng.Uniform(0, 10));
+    Interval b = Interval::Centered(vb, rng.Uniform(0, 10));
+    // Any points inside a and b sum to a point inside a+b.
+    double pa = rng.Uniform(a.lo(), a.hi());
+    double pb = rng.Uniform(b.lo(), b.hi());
+    EXPECT_TRUE((a + b).Contains(pa + pb));
+    EXPECT_TRUE((a + b).Contains(va + vb));
+  }
+}
+
+TEST_P(IntervalPropertyTest, MaxContainsMaxOfMembers) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    double va = rng.Uniform(-100, 100);
+    double vb = rng.Uniform(-100, 100);
+    Interval a = Interval::Centered(va, rng.Uniform(0, 10));
+    Interval b = Interval::Centered(vb, rng.Uniform(0, 10));
+    EXPECT_TRUE(Interval::Max(a, b).Contains(std::max(va, vb)));
+    EXPECT_TRUE(Interval::Min(a, b).Contains(std::min(va, vb)));
+  }
+}
+
+TEST_P(IntervalPropertyTest, MaxWidthNeverExceedsWidestInput) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Interval a = Interval::Centered(rng.Uniform(-100, 100),
+                                    rng.Uniform(0, 10));
+    Interval b = Interval::Centered(rng.Uniform(-100, 100),
+                                    rng.Uniform(0, 10));
+    Interval m = Interval::Max(a, b);
+    EXPECT_LE(m.Width(), std::max(a.Width(), b.Width()) + 1e-12);
+  }
+}
+
+TEST_P(IntervalPropertyTest, SumIsCommutativeAndAssociative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Interval a = Interval::Centered(rng.Uniform(-10, 10), rng.Uniform(0, 5));
+    Interval b = Interval::Centered(rng.Uniform(-10, 10), rng.Uniform(0, 5));
+    Interval c = Interval::Centered(rng.Uniform(-10, 10), rng.Uniform(0, 5));
+    EXPECT_EQ(a + b, b + a);
+    Interval lhs = (a + b) + c;
+    Interval rhs = a + (b + c);
+    EXPECT_NEAR(lhs.lo(), rhs.lo(), 1e-9);
+    EXPECT_NEAR(lhs.hi(), rhs.hi(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace apc

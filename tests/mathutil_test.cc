@@ -1,0 +1,58 @@
+#include "util/mathutil.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(ApproxEqualTest, ExactEquality) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+}
+
+TEST(ApproxEqualTest, WithinAbsoluteTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+}
+
+TEST(ApproxEqualTest, WithinRelativeTolerance) {
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0));
+  EXPECT_FALSE(ApproxEqual(1e12, 1.001e12));
+}
+
+TEST(ApproxEqualTest, Infinities) {
+  EXPECT_TRUE(ApproxEqual(kInfinity, kInfinity));
+  EXPECT_TRUE(ApproxEqual(-kInfinity, -kInfinity));
+  EXPECT_FALSE(ApproxEqual(kInfinity, -kInfinity));
+  EXPECT_FALSE(ApproxEqual(kInfinity, 1e300));
+}
+
+TEST(ApproxEqualTest, NanNeverEqual) {
+  double nan = std::nan("");
+  EXPECT_FALSE(ApproxEqual(nan, nan));
+  EXPECT_FALSE(ApproxEqual(nan, 1.0));
+}
+
+TEST(RelativeErrorTest, Basic) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 100.0), 0.0);
+}
+
+TEST(RelativeErrorTest, ZeroReferenceFallsBackToAbsolute) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.25, 0.0), 0.25);
+}
+
+TEST(RelativeErrorTest, NegativeReference) {
+  EXPECT_DOUBLE_EQ(RelativeError(-110.0, -100.0), 0.1);
+}
+
+TEST(IsFiniteTest, Basic) {
+  EXPECT_TRUE(IsFinite(0.0));
+  EXPECT_TRUE(IsFinite(-1e308));
+  EXPECT_FALSE(IsFinite(kInfinity));
+  EXPECT_FALSE(IsFinite(std::nan("")));
+}
+
+}  // namespace
+}  // namespace apc

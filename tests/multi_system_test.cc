@@ -1,0 +1,165 @@
+#include "cache/multi_system.h"
+
+#include <gtest/gtest.h>
+
+#include "data/random_walk.h"
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+MultiSystemConfig Config(int caches = 2) {
+  MultiSystemConfig config;
+  config.costs = {1.0, 2.0};
+  config.num_caches = caches;
+  config.policy.alpha = 1.0;
+  config.policy.initial_width = 8.0;
+  return config;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> ConstantStreams(
+    std::initializer_list<double> values) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  for (double v : values) {
+    streams.push_back(
+        std::make_unique<SeriesStream>(std::vector<double>(2000, v)));
+  }
+  return streams;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> WalkStreams(int n,
+                                                       uint64_t seed) {
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  Rng seeder(seed);
+  for (int i = 0; i < n; ++i) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()));
+  }
+  return streams;
+}
+
+TEST(MultiSystemConfigTest, Validation) {
+  EXPECT_TRUE(Config().IsValid());
+  MultiSystemConfig bad = Config();
+  bad.num_caches = 0;
+  EXPECT_FALSE(bad.IsValid());
+}
+
+TEST(MultiCacheSystemTest, InitialApproximationsPerCache) {
+  MultiCacheSystem system(Config(3), ConstantStreams({5.0, 9.0}), 1);
+  for (int cache = 0; cache < 3; ++cache) {
+    EXPECT_TRUE(system.interval(cache, 0).Contains(5.0));
+    EXPECT_TRUE(system.interval(cache, 1).Contains(9.0));
+  }
+}
+
+TEST(MultiCacheSystemTest, PushGoesOnlyToInvalidatedCaches) {
+  // Cache 0 pulls value 0 tightly (narrow interval), cache 1 never reads
+  // (stays wide). A moderate jump invalidates only cache 0's interval.
+  MultiCacheSystem system(Config(2), ConstantStreams({5.0}), 1);
+  Query q{AggregateKind::kSum, {0}, /*constraint=*/1.0};
+  system.ExecuteQuery(0, q, 1);  // cache 0's width -> 4
+  EXPECT_LT(system.raw_width(0, 0), system.raw_width(1, 0));
+
+  // Jump by 3: outside cache 0's [3, 7], inside cache 1's [1, 9].
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.push_back(std::make_unique<SeriesStream>(
+      std::vector<double>{5.0, 8.0}));
+  MultiCacheSystem sys2(Config(2), std::move(streams), 1);
+  Query tight{AggregateKind::kSum, {0}, 1.0};
+  sys2.ExecuteQuery(0, tight, 0);  // cache 0 width 4 -> interval [3,7]
+  sys2.costs().BeginMeasurement(0);
+  sys2.Tick(1);                    // value 8 escapes cache 0 only
+  EXPECT_EQ(sys2.costs().value_refreshes(), 1);
+  EXPECT_TRUE(sys2.interval(0, 0).Contains(8.0));
+  EXPECT_TRUE(sys2.interval(1, 0).Contains(8.0));
+}
+
+TEST(MultiCacheSystemTest, QueriesRefreshOnlyTheirCache) {
+  MultiCacheSystem system(Config(2), ConstantStreams({5.0}), 1);
+  double before = system.raw_width(1, 0);
+  Query q{AggregateKind::kSum, {0}, /*constraint=*/0.5};
+  system.ExecuteQuery(0, q, 1);
+  EXPECT_LT(system.raw_width(0, 0), before);   // cache 0 shrank
+  EXPECT_DOUBLE_EQ(system.raw_width(1, 0), before);  // cache 1 untouched
+}
+
+TEST(MultiCacheSystemTest, PerCacheWidthsDivergeWithWorkloads) {
+  // Cache 0 reads tightly every tick; cache 1 loosely and rarely. Their
+  // converged widths for the same value must differ substantially.
+  MultiCacheSystem system(Config(2), WalkStreams(1, 3), 5);
+  for (int64_t t = 1; t <= 20000; ++t) {
+    system.Tick(t);
+    Query tight{AggregateKind::kSum, {0}, 2.0};
+    system.ExecuteQuery(0, tight, t);
+    if (t % 50 == 0) {
+      Query loose{AggregateKind::kSum, {0}, 200.0};
+      system.ExecuteQuery(1, loose, t);
+    }
+  }
+  EXPECT_LT(system.raw_width(0, 0) * 4.0, system.raw_width(1, 0));
+}
+
+TEST(MultiCacheSystemTest, AnswersContainTruthAndMeetConstraints) {
+  MultiCacheSystem system(Config(3), WalkStreams(4, 7), 9);
+  Rng rng(11);
+  for (int64_t t = 1; t <= 3000; ++t) {
+    system.Tick(t);
+    int cache = static_cast<int>(rng.UniformInt(0, 2));
+    Query q;
+    q.kind = static_cast<AggregateKind>(rng.UniformInt(0, 3));
+    q.source_ids = {0, 1, 2, 3};
+    q.constraint = rng.Uniform(0.0, 25.0);
+    double truth;
+    {
+      double sum = 0, mx = -kInfinity, mn = kInfinity;
+      for (int id : q.source_ids) {
+        double v = system.exact_value(id);
+        sum += v;
+        mx = std::max(mx, v);
+        mn = std::min(mn, v);
+      }
+      switch (q.kind) {
+        case AggregateKind::kSum: truth = sum; break;
+        case AggregateKind::kMax: truth = mx; break;
+        case AggregateKind::kMin: truth = mn; break;
+        case AggregateKind::kAvg: truth = sum / 4.0; break;
+        default: truth = sum;
+      }
+    }
+    Interval answer = system.ExecuteQuery(cache, q, t);
+    ASSERT_LE(answer.Width(), q.constraint + 1e-9) << "t=" << t;
+    ASSERT_TRUE(answer.Contains(truth)) << "t=" << t;
+  }
+}
+
+TEST(MultiCacheSystemTest, ValidityInvariantAcrossAllCaches) {
+  MultiCacheSystem system(Config(3), WalkStreams(3, 13), 15);
+  for (int64_t t = 1; t <= 2000; ++t) {
+    system.Tick(t);
+    for (int cache = 0; cache < 3; ++cache) {
+      for (int id = 0; id < 3; ++id) {
+        ASSERT_TRUE(system.interval(cache, id)
+                        .Contains(system.exact_value(id)))
+            << "cache=" << cache << " id=" << id << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(MultiCacheSystemTest, MoreCachesMorePushCost) {
+  auto run = [&](int caches) {
+    MultiCacheSystem system(Config(caches), WalkStreams(2, 17), 19);
+    system.costs().BeginMeasurement(0);
+    for (int64_t t = 1; t <= 5000; ++t) system.Tick(t);
+    system.costs().EndMeasurement(5000);
+    return system.costs().CostRate();
+  };
+  // With no queries, each cache's interval only grows... it still incurs
+  // pushes until grown wide; more caches => proportionally more pushes.
+  EXPECT_GT(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,88 @@
+#include "core/precision_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(CachedApproxTest, StaticApproxIgnoresTime) {
+  CachedApprox a;
+  a.base = Interval(2.0, 6.0);
+  a.refresh_time = 100;
+  EXPECT_TRUE(a.IsStatic());
+  EXPECT_EQ(a.AtTime(100), a.base);
+  EXPECT_EQ(a.AtTime(100000), a.base);
+}
+
+TEST(CachedApproxTest, GrowthWidensOverTime) {
+  CachedApprox a;
+  a.base = Interval(0.0, 2.0);
+  a.refresh_time = 0;
+  a.growth_coeff = 1.0;
+  a.growth_exp = 0.5;
+  EXPECT_DOUBLE_EQ(a.AtTime(0).Width(), 2.0);
+  EXPECT_DOUBLE_EQ(a.AtTime(4).Width(), 2.0 + 2.0 * 2.0);  // each side +2
+  EXPECT_DOUBLE_EQ(a.AtTime(9).Width(), 2.0 + 2.0 * 3.0);
+}
+
+TEST(CachedApproxTest, DriftTranslates) {
+  CachedApprox a;
+  a.base = Interval(0.0, 2.0);
+  a.refresh_time = 10;
+  a.drift_rate = 0.5;
+  Interval at20 = a.AtTime(20);
+  EXPECT_DOUBLE_EQ(at20.lo(), 5.0);
+  EXPECT_DOUBLE_EQ(at20.hi(), 7.0);
+  EXPECT_DOUBLE_EQ(at20.Width(), 2.0);  // drift preserves width
+}
+
+TEST(CachedApproxTest, TimeBeforeRefreshClampsToZeroElapsed) {
+  CachedApprox a;
+  a.base = Interval(0.0, 2.0);
+  a.refresh_time = 10;
+  a.drift_rate = 1.0;
+  EXPECT_EQ(a.AtTime(5), a.base);
+}
+
+TEST(CachedApproxTest, ValidityTracksMovingInterval) {
+  CachedApprox a;
+  a.base = Interval(0.0, 2.0);
+  a.refresh_time = 0;
+  a.drift_rate = 1.0;
+  EXPECT_TRUE(a.Valid(1.0, 0));
+  EXPECT_FALSE(a.Valid(1.0, 5));   // interval drifted to [5, 7]
+  EXPECT_TRUE(a.Valid(6.0, 5));
+}
+
+TEST(FixedWidthPolicyTest, WidthNeverChanges) {
+  FixedWidthPolicy policy(3.0);
+  EXPECT_DOUBLE_EQ(policy.InitialWidth(), 3.0);
+  RefreshContext vr{RefreshType::kValueInitiated, true, 0};
+  RefreshContext qr{RefreshType::kQueryInitiated, false, 0};
+  EXPECT_DOUBLE_EQ(policy.NextWidth(3.0, vr), 3.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(7.0, qr), 3.0);
+}
+
+TEST(FixedWidthPolicyTest, MakeApproxCentersOnValue) {
+  FixedWidthPolicy policy(4.0);
+  CachedApprox approx = policy.MakeApprox(10.0, 4.0, 42);
+  EXPECT_DOUBLE_EQ(approx.base.lo(), 8.0);
+  EXPECT_DOUBLE_EQ(approx.base.hi(), 12.0);
+  EXPECT_EQ(approx.refresh_time, 42);
+  EXPECT_TRUE(approx.IsStatic());
+}
+
+TEST(FixedWidthPolicyTest, CloneIsIndependent) {
+  FixedWidthPolicy policy(5.0);
+  auto clone = policy.Clone();
+  EXPECT_DOUBLE_EQ(clone->InitialWidth(), 5.0);
+}
+
+TEST(PrecisionPolicyTest, DefaultEffectiveWidthIsIdentity) {
+  FixedWidthPolicy policy(5.0);
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(0.25), 0.25);
+  EXPECT_EQ(policy.EffectiveWidth(kInfinity), kInfinity);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,155 @@
+// Randomized end-to-end property tests of the refresh protocol: for many
+// seeds, workload mixes and policy settings, drive a full CacheSystem and
+// assert the invariants that make approximate caching *correct* (answers
+// contain the truth, constraints are honored, accounting balances), as
+// opposed to merely fast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/system.h"
+#include "core/adaptive_policy.h"
+#include "data/random_walk.h"
+#include "query/query_gen.h"
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+  int num_sources;
+  size_t capacity;
+  double theta;
+  double alpha;
+  double delta0;
+  double delta1;
+  double delta_avg;
+  double max_fraction;
+  double min_fraction;
+  double avg_fraction;
+};
+
+class ProtocolPropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+double ExactAggregate(const CacheSystem& system, const Query& q) {
+  double sum = 0.0, mx = -kInfinity, mn = kInfinity;
+  for (int id : q.source_ids) {
+    double v = system.source(id)->value();
+    sum += v;
+    mx = std::max(mx, v);
+    mn = std::min(mn, v);
+  }
+  switch (q.kind) {
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kMax:
+      return mx;
+    case AggregateKind::kMin:
+      return mn;
+    case AggregateKind::kAvg:
+      return sum / static_cast<double>(q.source_ids.size());
+  }
+  return sum;
+}
+
+TEST_P(ProtocolPropertyTest, EndToEndInvariants) {
+  const Scenario& sc = GetParam();
+
+  SystemConfig config;
+  config.costs = {sc.theta, 2.0};
+  config.cache_capacity = sc.capacity;
+
+  AdaptivePolicyParams params;
+  params.cvr = sc.theta;
+  params.cqr = 2.0;
+  params.alpha = sc.alpha;
+  params.delta0 = sc.delta0;
+  params.delta1 = sc.delta1;
+  params.initial_width = 4.0;
+  ASSERT_TRUE(params.IsValid());
+
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<Source>> sources;
+  Rng seeder(sc.seed);
+  for (int id = 0; id < sc.num_sources; ++id) {
+    sources.push_back(std::make_unique<Source>(
+        id, std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()),
+        std::make_unique<AdaptivePolicy>(params, seeder.NextUint64())));
+  }
+  CacheSystem system(config, std::move(sources), sc.seed ^ 0xfeed);
+  system.PopulateInitial(0);
+  system.costs().BeginMeasurement(0);
+
+  QueryWorkloadParams workload;
+  workload.num_sources = sc.num_sources;
+  workload.group_size = std::min(5, sc.num_sources);
+  workload.max_fraction = sc.max_fraction;
+  workload.min_fraction = sc.min_fraction;
+  workload.avg_fraction = sc.avg_fraction;
+  workload.constraints.avg = sc.delta_avg;
+  workload.constraints.rho = 1.0;
+  ASSERT_TRUE(workload.IsValid());
+  QueryGenerator queries(workload, sc.seed ^ 0x90);
+
+  const int64_t kHorizon = 3000;
+  for (int64_t t = 1; t <= kHorizon; ++t) {
+    system.Tick(t);
+
+    // Invariant 1: the protocol keeps every cached (static) interval valid
+    // after the push phase.
+    ASSERT_EQ(system.CountInvalidEntries(t), 0) << "t=" << t;
+
+    // Invariant 2: capacity is never exceeded.
+    ASSERT_LE(system.cache().size(), sc.capacity);
+
+    Query q = queries.Next();
+    double truth = ExactAggregate(system, q);
+    Interval answer = system.ExecuteQuery(q, t);
+
+    // Invariant 3: the answer contains the exact aggregate.
+    ASSERT_TRUE(answer.Contains(truth))
+        << "t=" << t << " kind=" << static_cast<int>(q.kind) << " answer="
+        << answer.ToString() << " truth=" << truth;
+
+    // Invariant 4: the answer honors the query's precision constraint.
+    ASSERT_LE(answer.Width(), q.constraint + 1e-9) << "t=" << t;
+  }
+
+  system.costs().EndMeasurement(kHorizon);
+
+  // Invariant 5: accounting balances exactly.
+  const CostTracker& costs = system.costs();
+  EXPECT_NEAR(costs.total_cost(),
+              sc.theta * static_cast<double>(costs.value_refreshes()) +
+                  2.0 * static_cast<double>(costs.query_refreshes()),
+              1e-9);
+  EXPECT_EQ(system.lost_pushes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ProtocolPropertyTest,
+    ::testing::Values(
+        // Baseline theta=1, roomy cache, pure SUM.
+        Scenario{1, 8, 8, 1.0, 1.0, 0.0, kInfinity, 20.0, 0, 0, 0},
+        // theta = 4 (probabilistic shrink), mixed MAX.
+        Scenario{2, 8, 8, 4.0, 1.0, 0.0, kInfinity, 20.0, 0.5, 0, 0},
+        // theta < 1 (probabilistic grow).
+        Scenario{3, 8, 8, 0.5, 1.0, 0.0, kInfinity, 20.0, 0, 0.5, 0},
+        // Tight cache: constant eviction churn.
+        Scenario{4, 12, 3, 1.0, 1.0, 0.0, kInfinity, 20.0, 0.25, 0.25, 0.25},
+        // Thresholds active: exact-or-nothing regime.
+        Scenario{5, 8, 8, 1.0, 1.0, 2.0, 2.0, 10.0, 0, 0, 0},
+        // Thresholds active with a band between them.
+        Scenario{6, 8, 8, 1.0, 1.0, 1.0, 64.0, 15.0, 0.3, 0.3, 0.2},
+        // Exact-precision workload (delta = 0 for every query).
+        Scenario{7, 6, 6, 1.0, 1.0, 1.0, kInfinity, 0.0, 0.5, 0, 0},
+        // Gentle adaptivity.
+        Scenario{8, 8, 8, 1.0, 0.1, 0.0, kInfinity, 25.0, 0, 0, 1.0},
+        // Aggressive adaptivity.
+        Scenario{9, 8, 8, 1.0, 6.0, 0.0, kInfinity, 25.0, 0.25, 0, 0},
+        // Single source, capacity 1.
+        Scenario{10, 1, 1, 4.0, 1.0, 0.5, 32.0, 8.0, 0, 0, 0}));
+
+}  // namespace
+}  // namespace apc

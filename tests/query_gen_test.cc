@@ -1,0 +1,144 @@
+#include "query/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace apc {
+namespace {
+
+QueryWorkloadParams BaseParams() {
+  QueryWorkloadParams p;
+  p.num_sources = 50;
+  p.group_size = 10;
+  p.max_fraction = 0.0;
+  p.constraints.avg = 100.0;
+  p.constraints.rho = 0.5;
+  return p;
+}
+
+TEST(QueryWorkloadParamsTest, Validation) {
+  EXPECT_TRUE(BaseParams().IsValid());
+  QueryWorkloadParams p = BaseParams();
+  p.group_size = 51;  // > num_sources
+  EXPECT_FALSE(p.IsValid());
+  p = BaseParams();
+  p.max_fraction = 1.5;
+  EXPECT_FALSE(p.IsValid());
+  p = BaseParams();
+  p.num_sources = 0;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(QueryGeneratorTest, GroupSizeAndDistinctIds) {
+  QueryGenerator gen(BaseParams(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    Query q = gen.Next();
+    EXPECT_EQ(q.source_ids.size(), 10u);
+    std::set<int> unique(q.source_ids.begin(), q.source_ids.end());
+    EXPECT_EQ(unique.size(), q.source_ids.size());
+    for (int id : q.source_ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 50);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, PureSumWorkload) {
+  QueryGenerator gen(BaseParams(), 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next().kind, AggregateKind::kSum);
+  }
+}
+
+TEST(QueryGeneratorTest, PureMaxWorkload) {
+  QueryWorkloadParams p = BaseParams();
+  p.max_fraction = 1.0;
+  QueryGenerator gen(p, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next().kind, AggregateKind::kMax);
+  }
+}
+
+TEST(QueryGeneratorTest, MixedWorkloadFrequency) {
+  QueryWorkloadParams p = BaseParams();
+  p.max_fraction = 0.3;
+  QueryGenerator gen(p, 4);
+  int max_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next().kind == AggregateKind::kMax) ++max_count;
+  }
+  EXPECT_NEAR(static_cast<double>(max_count) / n, 0.3, 0.02);
+}
+
+TEST(QueryGeneratorTest, ConstraintsWithinConfiguredRange) {
+  QueryGenerator gen(BaseParams(), 5);
+  for (int i = 0; i < 1000; ++i) {
+    double c = gen.Next().constraint;
+    EXPECT_GE(c, 50.0);
+    EXPECT_LE(c, 150.0);
+  }
+}
+
+TEST(QueryGeneratorTest, AllSourcesEventuallySampled) {
+  QueryGenerator gen(BaseParams(), 6);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    Query q = gen.Next();
+    seen.insert(q.source_ids.begin(), q.source_ids.end());
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(QueryGeneratorTest, Deterministic) {
+  QueryGenerator a(BaseParams(), 7), b(BaseParams(), 7);
+  for (int i = 0; i < 100; ++i) {
+    Query qa = a.Next();
+    Query qb = b.Next();
+    EXPECT_EQ(qa.source_ids, qb.source_ids);
+    EXPECT_DOUBLE_EQ(qa.constraint, qb.constraint);
+    EXPECT_EQ(qa.kind, qb.kind);
+  }
+}
+
+TEST(QueryGeneratorTest, FourWayMixFrequencies) {
+  QueryWorkloadParams p = BaseParams();
+  p.max_fraction = 0.2;
+  p.min_fraction = 0.3;
+  p.avg_fraction = 0.1;
+  QueryGenerator gen(p, 12);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<int>(gen.Next().kind)]++;
+  }
+  EXPECT_NEAR(counts[static_cast<int>(AggregateKind::kMax)] / double(n),
+              0.2, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(AggregateKind::kMin)] / double(n),
+              0.3, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(AggregateKind::kAvg)] / double(n),
+              0.1, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(AggregateKind::kSum)] / double(n),
+              0.4, 0.02);
+}
+
+TEST(QueryGeneratorTest, FractionSumAboveOneIsInvalid) {
+  QueryWorkloadParams p = BaseParams();
+  p.max_fraction = 0.6;
+  p.min_fraction = 0.6;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(QueryGeneratorTest, GroupEqualsAllSources) {
+  QueryWorkloadParams p = BaseParams();
+  p.num_sources = 10;
+  p.group_size = 10;
+  QueryGenerator gen(p, 8);
+  Query q = gen.Next();
+  std::set<int> unique(q.source_ids.begin(), q.source_ids.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+}  // namespace
+}  // namespace apc

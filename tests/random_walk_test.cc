@@ -1,0 +1,103 @@
+#include "data/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apc {
+namespace {
+
+TEST(RandomWalkParamsTest, Validation) {
+  RandomWalkParams p;
+  EXPECT_TRUE(p.IsValid());
+  p.step_lo = -1.0;
+  EXPECT_FALSE(p.IsValid());
+  p = RandomWalkParams();
+  p.step_hi = 0.1;  // < step_lo
+  EXPECT_FALSE(p.IsValid());
+  p = RandomWalkParams();
+  p.up_probability = 1.5;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(RandomWalkStreamTest, StartsAtConfiguredValue) {
+  RandomWalkParams p;
+  p.start = 42.0;
+  RandomWalkStream stream(p, 1);
+  EXPECT_DOUBLE_EQ(stream.current(), 42.0);
+}
+
+TEST(RandomWalkStreamTest, StepMagnitudeWithinBounds) {
+  RandomWalkParams p;  // steps in [0.5, 1.5]
+  RandomWalkStream stream(p, 1);
+  double prev = stream.current();
+  for (int i = 0; i < 10000; ++i) {
+    double next = stream.Next();
+    double step = std::fabs(next - prev);
+    EXPECT_GE(step, 0.5);
+    EXPECT_LE(step, 1.5);
+    prev = next;
+  }
+}
+
+TEST(RandomWalkStreamTest, UnbiasedWalkHasSmallDrift) {
+  RandomWalkParams p;
+  RandomWalkStream stream(p, 5);
+  const int n = 100000;
+  double final = 0.0;
+  for (int i = 0; i < n; ++i) final = stream.Next();
+  // Final displacement ~ N(0, n * E[s^2]); |final| beyond 5 sigma would be
+  // suspicious. sigma = sqrt(n * 13/12) ~ 329.
+  EXPECT_LT(std::fabs(final), 5 * std::sqrt(n * 13.0 / 12.0));
+}
+
+TEST(RandomWalkStreamTest, BiasedWalkDriftsUpward) {
+  RandomWalkParams p;
+  p.up_probability = 0.9;
+  RandomWalkStream stream(p, 5);
+  double final = 0.0;
+  for (int i = 0; i < 10000; ++i) final = stream.Next();
+  // Expected drift per step = (0.9 - 0.1) * 1.0 = 0.8.
+  EXPECT_GT(final, 10000 * 0.8 * 0.8);
+}
+
+TEST(RandomWalkStreamTest, DeterministicAcrossSeeds) {
+  RandomWalkParams p;
+  RandomWalkStream a(p, 77), b(p, 77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomWalkStreamTest, CurrentTracksNext) {
+  RandomWalkParams p;
+  RandomWalkStream stream(p, 1);
+  double v = stream.Next();
+  EXPECT_DOUBLE_EQ(stream.current(), v);
+}
+
+TEST(SeriesStreamTest, PlaysBackInOrder) {
+  // current() is the value at time 0; the i-th Next() is the value at
+  // tick i.
+  SeriesStream stream({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stream.current(), 1.0);
+  EXPECT_DOUBLE_EQ(stream.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(stream.Next(), 3.0);
+}
+
+TEST(SeriesStreamTest, HoldsLastValueAfterExhaustion) {
+  SeriesStream stream({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(stream.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(stream.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(stream.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(stream.current(), 2.0);
+}
+
+TEST(SeriesStreamTest, EmptySeriesIsSafe) {
+  SeriesStream stream({});
+  EXPECT_DOUBLE_EQ(stream.current(), 0.0);
+  EXPECT_DOUBLE_EQ(stream.Next(), 0.0);
+}
+
+}  // namespace
+}  // namespace apc

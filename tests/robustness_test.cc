@@ -1,0 +1,122 @@
+// Failure-injection tests: what happens to the protocol when value-
+// initiated refresh messages are lost. The paper assumes reliable delivery
+// (§1.1); these tests pin down the implementation's behaviour outside that
+// assumption and the self-healing path back into it.
+#include <gtest/gtest.h>
+
+#include "cache/system.h"
+#include "core/adaptive_policy.h"
+#include "data/random_walk.h"
+#include "sim/experiments.h"
+#include "sim/simulation.h"
+
+namespace apc {
+namespace {
+
+AdaptivePolicyParams PolicyParams() {
+  AdaptivePolicyParams p;
+  p.cvr = 1.0;
+  p.cqr = 2.0;
+  p.alpha = 1.0;
+  p.initial_width = 4.0;
+  return p;
+}
+
+std::vector<std::unique_ptr<Source>> WalkSources(int n, uint64_t seed) {
+  RandomWalkParams walk;
+  std::vector<std::unique_ptr<Source>> sources;
+  Rng seeder(seed);
+  for (int id = 0; id < n; ++id) {
+    sources.push_back(std::make_unique<Source>(
+        id, std::make_unique<RandomWalkStream>(walk, seeder.NextUint64()),
+        std::make_unique<AdaptivePolicy>(PolicyParams(),
+                                         seeder.NextUint64())));
+  }
+  return sources;
+}
+
+TEST(RobustnessTest, NoLossMeansNoInvalidEntriesEver) {
+  SystemConfig config;
+  config.costs = {1.0, 2.0};
+  config.cache_capacity = 4;
+  CacheSystem system(config, WalkSources(4, 1), 2);
+  system.PopulateInitial(0);
+  for (int64_t t = 1; t <= 2000; ++t) {
+    system.Tick(t);
+    ASSERT_EQ(system.CountInvalidEntries(t), 0) << "t=" << t;
+  }
+  EXPECT_EQ(system.lost_pushes(), 0);
+}
+
+TEST(RobustnessTest, CertainLossBreaksValidityWindows) {
+  SystemConfig config;
+  config.costs = {1.0, 2.0};
+  config.cache_capacity = 2;
+  config.push_loss_probability = 1.0;  // every push vanishes
+  CacheSystem system(config, WalkSources(2, 3), 5);
+  system.PopulateInitial(0);
+  int invalid_ticks = 0;
+  for (int64_t t = 1; t <= 500; ++t) {
+    system.Tick(t);
+    if (system.CountInvalidEntries(t) > 0) ++invalid_ticks;
+  }
+  EXPECT_GT(system.lost_pushes(), 0);
+  EXPECT_GT(invalid_ticks, 0);
+}
+
+TEST(RobustnessTest, QueryRefreshHealsStaleEntries) {
+  // Force a lost push, then let a query pull the exact value: the fresh
+  // approximation repairs the cache entry.
+  SystemConfig config;
+  config.costs = {1.0, 2.0};
+  config.cache_capacity = 1;
+  config.push_loss_probability = 1.0;
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.push_back(std::make_unique<Source>(
+      0,
+      std::make_unique<SeriesStream>(
+          std::vector<double>{0.0, 100.0, 100.0, 100.0}),
+      std::make_unique<AdaptivePolicy>(PolicyParams(), 1)));
+  CacheSystem system(config, std::move(sources), 7);
+  system.PopulateInitial(0);
+  system.Tick(1);  // escape, push lost
+  EXPECT_EQ(system.lost_pushes(), 1);
+  EXPECT_EQ(system.CountInvalidEntries(1), 1);
+
+  Query q{AggregateKind::kSum, {0}, /*constraint=*/0.0};
+  Interval result = system.ExecuteQuery(q, 2);
+  EXPECT_TRUE(result.Contains(100.0));
+  EXPECT_EQ(system.CountInvalidEntries(2), 0) << "entry healed by the pull";
+}
+
+TEST(RobustnessTest, LossyRunStillTerminatesAndAccounts) {
+  NetworkExperiment exp;
+  exp.horizon = 1500;
+  exp.warmup = 300;
+  SimConfig config = exp.ToSimConfig();
+  config.system.push_loss_probability = 0.2;
+  AdaptivePolicy prototype(exp.ToPolicyParams(), 5);
+  SimResult r = RunIntervalSimulation(
+      config, MakeTraceStreams(SharedNetworkTrace()), prototype);
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_NEAR(r.total_cost, r.value_refreshes * 1.0 + r.query_refreshes * 2.0,
+              1e-9);
+}
+
+TEST(RobustnessTest, LossRateRoughlyMatchesConfiguredProbability) {
+  SystemConfig config;
+  config.costs = {1.0, 2.0};
+  config.cache_capacity = 8;
+  config.push_loss_probability = 0.25;
+  CacheSystem system(config, WalkSources(8, 9), 11);
+  system.PopulateInitial(0);
+  system.costs().BeginMeasurement(0);
+  for (int64_t t = 1; t <= 5000; ++t) system.Tick(t);
+  system.costs().EndMeasurement(5000);
+  double observed = static_cast<double>(system.lost_pushes()) /
+                    static_cast<double>(system.costs().value_refreshes());
+  EXPECT_NEAR(observed, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,186 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_policy.h"
+#include "core/stale_policy.h"
+#include "sim/experiments.h"
+
+namespace apc {
+namespace {
+
+SimConfig WalkConfig(int64_t horizon = 20000) {
+  SimConfig config;
+  config.horizon = horizon;
+  config.warmup = 1000;
+  config.seed = 3;
+  config.system.costs = {1.0, 2.0};
+  config.system.cache_capacity = 1;
+  config.workload.tq = 2.0;
+  config.workload.query.num_sources = 1;
+  config.workload.query.group_size = 1;
+  config.workload.query.constraints.avg = 20.0;
+  config.workload.query.constraints.rho = 1.0;
+  return config;
+}
+
+TEST(SimConfigTest, Validation) {
+  EXPECT_TRUE(WalkConfig().IsValid());
+  SimConfig c = WalkConfig();
+  c.warmup = c.horizon;
+  EXPECT_FALSE(c.IsValid());
+  c = WalkConfig();
+  c.workload.tq = 0.0;
+  EXPECT_FALSE(c.IsValid());
+}
+
+TEST(RunIntervalSimulationTest, ProducesRefreshesOfBothKinds) {
+  RandomWalkParams walk;
+  AdaptivePolicyParams params;
+  params.cvr = 1.0;
+  params.cqr = 2.0;
+  params.initial_width = 1.0;
+  AdaptivePolicy prototype(params, 1);
+  SimResult r = RunIntervalSimulation(
+      WalkConfig(), MakeRandomWalkStreams(1, walk, 5), prototype);
+  EXPECT_GT(r.value_refreshes, 0);
+  EXPECT_GT(r.query_refreshes, 0);
+  EXPECT_GT(r.cost_rate, 0.0);
+  EXPECT_GT(r.mean_raw_width, 0.0);
+  EXPECT_EQ(r.measured_ticks, WalkConfig().horizon - WalkConfig().warmup);
+  EXPECT_NEAR(r.total_cost,
+              r.value_refreshes * 1.0 + r.query_refreshes * 2.0, 1e-9);
+}
+
+TEST(RunIntervalSimulationTest, DeterministicForSameSeed) {
+  RandomWalkParams walk;
+  AdaptivePolicyParams params;
+  params.initial_width = 1.0;
+  AdaptivePolicy p1(params, 7), p2(params, 7);
+  SimResult a = RunIntervalSimulation(WalkConfig(),
+                                      MakeRandomWalkStreams(1, walk, 5), p1);
+  SimResult b = RunIntervalSimulation(WalkConfig(),
+                                      MakeRandomWalkStreams(1, walk, 5), p2);
+  EXPECT_EQ(a.value_refreshes, b.value_refreshes);
+  EXPECT_EQ(a.query_refreshes, b.query_refreshes);
+  EXPECT_DOUBLE_EQ(a.cost_rate, b.cost_rate);
+  EXPECT_DOUBLE_EQ(a.mean_raw_width, b.mean_raw_width);
+}
+
+TEST(RunIntervalSimulationTest, ThetaBalanceHoldsAtConvergence) {
+  // The algorithm equalizes theta*Pvr ~ Pqr in steady state (theta = 1
+  // here), which is its optimality condition.
+  RandomWalkParams walk;
+  AdaptivePolicyParams params;
+  params.cvr = 1.0;
+  params.cqr = 2.0;
+  params.initial_width = 1.0;
+  AdaptivePolicy prototype(params, 1);
+  SimResult r = RunIntervalSimulation(
+      WalkConfig(/*horizon=*/60000), MakeRandomWalkStreams(1, walk, 5),
+      prototype);
+  ASSERT_GT(r.pqr, 0.0);
+  EXPECT_NEAR(r.pvr / r.pqr, 1.0, 0.35);
+}
+
+TEST(RunIntervalSimulationTest, ObserverSeesEveryTick) {
+  RandomWalkParams walk;
+  FixedWidthPolicy prototype(5.0);
+  SimConfig config = WalkConfig(/*horizon=*/100);
+  int64_t ticks_seen = 0;
+  int64_t last = 0;
+  SimResult r = RunIntervalSimulation(
+      config, MakeRandomWalkStreams(1, walk, 5), prototype,
+      [&](int64_t now, const CacheSystem& system) {
+        ++ticks_seen;
+        last = now;
+        EXPECT_EQ(system.num_sources(), 1u);
+      });
+  (void)r;
+  EXPECT_EQ(ticks_seen, 100);
+  EXPECT_EQ(last, 100);
+}
+
+TEST(RunIntervalSimulationTest, FractionalTqRunsMultipleQueriesPerTick) {
+  RandomWalkParams walk;
+  FixedWidthPolicy prototype(0.0001);  // essentially exact: every query hits
+  SimConfig config = WalkConfig(/*horizon=*/1000);
+  config.warmup = 0;
+  config.workload.tq = 0.5;
+  config.workload.query.constraints.avg = 0.0;  // always refresh
+  config.workload.query.constraints.rho = 0.0;
+  SimResult r = RunIntervalSimulation(config,
+                                      MakeRandomWalkStreams(1, walk, 5),
+                                      prototype);
+  // Hmm: constraint 0 and width 0.0001 > 0 forces one refresh per query;
+  // 2 queries per tick.
+  EXPECT_NEAR(static_cast<double>(r.query_refreshes) /
+                  static_cast<double>(r.measured_ticks),
+              2.0, 0.1);
+}
+
+TEST(RunIntervalSimulationTest, LargerTqReducesQueryRate) {
+  RandomWalkParams walk;
+  FixedWidthPolicy prototype(0.0001);
+  SimConfig config = WalkConfig(/*horizon=*/2000);
+  config.warmup = 0;
+  config.workload.query.constraints.avg = 0.0;
+  config.workload.query.constraints.rho = 0.0;
+  config.workload.tq = 4.0;
+  SimResult r = RunIntervalSimulation(config,
+                                      MakeRandomWalkStreams(1, walk, 5),
+                                      prototype);
+  EXPECT_NEAR(static_cast<double>(r.query_refreshes) /
+                  static_cast<double>(r.measured_ticks),
+              0.25, 0.05);
+}
+
+TEST(RunExactCachingSimulationTest, RunsAndAccounts) {
+  RandomWalkParams walk;
+  SimConfig config = WalkConfig(/*horizon=*/5000);
+  SimResult r = RunExactCachingSimulation(
+      config, /*reevaluation_x=*/10, MakeRandomWalkStreams(1, walk, 5));
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_NEAR(r.total_cost,
+              r.value_refreshes * 1.0 + r.query_refreshes * 2.0, 1e-9);
+}
+
+TEST(BestExactCachingSimulationTest, PicksBestX) {
+  RandomWalkParams walk;
+  SimConfig config = WalkConfig(/*horizon=*/5000);
+  int best_x = -1;
+  SimResult best = BestExactCachingSimulation(
+      config, {3, 10, 30},
+      [&] { return MakeRandomWalkStreams(1, walk, 5); }, &best_x);
+  EXPECT_NE(best_x, -1);
+  // Best is no worse than each individual x.
+  for (int x : {3, 10, 30}) {
+    SimResult r = RunExactCachingSimulation(config, x,
+                                            MakeRandomWalkStreams(1, walk, 5));
+    EXPECT_LE(best.cost_rate, r.cost_rate + 1e-9);
+  }
+}
+
+TEST(RunStaleSimulationTest, RunsAndAccounts) {
+  StaleSimConfig config;
+  config.horizon = 5000;
+  config.warmup = 500;
+  config.system.costs = {1.0, 2.0};
+  config.system.num_sources = 10;
+  config.tq = 1.0;
+  config.group_size = 3;
+  config.constraints.avg = 5.0;
+  config.constraints.rho = 1.0;
+  config.seed = 2;
+
+  StalePolicyParams params;
+  params.initial_bound = 2.0;
+  auto policy = std::make_unique<AdaptiveStaleBounds>(
+      params.ToAdaptiveParams(), 10, 3);
+  SimResult r = RunStaleSimulation(config, std::move(policy));
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_GT(r.value_refreshes + r.query_refreshes, 0);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,100 @@
+#include "cache/source.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_policy.h"
+#include "data/random_walk.h"
+
+namespace apc {
+namespace {
+
+AdaptivePolicyParams Theta1Params(double initial_width = 8.0) {
+  AdaptivePolicyParams p;
+  p.cvr = 1.0;
+  p.cqr = 2.0;
+  p.alpha = 1.0;
+  p.initial_width = initial_width;
+  return p;
+}
+
+std::unique_ptr<Source> MakeSource(double start_value, double initial_width) {
+  auto stream = std::make_unique<SeriesStream>(std::vector<double>{
+      start_value, start_value + 1, start_value + 2, start_value + 100});
+  auto policy =
+      std::make_unique<AdaptivePolicy>(Theta1Params(initial_width), 1);
+  return std::make_unique<Source>(0, std::move(stream), std::move(policy));
+}
+
+TEST(SourceTest, InitialState) {
+  auto src = MakeSource(10.0, 8.0);
+  EXPECT_EQ(src->id(), 0);
+  EXPECT_DOUBLE_EQ(src->value(), 10.0);
+  EXPECT_DOUBLE_EQ(src->raw_width(), 8.0);
+  // Initial approximation centered on the start value.
+  EXPECT_DOUBLE_EQ(src->last_approx().base.Center(), 10.0);
+  EXPECT_DOUBLE_EQ(src->last_approx().base.Width(), 8.0);
+}
+
+TEST(SourceTest, NoRefreshWhileValueInsideInterval) {
+  auto src = MakeSource(10.0, 8.0);  // interval [6, 14]
+  src->Tick();                       // 11
+  EXPECT_FALSE(src->NeedsValueRefresh(1));
+  src->Tick();  // 12
+  EXPECT_FALSE(src->NeedsValueRefresh(2));
+}
+
+TEST(SourceTest, DetectsEscapeAndDirection) {
+  auto src = MakeSource(10.0, 8.0);  // interval [6, 14]
+  src->Tick();                       // 11
+  src->Tick();                       // 12
+  src->Tick();                       // 110 -> escaped above
+  src->Tick();                       // holds 110
+  EXPECT_TRUE(src->NeedsValueRefresh(4));
+  EXPECT_TRUE(src->EscapedAbove(4));
+}
+
+TEST(SourceTest, ValueRefreshGrowsWidthAndRecenters) {
+  auto src = MakeSource(10.0, 8.0);
+  src->Tick();
+  src->Tick();
+  src->Tick();  // value 110, escaped
+  CachedApprox approx = src->Refresh(RefreshType::kValueInitiated, 4);
+  EXPECT_DOUBLE_EQ(src->raw_width(), 16.0);  // theta=1, alpha=1: doubled
+  EXPECT_DOUBLE_EQ(approx.base.Center(), 110.0);
+  EXPECT_DOUBLE_EQ(approx.base.Width(), 16.0);
+  EXPECT_EQ(approx.refresh_time, 4);
+  EXPECT_FALSE(src->NeedsValueRefresh(4));
+}
+
+TEST(SourceTest, QueryRefreshShrinksWidth) {
+  auto src = MakeSource(10.0, 8.0);
+  CachedApprox approx = src->Refresh(RefreshType::kQueryInitiated, 1);
+  EXPECT_DOUBLE_EQ(src->raw_width(), 4.0);
+  EXPECT_DOUBLE_EQ(approx.base.Width(), 4.0);
+}
+
+TEST(SourceTest, LastApproxTracksRefreshes) {
+  auto src = MakeSource(10.0, 8.0);
+  src->Refresh(RefreshType::kQueryInitiated, 1);
+  EXPECT_DOUBLE_EQ(src->last_approx().base.Width(), 4.0);
+}
+
+TEST(SourceTest, EscapeBelowIsDetected) {
+  auto stream = std::make_unique<SeriesStream>(
+      std::vector<double>{10.0, -50.0});
+  auto src = std::make_unique<Source>(
+      0, std::move(stream), std::make_unique<AdaptivePolicy>(Theta1Params(), 1));
+  src->Tick();  // -50
+  EXPECT_TRUE(src->NeedsValueRefresh(2));
+  EXPECT_FALSE(src->EscapedAbove(2));
+}
+
+TEST(SourceTest, InitialApproxRestampsTime) {
+  auto src = MakeSource(10.0, 8.0);
+  CachedApprox approx = src->InitialApprox(5);
+  EXPECT_EQ(approx.refresh_time, 5);
+  EXPECT_DOUBLE_EQ(approx.base.Width(), 8.0);
+}
+
+}  // namespace
+}  // namespace apc

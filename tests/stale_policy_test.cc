@@ -1,0 +1,62 @@
+#include "core/stale_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(StalePolicyParamsTest, LowersWithThetaMultiplierOne) {
+  StalePolicyParams sp;
+  sp.cvr = 1.0;
+  sp.cqr = 2.0;
+  sp.alpha = 1.0;
+  sp.delta0 = 1.0;
+  sp.delta1 = kInfinity;
+  sp.initial_bound = 2.0;
+
+  AdaptivePolicyParams ap = sp.ToAdaptiveParams();
+  EXPECT_DOUBLE_EQ(ap.theta_multiplier, 1.0);
+  // theta' = Cvr/Cqr = 0.5, not 2*Cvr/Cqr = 1.
+  EXPECT_DOUBLE_EQ(ap.Theta(), 0.5);
+  EXPECT_DOUBLE_EQ(ap.initial_width, 2.0);
+  EXPECT_DOUBLE_EQ(ap.delta0, 1.0);
+  EXPECT_TRUE(ap.IsValid());
+}
+
+TEST(StalePolicyParamsTest, FactoryBuildsWorkingPolicy) {
+  StalePolicyParams sp;
+  sp.cvr = 1.0;
+  sp.cqr = 2.0;
+  sp.initial_bound = 4.0;
+  auto policy = MakeStaleAdaptivePolicy(sp, 3);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_DOUBLE_EQ(policy->InitialWidth(), 4.0);
+  // theta' = 0.5 < 1: every query-initiated refresh shrinks.
+  EXPECT_DOUBLE_EQ(policy->ShrinkProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(policy->GrowProbability(), 0.5);
+}
+
+TEST(StalePolicyParamsTest, ExactWorkloadThresholds) {
+  // The paper's §4.7 setting for delta_avg = 0: delta1 = delta0 = 1, so
+  // bounds snap to 0 (exact) or infinity (uncached) only.
+  StalePolicyParams sp;
+  sp.delta0 = 1.0;
+  sp.delta1 = 1.0;
+  auto policy = MakeStaleAdaptivePolicy(sp, 3);
+  EXPECT_DOUBLE_EQ(policy->EffectiveWidth(0.5), 0.0);
+  EXPECT_EQ(policy->EffectiveWidth(1.5), kInfinity);
+}
+
+TEST(StaleCostModelConsistency, ThetaPrimeIsHalfIntervalTheta) {
+  StalePolicyParams sp;
+  sp.cvr = 3.0;
+  sp.cqr = 2.0;
+  AdaptivePolicyParams interval_params;
+  interval_params.cvr = 3.0;
+  interval_params.cqr = 2.0;
+  EXPECT_DOUBLE_EQ(sp.ToAdaptiveParams().Theta() * 2.0,
+                   interval_params.Theta());
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,148 @@
+#include "baseline/stale_system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stale_policy.h"
+
+namespace apc {
+namespace {
+
+/// Test double: a fixed divergence bound.
+class FixedBound : public StaleBoundPolicy {
+ public:
+  explicit FixedBound(double bound) : bound_(bound) {}
+  double InitialBound(int) override { return bound_; }
+  double OnRefresh(int, RefreshType, int64_t) override { return bound_; }
+
+ private:
+  double bound_;
+};
+
+StaleSystemConfig Config(int n = 1) {
+  StaleSystemConfig c;
+  c.costs = {1.0, 2.0};
+  c.num_sources = n;
+  c.update_probability = 1.0;
+  return c;
+}
+
+TEST(StaleCacheSystemTest, BoundedCopyPushesEveryBoundPlusOneUpdates) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(3.0), 1);
+  system.costs().BeginMeasurement(0);
+  // Counter goes 1,2,3 (all <= 3), then 4 > 3 -> push; over 12 ticks: 3
+  // pushes.
+  for (int64_t t = 1; t <= 12; ++t) system.Tick(t);
+  EXPECT_EQ(system.costs().value_refreshes(), 3);
+}
+
+TEST(StaleCacheSystemTest, ZeroBoundPushesEveryUpdate) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(0.0), 1);
+  system.costs().BeginMeasurement(0);
+  for (int64_t t = 1; t <= 5; ++t) system.Tick(t);
+  EXPECT_EQ(system.costs().value_refreshes(), 5);
+}
+
+TEST(StaleCacheSystemTest, InfiniteBoundNeverPushes) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(kInfinity),
+                          1);
+  system.costs().BeginMeasurement(0);
+  for (int64_t t = 1; t <= 100; ++t) system.Tick(t);
+  EXPECT_EQ(system.costs().value_refreshes(), 0);
+}
+
+TEST(StaleCacheSystemTest, ReadWithLooseConstraintIsFree) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(3.0), 1);
+  system.costs().BeginMeasurement(0);
+  system.ExecuteRead({0}, /*constraint=*/5.0, 1);
+  EXPECT_EQ(system.costs().query_refreshes(), 0);
+}
+
+TEST(StaleCacheSystemTest, ReadWithTightConstraintPulls) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(3.0), 1);
+  system.costs().BeginMeasurement(0);
+  system.ExecuteRead({0}, /*constraint=*/2.0, 1);
+  EXPECT_EQ(system.costs().query_refreshes(), 1);
+}
+
+TEST(StaleCacheSystemTest, BoundaryConstraintEqualToBoundIsFree) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(3.0), 1);
+  system.costs().BeginMeasurement(0);
+  system.ExecuteRead({0}, /*constraint=*/3.0, 1);
+  EXPECT_EQ(system.costs().query_refreshes(), 0);
+}
+
+TEST(StaleCacheSystemTest, PullResetsUpdateCounter) {
+  StaleCacheSystem system(Config(), std::make_unique<FixedBound>(3.0), 1);
+  system.Tick(1);
+  system.Tick(2);
+  EXPECT_EQ(system.pending_updates(0), 2);
+  system.ExecuteRead({0}, /*constraint=*/1.0, 2);  // pull
+  EXPECT_EQ(system.pending_updates(0), 0);
+}
+
+TEST(StaleCacheSystemTest, UpdateProbabilityThrottlesWrites) {
+  StaleSystemConfig config = Config();
+  config.update_probability = 0.5;
+  StaleCacheSystem system(config, std::make_unique<FixedBound>(0.0), 1);
+  system.costs().BeginMeasurement(0);
+  for (int64_t t = 1; t <= 10000; ++t) system.Tick(t);
+  double push_rate =
+      static_cast<double>(system.costs().value_refreshes()) / 10000.0;
+  EXPECT_NEAR(push_rate, 0.5, 0.03);
+}
+
+TEST(StaleCacheSystemTest, AdaptiveBoundsReactToWorkload) {
+  // Pure write workload (no reads): our stale-adapted policy should grow
+  // the bound, pushing less and less often.
+  StalePolicyParams params;
+  params.cvr = 1.0;
+  params.cqr = 2.0;
+  params.initial_bound = 1.0;
+  auto policy = std::make_unique<AdaptiveStaleBounds>(
+      params.ToAdaptiveParams(), 1, 99);
+  StaleCacheSystem system(Config(), std::move(policy), 1);
+  for (int64_t t = 1; t <= 2000; ++t) system.Tick(t);
+  EXPECT_GT(system.bound(0), 8.0);
+}
+
+TEST(StaleCacheSystemTest, AdaptiveBoundsShrinkUnderTightReads) {
+  StalePolicyParams params;
+  params.cvr = 1.0;
+  params.cqr = 2.0;
+  params.initial_bound = 64.0;
+  auto policy = std::make_unique<AdaptiveStaleBounds>(
+      params.ToAdaptiveParams(), 1, 99);
+  StaleCacheSystem system(Config(), std::move(policy), 1);
+  for (int64_t t = 1; t <= 200; ++t) {
+    system.ExecuteRead({0}, /*constraint=*/1.0, t);
+  }
+  EXPECT_LT(system.bound(0), 64.0);
+}
+
+TEST(StaleCacheSystemTest, MeasuredPushRateMatchesStaleCostModel) {
+  // The StaleCostModel says Pvr = K1/g for a bound of g updates; in the
+  // discrete simulator a push fires every floor(g)+1 updates, so with one
+  // update per tick the measured push rate should be 1/(g+1).
+  for (double g : {1.0, 3.0, 7.0}) {
+    StaleCacheSystem system(Config(), std::make_unique<FixedBound>(g), 1);
+    system.costs().BeginMeasurement(0);
+    const int64_t kTicks = 21000;
+    for (int64_t t = 1; t <= kTicks; ++t) system.Tick(t);
+    system.costs().EndMeasurement(kTicks);
+    double measured = system.costs().MeasuredPvr();
+    EXPECT_NEAR(measured, 1.0 / (g + 1.0), 0.01) << "g=" << g;
+  }
+}
+
+TEST(AdaptiveStaleBoundsTest, PerValueBoundsIndependent) {
+  StalePolicyParams params;
+  params.initial_bound = 4.0;
+  AdaptiveStaleBounds bounds(params.ToAdaptiveParams(), 2, 5);
+  // theta' = 0.5: query refreshes always shrink.
+  bounds.OnRefresh(0, RefreshType::kQueryInitiated, 1);
+  EXPECT_LT(bounds.raw_bound(0), 4.0);
+  EXPECT_DOUBLE_EQ(bounds.raw_bound(1), 4.0);
+}
+
+}  // namespace
+}  // namespace apc

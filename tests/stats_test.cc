@@ -1,0 +1,91 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace apc {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SummaryStatsTest, KnownMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryStatsTest, NumericallyStableForLargeOffsets) {
+  SummaryStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(SummaryStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  SummaryStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-10, 10);
+    whole.Add(x);
+    (i < 400 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SeriesRecorderTest, RecordsInOrder) {
+  SeriesRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  rec.Record(1, 10.0);
+  rec.Record(2, 20.0);
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.points()[0].time, 1);
+  EXPECT_DOUBLE_EQ(rec.points()[1].value, 20.0);
+}
+
+TEST(SeriesRecorderTest, Mean) {
+  SeriesRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.Mean(), 0.0);
+  rec.Record(0, 2.0);
+  rec.Record(1, 4.0);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,112 @@
+#include "data/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace apc {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  Trace trace;
+  trace.hosts = {{1.5, 2.5, 3.5}, {10.0, 20.0, 30.0}};
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().hosts, trace.hosts);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, SaveToUnwritablePathFails) {
+  Trace trace;
+  trace.hosts = {{1.0}};
+  Status s = SaveTraceCsv(trace, "/nonexistent-dir/x.csv");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST_F(TraceIoTest, LoadMissingFileFails) {
+  auto r = LoadTraceCsv("/nonexistent-dir/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TraceIoTest, LoadEmptyFileIsInvalidArgument) {
+  std::string path = TempPath("empty.csv");
+  std::ofstream(path).close();
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, LoadRaggedRowsIsCorruption) {
+  std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,3\n1,2\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, LoadNonNumericIsCorruption) {
+  std::string path = TempPath("alpha.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,abc\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, SkipsBlankLines) {
+  std::string path = TempPath("blank.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n\n3,4\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_hosts(), 2u);
+  EXPECT_EQ(r.value().duration(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, GeneratedTraceSurvivesRoundTrip) {
+  TrafficTraceParams params;
+  params.num_hosts = 3;
+  params.duration_seconds = 120;
+  Trace trace = GenerateTrafficTrace(params, 9);
+  std::string path = TempPath("generated.csv");
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  auto r = LoadTraceCsv(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_hosts(), trace.num_hosts());
+  // CSV stores decimal text; allow tiny rounding differences.
+  for (size_t h = 0; h < trace.num_hosts(); ++h) {
+    for (size_t t = 0; t < trace.duration(); ++t) {
+      EXPECT_NEAR(r.value().hosts[h][t], trace.hosts[h][t],
+                  1e-4 * (1.0 + trace.hosts[h][t]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apc

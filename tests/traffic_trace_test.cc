@@ -1,0 +1,160 @@
+#include "data/traffic_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace apc {
+namespace {
+
+TrafficTraceParams SmallParams() {
+  TrafficTraceParams p;
+  p.num_hosts = 5;
+  p.duration_seconds = 600;
+  return p;
+}
+
+TEST(TrafficTraceParamsTest, DefaultsAreValid) {
+  EXPECT_TRUE(TrafficTraceParams().IsValid());
+}
+
+TEST(TrafficTraceParamsTest, RejectsBadValues) {
+  TrafficTraceParams p;
+  p.num_hosts = 0;
+  EXPECT_FALSE(p.IsValid());
+  p = TrafficTraceParams();
+  p.duration_shape = 1.0;  // needs > 1 for a finite mean
+  EXPECT_FALSE(p.IsValid());
+  p = TrafficTraceParams();
+  p.rate_cap = 1.0;  // < rate_min
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  std::vector<double> s = {1, 2, 3, 4};
+  EXPECT_EQ(MovingAverage(s, 1), s);
+}
+
+TEST(MovingAverageTest, SmoothsRamps) {
+  std::vector<double> s = {0, 0, 0, 6, 6, 6};
+  auto out = MovingAverage(s, 3);
+  ASSERT_EQ(out.size(), s.size());
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 2.0);  // (0+0+6)/3
+  EXPECT_DOUBLE_EQ(out[4], 4.0);  // (0+6+6)/3
+  EXPECT_DOUBLE_EQ(out[5], 6.0);
+}
+
+TEST(MovingAverageTest, LeadingPartialWindows) {
+  std::vector<double> s = {3, 6, 9};
+  auto out = MovingAverage(s, 10);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.5);
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+}
+
+TEST(MovingAverageTest, EmptyInput) {
+  EXPECT_TRUE(MovingAverage({}, 5).empty());
+}
+
+TEST(TrafficTraceTest, ShapeMatchesParams) {
+  Trace trace = GenerateTrafficTrace(SmallParams(), 1);
+  EXPECT_EQ(trace.num_hosts(), 5u);
+  EXPECT_EQ(trace.duration(), 600u);
+  for (const auto& host : trace.hosts) {
+    EXPECT_EQ(host.size(), 600u);
+  }
+}
+
+TEST(TrafficTraceTest, InvalidParamsYieldEmptyTrace) {
+  TrafficTraceParams p = SmallParams();
+  p.num_hosts = -1;
+  EXPECT_EQ(GenerateTrafficTrace(p, 1).num_hosts(), 0u);
+}
+
+TEST(TrafficTraceTest, ValuesWithinPaperRange) {
+  Trace trace = GenerateTrafficTrace(SmallParams(), 2);
+  for (const auto& host : trace.hosts) {
+    for (double v : host) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 5.2e6);
+    }
+  }
+}
+
+TEST(TrafficTraceTest, Deterministic) {
+  Trace a = GenerateTrafficTrace(SmallParams(), 3);
+  Trace b = GenerateTrafficTrace(SmallParams(), 3);
+  EXPECT_EQ(a.hosts, b.hosts);
+}
+
+TEST(TrafficTraceTest, DifferentSeedsDiffer) {
+  Trace a = GenerateTrafficTrace(SmallParams(), 3);
+  Trace b = GenerateTrafficTrace(SmallParams(), 4);
+  EXPECT_NE(a.hosts, b.hosts);
+}
+
+TEST(TrafficTraceTest, TrafficIsNontrivial) {
+  Trace trace = GenerateTrafficTrace(SmallParams(), 5);
+  double total = 0.0;
+  for (const auto& host : trace.hosts) {
+    total += std::accumulate(host.begin(), host.end(), 0.0);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(TrafficTraceTest, SmoothedSeriesHasBoundedJumps) {
+  // After 60 s moving-window averaging, one-second jumps are bounded by
+  // (max rate)/window; use a loose sanity factor.
+  TrafficTraceParams p = SmallParams();
+  Trace trace = GenerateTrafficTrace(p, 6);
+  double max_jump_allowed =
+      p.num_hosts * p.flows_per_host * p.rate_cap /
+      static_cast<double>(p.smoothing_window_seconds);
+  for (const auto& host : trace.hosts) {
+    for (size_t t = 1; t < host.size(); ++t) {
+      EXPECT_LE(std::fabs(host[t] - host[t - 1]), max_jump_allowed);
+    }
+  }
+}
+
+TEST(TrafficTraceTest, BurstinessVariesOverTime) {
+  // A self-similar trace should not be flat: the per-host coefficient of
+  // variation should be substantial for at least some hosts.
+  TrafficTraceParams p;
+  p.num_hosts = 10;
+  p.duration_seconds = 2000;
+  Trace trace = GenerateTrafficTrace(p, 7);
+  int bursty_hosts = 0;
+  for (const auto& host : trace.hosts) {
+    double mean =
+        std::accumulate(host.begin(), host.end(), 0.0) / host.size();
+    if (mean <= 0.0) continue;
+    double var = 0.0;
+    for (double v : host) var += (v - mean) * (v - mean);
+    var /= host.size();
+    if (std::sqrt(var) / mean > 0.3) ++bursty_hosts;
+  }
+  EXPECT_GE(bursty_hosts, 3);
+}
+
+TEST(TopHostsByVolumeTest, OrdersByTotalTraffic) {
+  Trace trace;
+  trace.hosts = {{1, 1, 1}, {5, 5, 5}, {3, 3, 3}};
+  auto top = TopHostsByVolume(trace, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(TopHostsByVolumeTest, KLargerThanHosts) {
+  Trace trace;
+  trace.hosts = {{1}, {2}};
+  auto top = TopHostsByVolume(trace, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace apc

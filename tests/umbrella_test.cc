@@ -1,0 +1,28 @@
+// Verifies the umbrella header is self-contained and the library versions
+// of all public types are visible through it.
+#include "apc.h"
+
+#include <gtest/gtest.h>
+
+namespace apc {
+namespace {
+
+TEST(UmbrellaTest, PublicTypesVisible) {
+  Interval iv = Interval::Centered(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(iv.Width(), 2.0);
+  AdaptivePolicyParams params;
+  EXPECT_TRUE(params.IsValid());
+  RefreshCosts costs;
+  EXPECT_TRUE(costs.IsValid());
+  HierarchyConfig hierarchy;
+  EXPECT_TRUE(hierarchy.IsValid());
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(0.5);
+  EXPECT_EQ(hist.count(), 1);
+  FlagParser flags;
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(flags.Parse(1, argv).ok());
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/variants/history_policy.h"
+#include "core/variants/time_varying.h"
+#include "core/variants/uncentered_policy.h"
+
+namespace apc {
+namespace {
+
+AdaptivePolicyParams Theta1Params() {
+  AdaptivePolicyParams p;
+  p.cvr = 1.0;
+  p.cqr = 2.0;  // theta = 1: all adjustments deterministic
+  p.alpha = 1.0;
+  p.initial_width = 8.0;
+  return p;
+}
+
+RefreshContext EscapeAbove(int64_t t = 0) {
+  return {RefreshType::kValueInitiated, true, t};
+}
+RefreshContext EscapeBelow(int64_t t = 0) {
+  return {RefreshType::kValueInitiated, false, t};
+}
+RefreshContext QueryRefresh(int64_t t = 0) {
+  return {RefreshType::kQueryInitiated, false, t};
+}
+
+// ---------------------------------------------------------------------------
+// UncenteredPolicy
+// ---------------------------------------------------------------------------
+
+TEST(UncenteredPolicyTest, StartsSymmetric) {
+  UncenteredPolicy policy(Theta1Params(), 1);
+  EXPECT_DOUBLE_EQ(policy.lower_width(), 4.0);
+  EXPECT_DOUBLE_EQ(policy.upper_width(), 4.0);
+  EXPECT_DOUBLE_EQ(policy.InitialWidth(), 8.0);
+}
+
+TEST(UncenteredPolicyTest, GrowsOnlyTheEscapedSide) {
+  UncenteredPolicy policy(Theta1Params(), 1);
+  double total = policy.NextWidth(8.0, EscapeAbove());
+  EXPECT_DOUBLE_EQ(policy.upper_width(), 8.0);   // doubled
+  EXPECT_DOUBLE_EQ(policy.lower_width(), 4.0);   // untouched
+  EXPECT_DOUBLE_EQ(total, 12.0);
+
+  total = policy.NextWidth(total, EscapeBelow());
+  EXPECT_DOUBLE_EQ(policy.lower_width(), 8.0);
+  EXPECT_DOUBLE_EQ(total, 16.0);
+}
+
+TEST(UncenteredPolicyTest, ShrinksBothSidesOnQueryRefresh) {
+  UncenteredPolicy policy(Theta1Params(), 1);
+  policy.NextWidth(8.0, EscapeAbove());  // upper=8, lower=4
+  double total = policy.NextWidth(12.0, QueryRefresh());
+  EXPECT_DOUBLE_EQ(policy.upper_width(), 4.0);
+  EXPECT_DOUBLE_EQ(policy.lower_width(), 2.0);
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(UncenteredPolicyTest, MakeApproxUsesAsymmetricExtents) {
+  UncenteredPolicy policy(Theta1Params(), 1);
+  policy.NextWidth(8.0, EscapeAbove());  // upper=8, lower=4
+  CachedApprox approx = policy.MakeApprox(100.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(approx.base.lo(), 96.0);
+  EXPECT_DOUBLE_EQ(approx.base.hi(), 108.0);
+  EXPECT_EQ(approx.refresh_time, 5);
+}
+
+TEST(UncenteredPolicyTest, ThresholdsApplyToTotalWidth) {
+  AdaptivePolicyParams p = Theta1Params();
+  p.delta0 = 2.0;
+  p.delta1 = 100.0;
+  UncenteredPolicy policy(p, 1);
+  EXPECT_DOUBLE_EQ(policy.EffectiveWidth(1.0), 0.0);
+  EXPECT_EQ(policy.EffectiveWidth(200.0), kInfinity);
+  CachedApprox exact = policy.MakeApprox(5.0, 1.0, 0);
+  EXPECT_TRUE(exact.base.IsExact());
+  CachedApprox unbounded = policy.MakeApprox(5.0, 200.0, 0);
+  EXPECT_TRUE(unbounded.base.IsUnbounded());
+}
+
+TEST(UncenteredPolicyTest, CloneKeepsPerValueState) {
+  UncenteredPolicy policy(Theta1Params(), 1);
+  policy.NextWidth(8.0, EscapeAbove());
+  auto clone = policy.Clone();
+  auto* cloned = dynamic_cast<UncenteredPolicy*>(clone.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_DOUBLE_EQ(cloned->upper_width(), 8.0);
+  EXPECT_DOUBLE_EQ(cloned->lower_width(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// TimeVaryingPolicy
+// ---------------------------------------------------------------------------
+
+TEST(TimeVaryingPolicyTest, SqrtGrowthWidensShippedInterval) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kSqrtGrowth,
+                           0.5, 1);
+  CachedApprox approx = policy.MakeApprox(0.0, 8.0, 0);
+  EXPECT_DOUBLE_EQ(approx.AtTime(0).Width(), 8.0);
+  // Relative growth: each side grows coeff*(W/2)*sqrt(t) = 0.5*4*sqrt(t);
+  // at t=16 each side +8 => width + 16.
+  EXPECT_DOUBLE_EQ(approx.AtTime(16).Width(), 24.0);
+}
+
+TEST(TimeVaryingPolicyTest, CbrtGrowthExponent) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kCbrtGrowth,
+                           1.0, 1);
+  CachedApprox approx = policy.MakeApprox(0.0, 8.0, 0);
+  // Each side grows 1.0*(8/2)*t^(1/3) = 4*3 at t=27 => width + 24.
+  EXPECT_NEAR(approx.AtTime(27).Width(), 8.0 + 24.0, 1e-9);
+}
+
+TEST(TimeVaryingPolicyTest, GrowthScalesWithShippedWidth) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kSqrtGrowth,
+                           0.5, 1);
+  CachedApprox narrow = policy.MakeApprox(0.0, 2.0, 0);
+  CachedApprox wide = policy.MakeApprox(0.0, 8.0, 0);
+  double narrow_growth = narrow.AtTime(16).Width() - 2.0;
+  double wide_growth = wide.AtTime(16).Width() - 8.0;
+  EXPECT_DOUBLE_EQ(wide_growth, 4.0 * narrow_growth);
+}
+
+TEST(TimeVaryingPolicyTest, LinearDriftTranslatesWithoutWidening) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kLinearDrift,
+                           2.0, 1);
+  CachedApprox approx = policy.MakeApprox(10.0, 8.0, 0);
+  Interval at5 = approx.AtTime(5);
+  EXPECT_DOUBLE_EQ(at5.Width(), 8.0);
+  EXPECT_DOUBLE_EQ(at5.Center(), 20.0);  // drifted up 2*5
+}
+
+TEST(TimeVaryingPolicyTest, WidthAdaptationMatchesBaseAlgorithm) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kSqrtGrowth,
+                           0.5, 1);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, EscapeAbove()), 16.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, QueryRefresh()), 4.0);
+}
+
+TEST(TimeVaryingPolicyTest, ThresholdSnappedApproxStaysStatic) {
+  AdaptivePolicyParams p = Theta1Params();
+  p.delta0 = 2.0;
+  p.delta1 = 100.0;
+  TimeVaryingPolicy policy(p, TimeVaryingMode::kSqrtGrowth, 0.5, 1);
+  CachedApprox exact = policy.MakeApprox(5.0, 1.0, 0);
+  EXPECT_TRUE(exact.base.IsExact());
+  EXPECT_TRUE(exact.IsStatic());
+  CachedApprox unbounded = policy.MakeApprox(5.0, 150.0, 0);
+  EXPECT_TRUE(unbounded.base.IsUnbounded());
+  EXPECT_TRUE(unbounded.IsStatic());
+}
+
+TEST(TimeVaryingPolicyTest, CloneKeepsModeAndCoeff) {
+  TimeVaryingPolicy policy(Theta1Params(), TimeVaryingMode::kLinearDrift,
+                           3.0, 1);
+  auto clone = policy.Clone();
+  auto* cloned = dynamic_cast<TimeVaryingPolicy*>(clone.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_EQ(cloned->mode(), TimeVaryingMode::kLinearDrift);
+  EXPECT_DOUBLE_EQ(cloned->coeff(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(HistoryPolicyTest, WindowOneMatchesBaseAlgorithm) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/1, 1.0, 1);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, EscapeAbove()), 16.0);
+  EXPECT_DOUBLE_EQ(policy.NextWidth(8.0, QueryRefresh()), 4.0);
+}
+
+TEST(HistoryPolicyTest, MajorityVoteControlsDirection) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/3, 1.0, 1);
+  // History: V -> grow.
+  EXPECT_GT(policy.NextWidth(8.0, EscapeAbove()), 8.0);
+  // History: V,V -> grow.
+  EXPECT_GT(policy.NextWidth(8.0, EscapeAbove()), 8.0);
+  // History: V,V,Q -> majority still V -> grow even though a query refresh
+  // just happened (this is exactly how the variant differs from the base).
+  EXPECT_GT(policy.NextWidth(8.0, QueryRefresh()), 8.0);
+  // History becomes V,Q,Q -> majority Q -> shrink.
+  EXPECT_LT(policy.NextWidth(8.0, QueryRefresh()), 8.0);
+}
+
+TEST(HistoryPolicyTest, TieLeavesWidthUnchanged) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/2, 1.0, 1);
+  policy.NextWidth(8.0, EscapeAbove());          // history: V
+  double w = policy.NextWidth(8.0, QueryRefresh());  // history: V,Q tie
+  EXPECT_DOUBLE_EQ(w, 8.0);
+}
+
+TEST(HistoryPolicyTest, RecencyWeightBreaksTies) {
+  // With recency weight < 1, the most recent event dominates a tie.
+  HistoryPolicy policy(Theta1Params(), /*window=*/2, 0.5, 1);
+  policy.NextWidth(8.0, EscapeAbove());              // history: V
+  double w = policy.NextWidth(8.0, QueryRefresh());  // V,Q weighted: Q wins
+  EXPECT_LT(w, 8.0);
+}
+
+TEST(HistoryPolicyTest, WindowIsBounded) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/2, 1.0, 1);
+  // Fill history with V's, then two Q's must flip the majority: the old
+  // V's fell out of the window.
+  for (int i = 0; i < 10; ++i) policy.NextWidth(8.0, EscapeAbove());
+  policy.NextWidth(8.0, QueryRefresh());             // history: V,Q (tie)
+  double w = policy.NextWidth(8.0, QueryRefresh());  // history: Q,Q
+  EXPECT_LT(w, 8.0);
+}
+
+TEST(HistoryPolicyTest, CloneCarriesHistory) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/3, 1.0, 1);
+  policy.NextWidth(8.0, EscapeAbove());
+  policy.NextWidth(8.0, EscapeAbove());
+  auto clone = policy.Clone();
+  // Clone's history is V,V: one query refresh still leaves a V majority,
+  // so the clone grows.
+  EXPECT_GT(clone->NextWidth(8.0, QueryRefresh()), 8.0);
+}
+
+TEST(HistoryPolicyTest, WindowClampedToAtLeastOne) {
+  HistoryPolicy policy(Theta1Params(), /*window=*/0, 1.0, 1);
+  EXPECT_EQ(policy.window(), 1);
+}
+
+}  // namespace
+}  // namespace apc
