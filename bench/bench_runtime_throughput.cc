@@ -1,0 +1,166 @@
+// Scaling bench for the concurrent serving runtime (src/runtime/).
+//
+// Part 1 re-validates the runtime's equivalence claim: a single-shard
+// engine driven in lockstep from one thread must reproduce the sequential
+// CacheSystem's cost accounting exactly — same value- and query-initiated
+// refresh counts, same total cost.
+//
+// Part 2 sweeps worker threads (1 → N) against shard counts and reports
+// closed-loop throughput and latency percentiles, with an updater thread
+// streaming source updates through the UpdateBus during every run. Every
+// returned interval is checked against its precision constraint; the
+// violations column must read 0.
+//
+// Usage: bench_runtime_throughput [queries_per_thread] [num_sources]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "cache/system.h"
+#include "core/adaptive_policy.h"
+#include "query/query_gen.h"
+#include "runtime/sharded_engine.h"
+#include "runtime/workload_driver.h"
+
+namespace {
+
+using namespace apc;
+
+constexpr uint64_t kSeed = 77;
+
+QueryWorkloadParams Workload(int num_sources) {
+  QueryWorkloadParams params;
+  params.num_sources = num_sources;
+  params.group_size = 10;
+  params.max_fraction = 0.25;  // mixed SUM / MAX / MIN / AVG workload
+  params.min_fraction = 0.25;
+  params.avg_fraction = 0.25;
+  params.constraints.avg = 20.0;
+  params.constraints.rho = 1.0;
+  return params;
+}
+
+std::vector<std::unique_ptr<Source>> Sources(int n) {
+  return BuildRandomWalkSources(n, RandomWalkParams{},
+                                AdaptivePolicyParams{}, kSeed);
+}
+
+bool DeterminismCheck(int num_sources) {
+  constexpr int64_t kTicks = 500;
+  SystemConfig sys_config;
+  sys_config.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
+
+  CacheSystem sequential(sys_config, Sources(num_sources));
+  sequential.PopulateInitial(0);
+  sequential.costs().BeginMeasurement(0);
+
+  EngineConfig engine_config;
+  engine_config.system = sys_config;
+  engine_config.num_shards = 1;
+  ShardedEngine engine(engine_config, Sources(num_sources));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  QueryGenerator gen_a(Workload(num_sources), kSeed ^ 0x7e57);
+  QueryGenerator gen_b(Workload(num_sources), kSeed ^ 0x7e57);
+  for (int64_t t = 1; t <= kTicks; ++t) {
+    sequential.Tick(t);
+    engine.TickAll(t);
+    sequential.ExecuteQuery(gen_a.Next(), t);
+    engine.ExecuteQuery(gen_b.Next(), t);
+  }
+  sequential.costs().EndMeasurement(kTicks);
+  engine.EndMeasurement(kTicks);
+
+  EngineCosts engine_costs = engine.TotalCosts();
+  bool match =
+      engine_costs.value_refreshes == sequential.costs().value_refreshes() &&
+      engine_costs.query_refreshes == sequential.costs().query_refreshes() &&
+      engine_costs.total_cost == sequential.costs().total_cost();
+  std::printf(
+      "  sequential CacheSystem: vr=%lld qr=%lld cost=%s\n"
+      "  1-shard engine:         vr=%lld qr=%lld cost=%s   ->  %s\n",
+      static_cast<long long>(sequential.costs().value_refreshes()),
+      static_cast<long long>(sequential.costs().query_refreshes()),
+      bench::Num(sequential.costs().total_cost()).c_str(),
+      static_cast<long long>(engine_costs.value_refreshes),
+      static_cast<long long>(engine_costs.query_refreshes),
+      bench::Num(engine_costs.total_cost).c_str(),
+      match ? "MATCH" : "MISMATCH");
+  return match;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t queries_per_thread = argc > 1 ? std::atoll(argv[1]) : 2000;
+  int num_sources = argc > 2 ? std::atoi(argv[2]) : 256;
+  if (queries_per_thread <= 0 || !Workload(num_sources).IsValid()) {
+    std::fprintf(stderr,
+                 "usage: %s [queries_per_thread] [num_sources]\n"
+                 "  queries_per_thread >= 1, num_sources >= 10 (group size)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  bench::Banner("RUNTIME-1",
+                "single shard + single thread reproduces CacheSystem");
+  bool deterministic = DeterminismCheck(num_sources);
+
+  bench::Banner("RUNTIME-2",
+                "closed-loop throughput, threads x shards sweep");
+  bench::Note("mixed SUM/MAX/MIN/AVG workload, group size 10, "
+              "updates streaming through the UpdateBus");
+  std::printf(
+      "\n  %7s %8s %12s %10s %10s %10s %11s\n",
+      "shards", "threads", "queries/s", "p50 us", "p99 us", "ticks",
+      "violations");
+
+  int64_t total_violations = 0;
+  bool concurrent_progress = false;
+  for (int shards : {1, 2, 4, 8}) {
+    for (int threads : {1, 2, 4}) {
+      EngineConfig config;
+      config.num_shards = shards;
+      config.system.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
+      config.seed = kSeed;
+      ShardedEngine engine(config, Sources(num_sources));
+
+      DriverConfig driver;
+      driver.num_threads = threads;
+      driver.queries_per_thread = queries_per_thread;
+      driver.workload = Workload(num_sources);
+      driver.run_updates = true;
+      driver.point_read_fraction = 0.2;
+      driver.seed = kSeed + static_cast<uint64_t>(shards * 100 + threads);
+      DriverReport report = RunWorkload(engine, driver);
+
+      total_violations += report.violations;
+      // Progress is judged by the engine's own atomic counter, not by the
+      // driver's derived tally: every query issued by every worker must
+      // actually have reached the engine.
+      if (threads > 1 && engine.counters().queries_executed.load() ==
+                             threads * queries_per_thread) {
+        concurrent_progress = true;
+      }
+      std::printf("  %7d %8d %12.0f %10.1f %10.1f %10lld %11lld\n", shards,
+                  threads, report.queries_per_second, report.latency_p50_us,
+                  report.latency_p99_us,
+                  static_cast<long long>(report.ticks),
+                  static_cast<long long>(report.violations));
+    }
+  }
+
+  std::printf("\n");
+  bench::Note(deterministic
+                  ? "determinism: 1 shard / 1 thread MATCHES CacheSystem"
+                  : "determinism: MISMATCH vs CacheSystem (BUG)");
+  bench::Note(total_violations == 0
+                  ? "precision: every concurrent result met its constraint"
+                  : "precision: CONSTRAINT VIOLATIONS OBSERVED (BUG)");
+  bench::Note(concurrent_progress
+                  ? "concurrency: multi-thread runs completed all queries"
+                  : "concurrency: multi-thread runs made no progress (BUG)");
+  return (deterministic && total_violations == 0 && concurrent_progress) ? 0
+                                                                         : 1;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a Release bench smoke run.
+#
+#   scripts/check.sh            # full: configure, build, ctest, bench smoke
+#   scripts/check.sh --no-bench # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --- tier-1 verify -------------------------------------------------------
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure --no-tests=error -j "$(nproc)"
+
+if [[ "${1:-}" == "--no-bench" ]]; then
+  echo "check.sh: tier-1 OK (bench smoke skipped)"
+  exit 0
+fi
+
+# --- Release bench smoke -------------------------------------------------
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j --target bench_runtime_throughput
+./build-release/bench_runtime_throughput 500 128
+
+echo "check.sh: all checks passed"

@@ -17,6 +17,7 @@
 ///   hierarchy — two-level caching extension
 ///   sim       — simulation drivers and canned experiments
 ///   stats     — summaries, series, histograms
+///   runtime   — sharded concurrent serving engine and load driver
 
 #include "util/flags.h"
 #include "util/mathutil.h"
@@ -58,5 +59,10 @@
 
 #include "stats/histogram.h"
 #include "stats/stats.h"
+
+#include "runtime/shard.h"
+#include "runtime/sharded_engine.h"
+#include "runtime/update_bus.h"
+#include "runtime/workload_driver.h"
 
 #endif  // APC_APC_H_

@@ -1,0 +1,166 @@
+#include "runtime/shard.h"
+
+#include <cassert>
+
+namespace apc {
+
+Shard::Shard(int index, const SystemConfig& config, size_t capacity,
+             uint64_t seed, RuntimeCounters* counters)
+    : index_(index),
+      config_(config),
+      counters_(counters),
+      cache_(capacity),
+      costs_(config.costs),
+      rng_(seed) {}
+
+void Shard::AddSource(std::unique_ptr<Source> source) {
+  bool inserted = by_id_.emplace(source->id(), sources_.size()).second;
+  assert(inserted && "duplicate source id");
+  if (!inserted) return;
+  sources_.push_back(std::move(source));
+}
+
+Source* Shard::SourceById(int id) const {
+  return sources_[by_id_.at(id)].get();
+}
+
+void Shard::PopulateInitial(int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& src : sources_) {
+    CachedApprox approx = src->InitialApprox(now);
+    cache_.Offer(src->id(), approx, src->raw_width());
+  }
+}
+
+// Keep TickSourceLocked/PullExactLocked in lockstep with CacheSystem::Tick
+// and CacheSystem::PullExact (cache/system.cc): the runtime's determinism
+// guarantee is that both charge and refresh identically, and the
+// SingleShardMatchesCacheSystem* tests fail on any drift.
+void Shard::TickSourceLocked(Source* src, int64_t now) {
+  src->Tick();
+  if (counters_ != nullptr) {
+    counters_->updates_applied.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The source tests validity against the approximation it last shipped —
+  // caches never report evictions (paper §2), so refreshes are pushed even
+  // for entries the cache has dropped.
+  if (!src->NeedsValueRefresh(now)) return;
+  costs_.RecordValueRefresh();
+  if (counters_ != nullptr) {
+    counters_->value_refreshes.fetch_add(1, std::memory_order_relaxed);
+  }
+  CachedApprox approx = src->Refresh(RefreshType::kValueInitiated, now);
+  if (config_.push_loss_probability > 0.0 &&
+      rng_.Bernoulli(config_.push_loss_probability)) {
+    // The message is lost: the source has already updated its own notion of
+    // the shipped interval, but the cache never sees it.
+    ++lost_pushes_;
+    if (counters_ != nullptr) {
+      counters_->lost_pushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  cache_.Offer(src->id(), approx, src->raw_width());
+}
+
+void Shard::TickAll(int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& src : sources_) TickSourceLocked(src.get(), now);
+}
+
+void Shard::TickSource(int id, int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TickSourceLocked(SourceById(id), now);
+}
+
+void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, now] : updates) TickSourceLocked(SourceById(id), now);
+}
+
+Interval Shard::VisibleInterval(int id, int64_t now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const CacheEntry* entry = cache_.Find(id);
+  if (entry == nullptr) return Interval::Unbounded();
+  return entry->approx.AtTime(now);
+}
+
+void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
+                          std::vector<QueryItem>* items, int64_t now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pos, id] : slots) {
+    const CacheEntry* entry = cache_.Find(id);
+    (*items)[pos].interval =
+        entry == nullptr ? Interval::Unbounded() : entry->approx.AtTime(now);
+  }
+}
+
+double Shard::PullExactLocked(int id, int64_t now) {
+  costs_.RecordQueryRefresh();
+  if (counters_ != nullptr) {
+    counters_->query_refreshes.fetch_add(1, std::memory_order_relaxed);
+  }
+  Source* src = SourceById(id);
+  CachedApprox approx = src->Refresh(RefreshType::kQueryInitiated, now);
+  cache_.Offer(id, approx, src->raw_width());
+  return src->value();
+}
+
+double Shard::PullExact(int id, int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PullExactLocked(id, now);
+}
+
+void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
+                          std::vector<QueryItem>* items, int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pos, id] : slots) {
+    (*items)[pos].interval = Interval::Exact(PullExactLocked(id, now));
+  }
+}
+
+Interval Shard::PointRead(int id, double max_width, int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const CacheEntry* entry = cache_.Find(id);
+  if (entry != nullptr) {
+    Interval visible = entry->approx.AtTime(now);
+    if (visible.Width() <= max_width) return visible;
+  }
+  return Interval::Exact(PullExactLocked(id, now));
+}
+
+void Shard::BeginMeasurement(int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  costs_.BeginMeasurement(now);
+}
+
+void Shard::EndMeasurement(int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  costs_.EndMeasurement(now);
+}
+
+CostTracker Shard::CostsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return costs_;
+}
+
+std::pair<double, size_t> Shard::RawWidthSum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& src : sources_) total += src->raw_width();
+  return {total, sources_.size()};
+}
+
+size_t Shard::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t Shard::CacheCapacity() const { return cache_.capacity(); }
+
+int64_t Shard::lost_pushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_pushes_;
+}
+
+}  // namespace apc

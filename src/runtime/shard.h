@@ -1,0 +1,139 @@
+#ifndef APC_RUNTIME_SHARD_H_
+#define APC_RUNTIME_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/cost_model.h"
+#include "cache/source.h"
+#include "cache/system.h"
+#include "core/interval.h"
+#include "query/aggregate.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// Engine-wide tallies kept in atomics so monitoring threads can observe
+/// totals without taking any shard lock. Shards bump these alongside their
+/// own (mutex-guarded) CostTracker; after a quiescent point the two views
+/// agree exactly.
+struct RuntimeCounters {
+  std::atomic<int64_t> value_refreshes{0};
+  std::atomic<int64_t> query_refreshes{0};
+  std::atomic<int64_t> lost_pushes{0};
+  std::atomic<int64_t> queries_executed{0};
+  std::atomic<int64_t> updates_applied{0};
+};
+
+/// A slot to fill in (or pull for) a query's item vector: the index into the
+/// caller's `items` array paired with the source id living on this shard.
+using ShardSlot = std::pair<size_t, int>;
+
+/// One partition of the concurrent runtime: a mutex-guarded slice of the
+/// environment owning the sources hashed to it, their share of the cache
+/// capacity, and a CostTracker. All public methods are thread-safe; batch
+/// variants take the shard lock once per call so a query crossing the shard
+/// pays one lock acquisition rather than one per value.
+///
+/// The refresh semantics are those of the sequential `CacheSystem`
+/// (cache/system.cc): value-initiated refreshes are charged even when the
+/// push is lost in transit, eviction ordering uses raw widths, and every
+/// query-initiated pull re-offers the fresh approximation to the cache. A
+/// single-shard engine driven in lockstep from one thread and seeded like
+/// the CacheSystem therefore reproduces its cost accounting exactly,
+/// including under push-loss injection (tested in tests/runtime_test.cc).
+class Shard {
+ public:
+  /// `capacity` is this shard's slice of the system's cache capacity χ.
+  /// `counters` (owned by the engine) may be null in unit tests.
+  Shard(int index, const SystemConfig& config, size_t capacity, uint64_t seed,
+        RuntimeCounters* counters);
+
+  /// Registers a source on this shard. Not thread-safe; sources are added
+  /// during engine construction, before any concurrent access.
+  void AddSource(std::unique_ptr<Source> source);
+
+  int index() const { return index_; }
+  size_t num_sources() const { return sources_.size(); }
+  bool Owns(int id) const { return by_id_.count(id) != 0; }
+
+  /// Ships every owned source's initial approximation (free of charge).
+  void PopulateInitial(int64_t now);
+
+  /// Advances every owned source one tick and performs the value-initiated
+  /// refreshes the new values trigger, in source-registration order.
+  void TickAll(int64_t now);
+
+  /// Advances a single owned source and performs its value-initiated
+  /// refresh if triggered.
+  void TickSource(int id, int64_t now);
+
+  /// Applies a batch of single-source updates under one lock acquisition.
+  /// Every (id, now) pair must be owned by this shard.
+  void TickSources(const std::vector<std::pair<int, int64_t>>& updates);
+
+  /// The interval a query sees for `id` at `now`: the cached interval, or
+  /// the unbounded interval when the value is not cached.
+  Interval VisibleInterval(int id, int64_t now) const;
+
+  /// Fills `items->at(slot.first).interval` with the visible interval of
+  /// `slot.second` for every slot, under one lock acquisition.
+  void FillIntervals(const std::vector<ShardSlot>& slots,
+                     std::vector<QueryItem>* items, int64_t now) const;
+
+  /// Pulls the exact value of `id` (query-initiated refresh): charges Cqr,
+  /// adjusts the source's width, re-offers the fresh approximation, and
+  /// returns the exact value.
+  double PullExact(int id, int64_t now);
+
+  /// Pulls every slot's source exactly and stores Interval::Exact into the
+  /// corresponding item, under one lock acquisition.
+  void PullExactMany(const std::vector<ShardSlot>& slots,
+                     std::vector<QueryItem>* items, int64_t now);
+
+  /// Precision-bounded point read: returns the cached interval when its
+  /// width already satisfies `max_width`, otherwise pulls the exact value
+  /// (one query-initiated refresh) and returns an exact interval.
+  Interval PointRead(int id, double max_width, int64_t now);
+
+  void BeginMeasurement(int64_t now);
+  void EndMeasurement(int64_t now);
+
+  /// Copy of this shard's cost tracker (consistent snapshot under lock).
+  CostTracker CostsSnapshot() const;
+
+  /// Sum of retained raw widths across owned sources (for engine-level
+  /// MeanRawWidth), plus the count, as one locked snapshot.
+  std::pair<double, size_t> RawWidthSum() const;
+
+  size_t CacheSize() const;
+  size_t CacheCapacity() const;
+  int64_t lost_pushes() const;
+
+ private:
+  Source* SourceById(int id) const;
+  void TickSourceLocked(Source* src, int64_t now);
+  double PullExactLocked(int id, int64_t now);
+
+  const int index_;
+  const SystemConfig config_;
+  RuntimeCounters* const counters_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::unordered_map<int, size_t> by_id_;
+  Cache cache_;
+  CostTracker costs_;
+  Rng rng_;
+  int64_t lost_pushes_ = 0;
+};
+
+}  // namespace apc
+
+#endif  // APC_RUNTIME_SHARD_H_

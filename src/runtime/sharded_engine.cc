@@ -1,0 +1,242 @@
+#include "runtime/sharded_engine.h"
+
+#include <cassert>
+
+namespace apc {
+
+namespace {
+
+/// splitmix64 finalizer: spreads consecutive ids uniformly across shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const EngineConfig& config,
+                             std::vector<std::unique_ptr<Source>> sources)
+    : config_(config), bus_(config.bus_capacity) {
+  assert(config.IsValid());
+  // Release builds clamp rather than crash (no-exceptions contract).
+  int n = config.num_shards < 1 ? 1 : config.num_shards;
+  size_t capacity = config.system.cache_capacity;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Partition χ so the slices sum exactly to the total capacity.
+    size_t cap_lo = capacity * static_cast<size_t>(i) / static_cast<size_t>(n);
+    size_t cap_hi =
+        capacity * static_cast<size_t>(i + 1) / static_cast<size_t>(n);
+    // Shard 0 inherits the engine seed unmangled so that a single-shard
+    // engine draws the same push-loss Bernoulli stream as a CacheSystem
+    // constructed with the same seed — the determinism guarantee then
+    // holds even with failure injection enabled.
+    shards_.push_back(std::make_unique<Shard>(
+        i, config.system, cap_hi - cap_lo,
+        config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i)),
+        &counters_));
+  }
+  for (auto& src : sources) {
+    if (src == nullptr) continue;
+    ++num_sources_;
+    shards_[static_cast<size_t>(ShardOf(src->id()))]->AddSource(
+        std::move(src));
+  }
+}
+
+ShardedEngine::~ShardedEngine() { StopUpdatePump(); }
+
+int ShardedEngine::ShardOf(int id) const {
+  return static_cast<int>(MixId(static_cast<uint64_t>(id)) %
+                          shards_.size());
+}
+
+void ShardedEngine::PopulateInitial(int64_t now) {
+  for (auto& shard : shards_) shard->PopulateInitial(now);
+}
+
+void ShardedEngine::TickAll(int64_t now) {
+  for (auto& shard : shards_) shard->TickAll(now);
+}
+
+Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
+  counters_.queries_executed.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-thread scratch reused across queries: the serving hot path does no
+  // steady-state heap allocation (buffers keep their capacity). Safe to
+  // share across engines on the same thread — only the first num_shards()
+  // group slots are read, and each is cleared before use.
+  static thread_local std::vector<QueryItem> items;
+  static thread_local std::vector<std::vector<ShardSlot>> groups;
+  const size_t nshards = shards_.size();
+  if (groups.size() < nshards) groups.resize(nshards);
+
+  // Snapshot the visible intervals, one lock acquisition per shard touched.
+  items.clear();
+  for (int id : query.source_ids) {
+    QueryItem item;
+    item.source_id = id;
+    items.push_back(item);
+  }
+  for (size_t s = 0; s < nshards; ++s) groups[s].clear();
+  for (size_t pos = 0; pos < items.size(); ++pos) {
+    groups[static_cast<size_t>(ShardOf(items[pos].source_id))].push_back(
+        {pos, items[pos].source_id});
+  }
+  for (size_t s = 0; s < nshards; ++s) {
+    if (!groups[s].empty()) shards_[s]->FillIntervals(groups[s], &items, now);
+  }
+
+  switch (query.kind) {
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg: {
+      // One-shot global selection on the snapshot, then exact pulls batched
+      // per shard (the groups scratch is reused for the pull slots). The
+      // non-pulled items keep their snapshot intervals, so the result width
+      // is exactly what the selection guaranteed even if other threads
+      // refresh those values concurrently.
+      std::vector<size_t> selection =
+          query.kind == AggregateKind::kSum
+              ? SumRefreshSelection(items, query.constraint)
+              : AvgRefreshSelection(items, query.constraint);
+      for (size_t s = 0; s < nshards; ++s) groups[s].clear();
+      for (size_t idx : selection) {
+        groups[static_cast<size_t>(ShardOf(items[idx].source_id))].push_back(
+            {idx, items[idx].source_id});
+      }
+      for (size_t s = 0; s < nshards; ++s) {
+        if (!groups[s].empty()) {
+          shards_[s]->PullExactMany(groups[s], &items, now);
+        }
+      }
+      return query.kind == AggregateKind::kSum ? SumInterval(items)
+                                               : AvgInterval(items);
+    }
+    case AggregateKind::kMax: {
+      // Iterative candidate elimination; each pull either lowers the
+      // result's upper bound or raises its lower bound, so the loop
+      // terminates (every pull makes one item exact).
+      int idx;
+      while ((idx = NextMaxRefreshCandidate(items, query.constraint)) >= 0) {
+        int id = items[static_cast<size_t>(idx)].source_id;
+        double exact =
+            shards_[static_cast<size_t>(ShardOf(id))]->PullExact(id, now);
+        items[static_cast<size_t>(idx)].interval = Interval::Exact(exact);
+      }
+      return MaxInterval(items);
+    }
+    case AggregateKind::kMin: {
+      int idx;
+      while ((idx = NextMinRefreshCandidate(items, query.constraint)) >= 0) {
+        int id = items[static_cast<size_t>(idx)].source_id;
+        double exact =
+            shards_[static_cast<size_t>(ShardOf(id))]->PullExact(id, now);
+        items[static_cast<size_t>(idx)].interval = Interval::Exact(exact);
+      }
+      return MinInterval(items);
+    }
+  }
+  return Interval(0.0, 0.0);
+}
+
+Interval ShardedEngine::PointRead(int id, double max_width, int64_t now) {
+  counters_.queries_executed.fetch_add(1, std::memory_order_relaxed);
+  return shards_[static_cast<size_t>(ShardOf(id))]->PointRead(id, max_width,
+                                                              now);
+}
+
+bool ShardedEngine::StartUpdatePump() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  if (pump_running_) return true;
+  if (bus_.closed()) return false;  // a closed bus never reopens
+  pump_running_ = true;
+  pump_ = std::thread([this] { PumpLoop(); });
+  return true;
+}
+
+void ShardedEngine::StopUpdatePump() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  if (!pump_running_) return;
+  bus_.Close();
+  pump_.join();
+  pump_running_ = false;
+}
+
+void ShardedEngine::PumpLoop() {
+  constexpr size_t kMaxBatch = 256;
+  std::vector<UpdateEvent> batch;
+  std::vector<std::vector<std::pair<int, int64_t>>> per_shard(shards_.size());
+  while (bus_.PopBatch(&batch, kMaxBatch) > 0) {
+    // Apply single-source updates grouped per shard (one lock per shard per
+    // batch). A tick-all event is a barrier: pending groups flush first so
+    // per-source ordering is preserved.
+    auto flush = [&] {
+      for (size_t s = 0; s < per_shard.size(); ++s) {
+        if (!per_shard[s].empty()) {
+          shards_[s]->TickSources(per_shard[s]);
+          per_shard[s].clear();
+        }
+      }
+    };
+    for (const UpdateEvent& e : batch) {
+      if (e.source_id == UpdateEvent::kAllSources) {
+        flush();
+        TickAll(e.now);
+      } else {
+        per_shard[static_cast<size_t>(ShardOf(e.source_id))].push_back(
+            {e.source_id, e.now});
+      }
+    }
+    flush();
+  }
+}
+
+void ShardedEngine::BeginMeasurement(int64_t now) {
+  for (auto& shard : shards_) shard->BeginMeasurement(now);
+}
+
+void ShardedEngine::EndMeasurement(int64_t now) {
+  for (auto& shard : shards_) shard->EndMeasurement(now);
+}
+
+EngineCosts ShardedEngine::TotalCosts() const {
+  EngineCosts total;
+  for (const auto& shard : shards_) {
+    CostTracker costs = shard->CostsSnapshot();
+    total.value_refreshes += costs.value_refreshes();
+    total.query_refreshes += costs.query_refreshes();
+    total.total_cost += costs.total_cost();
+    if (costs.measured_ticks() > total.measured_ticks) {
+      total.measured_ticks = costs.measured_ticks();
+    }
+  }
+  return total;
+}
+
+int64_t ShardedEngine::lost_pushes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->lost_pushes();
+  return total;
+}
+
+double ShardedEngine::MeanRawWidth() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& shard : shards_) {
+    auto [shard_sum, shard_count] = shard->RawWidthSum();
+    sum += shard_sum;
+    count += shard_count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::vector<size_t> ShardedEngine::ShardSourceCounts() const {
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) counts.push_back(shard->num_sources());
+  return counts;
+}
+
+}  // namespace apc

@@ -1,0 +1,135 @@
+#ifndef APC_RUNTIME_SHARDED_ENGINE_H_
+#define APC_RUNTIME_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cache/system.h"
+#include "query/aggregate.h"
+#include "runtime/shard.h"
+#include "runtime/update_bus.h"
+
+namespace apc {
+
+/// Configuration of the concurrent serving runtime. `system.cache_capacity`
+/// is the total χ, partitioned as evenly as possible across shards;
+/// `system.costs` and `system.push_loss_probability` apply per shard.
+struct EngineConfig {
+  SystemConfig system;
+  int num_shards = 1;
+  uint64_t seed = 0;
+  /// Capacity of the update bus (backpressure bound for producers).
+  size_t bus_capacity = 1024;
+
+  bool IsValid() const { return num_shards > 0 && system.costs.IsValid(); }
+};
+
+/// Engine-wide cost aggregate, summed over the per-shard CostTrackers.
+struct EngineCosts {
+  int64_t value_refreshes = 0;
+  int64_t query_refreshes = 0;
+  double total_cost = 0.0;
+  /// Measured ticks of the longest-measuring shard (shards share the
+  /// logical clock, so under normal use they are all equal).
+  int64_t measured_ticks = 0;
+
+  /// Average cost per tick Ω over the measured period.
+  double CostRate() const {
+    return measured_ticks > 0
+               ? total_cost / static_cast<double>(measured_ticks)
+               : 0.0;
+  }
+};
+
+/// The concurrent serving runtime: hash-partitions sources across N
+/// mutex-guarded shards and multiplexes precision-bounded point reads and
+/// aggregate queries from many threads over the adaptive-precision refresh
+/// protocol. Cross-shard aggregate queries snapshot the visible intervals,
+/// compute the paper's refresh selection globally (greedy widest-first for
+/// SUM/AVG, iterative candidate elimination for MAX/MIN), then batch the
+/// exact pulls per shard.
+///
+/// Every returned interval satisfies the query's precision constraint: the
+/// result is composed from the snapshot plus exact pulls, so concurrent
+/// updates can only affect *which* values are pulled, never the width
+/// guarantee.
+///
+/// Updates arrive either synchronously via TickAll (the sequential
+/// simulator's lockstep, useful for deterministic replay — a single-shard
+/// engine driven this way reproduces CacheSystem costs exactly) or
+/// asynchronously through the UpdateBus, drained by the pump thread started
+/// with StartUpdatePump().
+class ShardedEngine {
+ public:
+  /// Takes ownership of `sources`; each is routed to its shard by id hash.
+  ShardedEngine(const EngineConfig& config,
+                std::vector<std::unique_ptr<Source>> sources);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t num_sources() const { return num_sources_; }
+  int ShardOf(int id) const;
+  Shard& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const Shard& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+
+  /// Ships every source's initial approximation (free of charge).
+  void PopulateInitial(int64_t now);
+
+  /// Synchronous lockstep update of every shard (deterministic path).
+  void TickAll(int64_t now);
+
+  /// Executes a precision-bounded aggregate query at `now`; thread-safe.
+  /// The result interval's width is at most the query's constraint.
+  Interval ExecuteQuery(const Query& query, int64_t now);
+
+  /// Precision-bounded read of a single source value; pulls the exact
+  /// value only when the cached interval is wider than `max_width`.
+  Interval PointRead(int id, double max_width, int64_t now);
+
+  // -- asynchronous update path --------------------------------------
+  UpdateBus& bus() { return bus_; }
+
+  /// Starts the pump thread draining the bus into shards. Returns true
+  /// when the pump is running (newly started or already); returns false —
+  /// and starts nothing — once the bus has been closed: the asynchronous
+  /// update path is single-use per engine.
+  bool StartUpdatePump();
+
+  /// Closes the bus, waits for the backlog to drain, and joins the pump.
+  void StopUpdatePump();
+
+  // -- measurement and observability ---------------------------------
+  void BeginMeasurement(int64_t now);
+  void EndMeasurement(int64_t now);
+  EngineCosts TotalCosts() const;
+  const RuntimeCounters& counters() const { return counters_; }
+  int64_t lost_pushes() const;
+
+  /// Mean retained raw width across all sources (convergence observable).
+  double MeanRawWidth() const;
+
+  /// Number of sources hosted by each shard (partition balance).
+  std::vector<size_t> ShardSourceCounts() const;
+
+ private:
+  void PumpLoop();
+
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t num_sources_ = 0;
+  RuntimeCounters counters_;
+  UpdateBus bus_;
+  std::mutex pump_mu_;  // serializes Start/StopUpdatePump
+  std::thread pump_;
+  bool pump_running_ = false;
+};
+
+}  // namespace apc
+
+#endif  // APC_RUNTIME_SHARDED_ENGINE_H_

@@ -1,0 +1,71 @@
+#ifndef APC_RUNTIME_UPDATE_BUS_H_
+#define APC_RUNTIME_UPDATE_BUS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace apc {
+
+/// One source-update command flowing through the bus. `source_id` of
+/// kAllSources means "advance every source one tick" — the batched form of
+/// the sequential simulator's global Tick. A specific id advances only that
+/// source, which is how trace-driven and per-source update arrival models
+/// feed the runtime.
+struct UpdateEvent {
+  int64_t now = 0;
+  int source_id = -1;
+
+  static constexpr int kAllSources = -1;
+};
+
+/// Bounded multi-producer single-consumer queue carrying source updates
+/// into the runtime's shards. Producers (workload updaters, trace
+/// replayers) block when the bus is full — closed-loop backpressure, so a
+/// slow consumer throttles its producers instead of the queue growing
+/// without bound. The consumer drains events in batches, which is what lets
+/// the engine amortize one shard-lock acquisition over many updates.
+///
+/// Close() wakes everyone: producers fail fast (Push returns false) and the
+/// consumer drains whatever remains, then PopBatch returns 0.
+class UpdateBus {
+ public:
+  explicit UpdateBus(size_t capacity = 1024);
+
+  /// Enqueues `event`, blocking while the bus is full. Returns false (and
+  /// drops the event) when the bus has been closed.
+  bool Push(const UpdateEvent& event);
+
+  /// Non-blocking variant: returns false when full or closed.
+  bool TryPush(const UpdateEvent& event);
+
+  /// Moves up to `max_batch` events into `*out` (cleared first). Blocks
+  /// until at least one event is available or the bus is closed and
+  /// drained; returns the number of events delivered (0 only at shutdown).
+  size_t PopBatch(std::vector<UpdateEvent>* out, size_t max_batch);
+
+  /// Closes the bus: subsequent pushes fail, and once the backlog drains
+  /// PopBatch returns 0.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Total events ever accepted (monotonic; for progress reporting).
+  int64_t total_pushed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<UpdateEvent> queue_;
+  bool closed_ = false;
+  int64_t total_pushed_ = 0;
+};
+
+}  // namespace apc
+
+#endif  // APC_RUNTIME_UPDATE_BUS_H_

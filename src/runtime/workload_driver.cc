@@ -1,0 +1,147 @@
+#include "runtime/workload_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace apc {
+
+namespace {
+
+/// Layout shared by every thread's latency histogram so they merge.
+Histogram MakeLatencyHistogram() {
+  return Histogram::LogSpaced(/*lo=*/0.1, /*hi=*/1e7, /*bins=*/200);
+}
+
+/// Precision constraints are satisfied exactly by construction; the
+/// tolerance only absorbs floating-point rounding in interval sums.
+bool ViolatesConstraint(const Interval& result, double constraint) {
+  double tolerance = 1e-9 * (1.0 + std::fabs(constraint));
+  return result.Width() > constraint + tolerance;
+}
+
+struct ThreadResult {
+  Histogram latency_us = MakeLatencyHistogram();
+  SummaryStats stats;
+  int64_t violations = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
+    int n, const RandomWalkParams& walk, const AdaptivePolicyParams& policy,
+    uint64_t seed) {
+  Rng master(seed);
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    uint64_t stream_seed = master.NextUint64();
+    uint64_t policy_seed = master.NextUint64();
+    sources.push_back(std::make_unique<Source>(
+        id, std::make_unique<RandomWalkStream>(walk, stream_seed),
+        std::make_unique<AdaptivePolicy>(policy, policy_seed)));
+  }
+  return sources;
+}
+
+DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
+  if (!config.IsValid()) return DriverReport{};
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  std::atomic<int64_t> clock{0};
+  std::atomic<bool> stop_updates{false};
+
+  std::thread updater;
+  // StartUpdatePump fails when the engine's bus was already closed by a
+  // previous updating run; the workload then runs against static values.
+  bool updates_running = config.run_updates && engine.StartUpdatePump();
+  if (updates_running) {
+    // The updater streams tick-all events through the bus as fast as
+    // backpressure allows; a slow pump throttles it instead of the queue
+    // growing without bound.
+    updater = std::thread([&] {
+      while (!stop_updates.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < config.update_burst; ++i) {
+          int64_t t = clock.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (!engine.bus().Push({t, UpdateEvent::kAllSources})) return;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<ThreadResult> results(
+      static_cast<size_t>(config.num_threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(config.num_threads));
+  auto wall_start = std::chrono::steady_clock::now();
+
+  for (int ti = 0; ti < config.num_threads; ++ti) {
+    workers.emplace_back([&, ti] {
+      ThreadResult& local = results[static_cast<size_t>(ti)];
+      uint64_t t = static_cast<uint64_t>(ti);
+      QueryGenerator gen(config.workload,
+                         config.seed ^ (0xA11CEULL + 0x9E3779B9ULL * t));
+      Rng rng(config.seed ^ (0xD517ULL + 0xBF58476DULL * t));
+      for (int64_t q = 0; q < config.queries_per_thread; ++q) {
+        Query query = gen.Next();
+        int64_t now = clock.load(std::memory_order_relaxed);
+        bool point_read = config.point_read_fraction > 0.0 &&
+                          rng.Bernoulli(config.point_read_fraction);
+        auto t0 = std::chrono::steady_clock::now();
+        Interval result =
+            point_read
+                ? engine.PointRead(query.source_ids.front(), query.constraint,
+                                   now)
+                : engine.ExecuteQuery(query, now);
+        auto t1 = std::chrono::steady_clock::now();
+        double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+        local.latency_us.Add(us);
+        local.stats.Add(us);
+        if (ViolatesConstraint(result, query.constraint)) ++local.violations;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  auto wall_end = std::chrono::steady_clock::now();
+
+  if (updates_running) {
+    stop_updates.store(true, std::memory_order_relaxed);
+    updater.join();
+    engine.StopUpdatePump();  // closes the bus and drains the backlog
+  }
+
+  // With no updates the measured period is 0 ticks; CostRate() then
+  // reports 0 rather than pretending the whole run was one tick.
+  int64_t final_tick = clock.load(std::memory_order_relaxed);
+  engine.EndMeasurement(final_tick);
+
+  DriverReport report;
+  Histogram merged = MakeLatencyHistogram();
+  SummaryStats stats;
+  for (const ThreadResult& local : results) {
+    merged.Merge(local.latency_us);
+    stats.Merge(local.stats);
+    report.violations += local.violations;
+  }
+  report.queries =
+      static_cast<int64_t>(config.num_threads) * config.queries_per_thread;
+  report.ticks = final_tick;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.queries_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.queries) / report.wall_seconds
+          : 0.0;
+  report.latency_mean_us = stats.mean();
+  report.latency_max_us = stats.max();
+  report.latency_p50_us = merged.Quantile(0.50);
+  report.latency_p95_us = merged.Quantile(0.95);
+  report.latency_p99_us = merged.Quantile(0.99);
+  report.costs = engine.TotalCosts();
+  return report;
+}
+
+}  // namespace apc

@@ -1,0 +1,81 @@
+#ifndef APC_RUNTIME_WORKLOAD_DRIVER_H_
+#define APC_RUNTIME_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_policy.h"
+#include "data/random_walk.h"
+#include "query/query_gen.h"
+#include "runtime/sharded_engine.h"
+#include "stats/histogram.h"
+#include "stats/stats.h"
+
+namespace apc {
+
+/// Configuration of the closed-loop concurrent load generator. Each query
+/// thread owns an independent QueryGenerator (and thus an independent Rng
+/// stream derived from `seed`), issues `queries_per_thread` precision-
+/// bounded aggregate queries back-to-back, and validates that every result
+/// interval satisfies its constraint. An optional updater thread streams
+/// tick-all events through the engine's UpdateBus while queries run, so
+/// value-initiated refreshes race with query-initiated ones the way a live
+/// deployment's would.
+struct DriverConfig {
+  int num_threads = 2;
+  int64_t queries_per_thread = 1000;
+  QueryWorkloadParams workload;
+  /// Streams source updates through the UpdateBus during the run. The
+  /// driver starts and stops the engine's pump thread itself.
+  bool run_updates = true;
+  /// Tick-all events pushed per updater burst (bounded by bus capacity).
+  int update_burst = 8;
+  /// Mix of single-source point reads (width bound = the query constraint)
+  /// interleaved into each thread's stream; the rest are aggregates.
+  double point_read_fraction = 0.0;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return num_threads > 0 && queries_per_thread > 0 && update_burst > 0 &&
+           point_read_fraction >= 0.0 && point_read_fraction <= 1.0 &&
+           workload.IsValid();
+  }
+};
+
+/// Outcome of a driver run. Latencies are per-query service times in
+/// microseconds, aggregated across threads from per-thread log-spaced
+/// histograms; `violations` counts result intervals wider than their
+/// constraint (must be 0 — the runtime's precision guarantee).
+struct DriverReport {
+  int64_t queries = 0;
+  int64_t violations = 0;
+  /// Logical ticks pushed through the update bus (0 when updates are off).
+  int64_t ticks = 0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+  EngineCosts costs;
+};
+
+/// Builds n random-walk sources with per-source forked policy/stream seeds
+/// — the standard source population for runtime benches and tests.
+std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
+    int n, const RandomWalkParams& walk, const AdaptivePolicyParams& policy,
+    uint64_t seed);
+
+/// Runs the closed-loop workload against `engine`: populates the cache,
+/// begins measurement, fans out query threads (plus the updater when
+/// enabled), joins everything, ends measurement, and returns the merged
+/// report. With `run_updates` set the engine's UpdateBus is closed when
+/// the run ends, so each engine supports one updating run. An invalid
+/// config yields the zero report without touching the engine.
+DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config);
+
+}  // namespace apc
+
+#endif  // APC_RUNTIME_WORKLOAD_DRIVER_H_

@@ -1,0 +1,310 @@
+#include "runtime/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/system.h"
+#include "core/adaptive_policy.h"
+#include "query/query_gen.h"
+#include "runtime/workload_driver.h"
+
+namespace apc {
+namespace {
+
+constexpr uint64_t kSeed = 2001;
+
+std::vector<std::unique_ptr<Source>> MakeSources(int n) {
+  RandomWalkParams walk;
+  AdaptivePolicyParams policy;
+  return BuildRandomWalkSources(n, walk, policy, kSeed);
+}
+
+QueryWorkloadParams MakeWorkload(int num_sources) {
+  QueryWorkloadParams params;
+  params.num_sources = num_sources;
+  params.group_size = 10;
+  params.max_fraction = 0.25;
+  params.min_fraction = 0.25;
+  params.avg_fraction = 0.25;
+  params.constraints.avg = 20.0;
+  params.constraints.rho = 1.0;
+  return params;
+}
+
+TEST(ShardedEngineTest, PartitionCoversEverySourceExactlyOnce) {
+  EngineConfig config;
+  config.num_shards = 4;
+  config.system.cache_capacity = 30;
+  ShardedEngine engine(config, MakeSources(64));
+  EXPECT_EQ(engine.num_sources(), 64u);
+  std::vector<size_t> counts = engine.ShardSourceCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  size_t total = 0;
+  size_t capacity = 0;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    total += counts[static_cast<size_t>(s)];
+    capacity += engine.shard(s).CacheCapacity();
+  }
+  EXPECT_EQ(total, 64u);
+  // Capacity slices sum exactly to χ.
+  EXPECT_EQ(capacity, 30u);
+  for (int id = 0; id < 64; ++id) {
+    int owner = engine.ShardOf(id);
+    for (int s = 0; s < engine.num_shards(); ++s) {
+      EXPECT_EQ(engine.shard(s).Owns(id), s == owner);
+    }
+  }
+}
+
+// The acceptance bar for the runtime: a single-shard engine driven in
+// lockstep from one thread reproduces the sequential CacheSystem's cost
+// accounting and query results tick for tick.
+TEST(ShardedEngineTest, SingleShardMatchesCacheSystemExactly) {
+  constexpr int kSources = 40;
+  constexpr int64_t kTicks = 400;
+
+  SystemConfig sys_config;
+  sys_config.cache_capacity = 25;  // forces evictions and unbounded reads
+
+  CacheSystem sequential(sys_config, MakeSources(kSources));
+  sequential.PopulateInitial(0);
+  sequential.costs().BeginMeasurement(0);
+
+  EngineConfig engine_config;
+  engine_config.system = sys_config;
+  engine_config.num_shards = 1;
+  ShardedEngine engine(engine_config, MakeSources(kSources));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  QueryGenerator sequential_queries(MakeWorkload(kSources), kSeed ^ 0x71);
+  QueryGenerator engine_queries(MakeWorkload(kSources), kSeed ^ 0x71);
+
+  for (int64_t t = 1; t <= kTicks; ++t) {
+    sequential.Tick(t);
+    engine.TickAll(t);
+    Interval expected = sequential.ExecuteQuery(sequential_queries.Next(), t);
+    Interval actual = engine.ExecuteQuery(engine_queries.Next(), t);
+    ASSERT_EQ(actual, expected) << "diverged at tick " << t;
+  }
+  sequential.costs().EndMeasurement(kTicks);
+  engine.EndMeasurement(kTicks);
+
+  EngineCosts costs = engine.TotalCosts();
+  EXPECT_EQ(costs.value_refreshes, sequential.costs().value_refreshes());
+  EXPECT_EQ(costs.query_refreshes, sequential.costs().query_refreshes());
+  EXPECT_DOUBLE_EQ(costs.total_cost, sequential.costs().total_cost());
+  EXPECT_EQ(costs.measured_ticks, sequential.costs().measured_ticks());
+  EXPECT_DOUBLE_EQ(costs.CostRate(), sequential.costs().CostRate());
+  EXPECT_DOUBLE_EQ(engine.MeanRawWidth(), sequential.MeanRawWidth());
+}
+
+// The guarantee extends to failure injection: shard 0 inherits the engine
+// seed unmangled, so a seed-matched single-shard engine draws the same
+// push-loss Bernoulli stream as the CacheSystem and loses the same pushes.
+TEST(ShardedEngineTest, SingleShardMatchesCacheSystemUnderPushLoss) {
+  constexpr int kSources = 30;
+  constexpr int64_t kTicks = 300;
+
+  SystemConfig sys_config;
+  sys_config.cache_capacity = 20;
+  sys_config.push_loss_probability = 0.2;
+
+  CacheSystem sequential(sys_config, MakeSources(kSources), kSeed);
+  sequential.PopulateInitial(0);
+  sequential.costs().BeginMeasurement(0);
+
+  EngineConfig engine_config;
+  engine_config.system = sys_config;
+  engine_config.num_shards = 1;
+  engine_config.seed = kSeed;
+  ShardedEngine engine(engine_config, MakeSources(kSources));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  QueryGenerator sequential_queries(MakeWorkload(kSources), kSeed ^ 0x72);
+  QueryGenerator engine_queries(MakeWorkload(kSources), kSeed ^ 0x72);
+  for (int64_t t = 1; t <= kTicks; ++t) {
+    sequential.Tick(t);
+    engine.TickAll(t);
+    Interval expected = sequential.ExecuteQuery(sequential_queries.Next(), t);
+    Interval actual = engine.ExecuteQuery(engine_queries.Next(), t);
+    ASSERT_EQ(actual, expected) << "diverged at tick " << t;
+  }
+  sequential.costs().EndMeasurement(kTicks);
+  engine.EndMeasurement(kTicks);
+
+  EXPECT_GT(engine.lost_pushes(), 0) << "injection never fired";
+  EXPECT_EQ(engine.lost_pushes(), sequential.lost_pushes());
+  EngineCosts costs = engine.TotalCosts();
+  EXPECT_EQ(costs.value_refreshes, sequential.costs().value_refreshes());
+  EXPECT_EQ(costs.query_refreshes, sequential.costs().query_refreshes());
+  EXPECT_DOUBLE_EQ(costs.total_cost, sequential.costs().total_cost());
+}
+
+// Updates delivered through the bus (both the batched tick-all form and
+// per-source events) must land exactly like synchronous lockstep ticks.
+TEST(ShardedEngineTest, UpdateBusMatchesSynchronousTicks) {
+  constexpr int kSources = 24;
+  constexpr int64_t kTicks = 120;
+  EngineConfig config;
+  config.num_shards = 3;
+  config.system.cache_capacity = 18;
+
+  ShardedEngine lockstep(config, MakeSources(kSources));
+  lockstep.PopulateInitial(0);
+  lockstep.BeginMeasurement(0);
+  for (int64_t t = 1; t <= kTicks; ++t) lockstep.TickAll(t);
+  lockstep.EndMeasurement(kTicks);
+
+  ShardedEngine via_tick_all(config, MakeSources(kSources));
+  via_tick_all.PopulateInitial(0);
+  via_tick_all.BeginMeasurement(0);
+  via_tick_all.StartUpdatePump();
+  for (int64_t t = 1; t <= kTicks; ++t) {
+    ASSERT_TRUE(via_tick_all.bus().Push({t, UpdateEvent::kAllSources}));
+  }
+  via_tick_all.StopUpdatePump();  // drains the backlog before joining
+  via_tick_all.EndMeasurement(kTicks);
+
+  ShardedEngine via_per_source(config, MakeSources(kSources));
+  via_per_source.PopulateInitial(0);
+  via_per_source.BeginMeasurement(0);
+  via_per_source.StartUpdatePump();
+  for (int64_t t = 1; t <= kTicks; ++t) {
+    for (int id = 0; id < kSources; ++id) {
+      ASSERT_TRUE(via_per_source.bus().Push({t, id}));
+    }
+  }
+  via_per_source.StopUpdatePump();
+  via_per_source.EndMeasurement(kTicks);
+
+  EngineCosts expected = lockstep.TotalCosts();
+  for (ShardedEngine* engine : {&via_tick_all, &via_per_source}) {
+    EngineCosts actual = engine->TotalCosts();
+    EXPECT_EQ(actual.value_refreshes, expected.value_refreshes);
+    EXPECT_DOUBLE_EQ(actual.total_cost, expected.total_cost);
+    EXPECT_DOUBLE_EQ(engine->MeanRawWidth(), lockstep.MeanRawWidth());
+  }
+  EXPECT_EQ(via_per_source.counters().updates_applied.load(),
+            kSources * kTicks);
+}
+
+TEST(ShardedEngineTest, PumpCannotRestartAfterStop) {
+  EngineConfig config;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(12));
+  engine.PopulateInitial(0);
+  EXPECT_TRUE(engine.StartUpdatePump());
+  EXPECT_TRUE(engine.StartUpdatePump());  // already running
+  engine.StopUpdatePump();
+  EXPECT_FALSE(engine.StartUpdatePump())
+      << "a closed bus must not silently feed a dead pump";
+
+  // A driver run against the consumed engine still completes; it just sees
+  // static values (no ticks).
+  DriverConfig driver;
+  driver.num_threads = 1;
+  driver.queries_per_thread = 10;
+  driver.workload = MakeWorkload(12);
+  driver.run_updates = true;
+  DriverReport report = RunWorkload(engine, driver);
+  EXPECT_EQ(report.queries, 10);
+  EXPECT_EQ(report.ticks, 0);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(ShardedEngineTest, PointReadPullsOnlyWhenTooWide) {
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(8));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  // Initial approximations have width 1 (AdaptivePolicyParams default).
+  Interval loose = engine.PointRead(3, /*max_width=*/2.0, /*now=*/0);
+  EXPECT_LE(loose.Width(), 2.0);
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 0)
+      << "a wide-enough bound must be served from the cache";
+
+  Interval tight = engine.PointRead(3, /*max_width=*/0.0, /*now=*/0);
+  EXPECT_TRUE(tight.IsExact());
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 1);
+  EXPECT_EQ(engine.counters().queries_executed.load(), 2);
+}
+
+// Concurrency smoke: many query threads race the update pump; every result
+// must still satisfy its precision constraint, and the atomic counters must
+// agree with the mutex-guarded cost trackers once quiescent.
+TEST(ShardedEngineTest, ConcurrentQueriesRespectPrecisionConstraints) {
+  constexpr int kSources = 64;
+  EngineConfig config;
+  config.num_shards = 4;
+  config.system.cache_capacity = 48;
+  ShardedEngine engine(config, MakeSources(kSources));
+
+  DriverConfig driver;
+  driver.num_threads = 4;
+  driver.queries_per_thread = 300;
+  driver.workload = MakeWorkload(kSources);
+  driver.run_updates = true;
+  driver.point_read_fraction = 0.2;
+  driver.seed = kSeed;
+  DriverReport report = RunWorkload(engine, driver);
+
+  EXPECT_EQ(report.queries, 4 * 300);
+  EXPECT_EQ(report.violations, 0)
+      << "a returned interval exceeded its precision constraint";
+  EXPECT_GT(report.ticks, 0) << "updater made no progress";
+  EXPECT_GT(report.queries_per_second, 0.0);
+  EXPECT_EQ(engine.counters().queries_executed.load(), report.queries);
+
+  EngineCosts costs = engine.TotalCosts();
+  EXPECT_EQ(engine.counters().value_refreshes.load(), costs.value_refreshes);
+  EXPECT_EQ(engine.counters().query_refreshes.load(), costs.query_refreshes);
+  EXPECT_GT(costs.query_refreshes, 0);
+  EXPECT_GT(costs.value_refreshes, 0);
+}
+
+// Direct (driver-less) races: raw ExecuteQuery callers against raw TickAll
+// callers, exercising the shard locks without any bus in between.
+TEST(ShardedEngineTest, RawConcurrentAccessKeepsGuarantee) {
+  constexpr int kSources = 32;
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 24;
+  ShardedEngine engine(config, MakeSources(kSources));
+  engine.PopulateInitial(0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::thread ticker([&] {
+    for (int64_t t = 1; !stop.load(std::memory_order_relaxed); ++t) {
+      engine.TickAll(t);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      QueryGenerator gen(MakeWorkload(kSources),
+                         kSeed + static_cast<uint64_t>(r));
+      for (int q = 0; q < 200; ++q) {
+        Query query = gen.Next();
+        Interval result = engine.ExecuteQuery(query, q);
+        if (result.Width() > query.constraint + 1e-9) ++violations;
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  ticker.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace apc

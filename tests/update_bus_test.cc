@@ -1,0 +1,99 @@
+#include "runtime/update_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace apc {
+namespace {
+
+TEST(UpdateBusTest, PopDeliversInFifoOrder) {
+  UpdateBus bus(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bus.Push({i, i}));
+  EXPECT_EQ(bus.size(), 5u);
+  std::vector<UpdateEvent> batch;
+  EXPECT_EQ(bus.PopBatch(&batch, 16), 5u);
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[static_cast<size_t>(i)].now, i);
+    EXPECT_EQ(batch[static_cast<size_t>(i)].source_id, i);
+  }
+}
+
+TEST(UpdateBusTest, PopBatchRespectsMaxBatch) {
+  UpdateBus bus(16);
+  for (int i = 0; i < 10; ++i) bus.Push({i, 0});
+  std::vector<UpdateEvent> batch;
+  EXPECT_EQ(bus.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch.front().now, 0);
+  EXPECT_EQ(bus.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch.front().now, 4);
+  EXPECT_EQ(bus.PopBatch(&batch, 4), 2u);
+}
+
+TEST(UpdateBusTest, TryPushFailsWhenFull) {
+  UpdateBus bus(2);
+  EXPECT_TRUE(bus.TryPush({1, 0}));
+  EXPECT_TRUE(bus.TryPush({2, 0}));
+  EXPECT_FALSE(bus.TryPush({3, 0}));
+  std::vector<UpdateEvent> batch;
+  bus.PopBatch(&batch, 1);
+  EXPECT_TRUE(bus.TryPush({3, 0}));
+}
+
+TEST(UpdateBusTest, CloseDrainsBacklogThenReturnsZero) {
+  UpdateBus bus(8);
+  bus.Push({1, 0});
+  bus.Push({2, 0});
+  bus.Close();
+  EXPECT_FALSE(bus.Push({3, 0}));
+  EXPECT_FALSE(bus.TryPush({3, 0}));
+  std::vector<UpdateEvent> batch;
+  EXPECT_EQ(bus.PopBatch(&batch, 16), 2u);
+  EXPECT_EQ(bus.PopBatch(&batch, 16), 0u);
+  EXPECT_TRUE(bus.closed());
+}
+
+TEST(UpdateBusTest, BlockedProducerUnblocksOnClose) {
+  UpdateBus bus(1);
+  EXPECT_TRUE(bus.Push({1, 0}));
+  std::thread producer([&] {
+    // Full: this push blocks until Close() wakes it, then fails.
+    EXPECT_FALSE(bus.Push({2, 0}));
+  });
+  bus.Close();
+  producer.join();
+}
+
+TEST(UpdateBusTest, MultipleProducersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  UpdateBus bus(32);  // smaller than the total: backpressure is exercised
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&bus, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(bus.Push({i, p}));
+      }
+    });
+  }
+  std::vector<int> per_producer(kProducers, 0);
+  int received = 0;
+  std::vector<UpdateEvent> batch;
+  while (received < kProducers * kPerProducer) {
+    size_t n = bus.PopBatch(&batch, 64);
+    ASSERT_GT(n, 0u);
+    for (const UpdateEvent& e : batch) {
+      // Per-producer FIFO: each producer's events arrive in push order.
+      EXPECT_EQ(e.now, per_producer[static_cast<size_t>(e.source_id)]++);
+    }
+    received += static_cast<int>(n);
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(bus.total_pushed(), kProducers * kPerProducer);
+  EXPECT_EQ(bus.size(), 0u);
+}
+
+}  // namespace
+}  // namespace apc
