@@ -1,0 +1,116 @@
+#include "bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace apc::bench {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderNum(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonRow& JsonRow::Raw(const std::string& key, std::string rendered) {
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonRow& JsonRow::Int(const std::string& key, int64_t value) {
+  return Raw(key, std::to_string(value));
+}
+
+JsonRow& JsonRow::Num(const std::string& key, double value) {
+  return Raw(key, RenderNum(value));
+}
+
+JsonRow& JsonRow::Str(const std::string& key, const std::string& value) {
+  return Raw(key, "\"" + EscapeJson(value) + "\"");
+}
+
+JsonRow& JsonRow::Bool(const std::string& key, bool value) {
+  return Raw(key, value ? "true" : "false");
+}
+
+std::string JsonRow::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + EscapeJson(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+JsonRow& BenchReport::AddRun() {
+  runs_.emplace_back();
+  return runs_.back();
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + EscapeJson(name_) + "\",\n";
+  out += "  \"schema\": \"apcache-bench-v1\",\n";
+  out += "  \"meta\": " + meta_.ToJson() + ",\n";
+  out += "  \"runs\": [\n";
+  size_t i = 0;
+  for (const JsonRow& run : runs_) {
+    out += "    " + run.ToJson();
+    out += ++i < runs_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+bool BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace apc::bench

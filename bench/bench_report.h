@@ -1,0 +1,67 @@
+#ifndef APC_BENCH_BENCH_REPORT_H_
+#define APC_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apc::bench {
+
+/// One flat JSON object: an ordered list of key → scalar fields. Values are
+/// rendered at insertion time (numbers via %.10g with non-finite mapped to
+/// null, strings escaped), so a row is just the pre-serialized pieces.
+class JsonRow {
+ public:
+  JsonRow& Int(const std::string& key, int64_t value);
+  JsonRow& Num(const std::string& key, double value);
+  JsonRow& Str(const std::string& key, const std::string& value);
+  JsonRow& Bool(const std::string& key, bool value);
+
+  /// Renders `{"k": v, ...}` (insertion order preserved).
+  std::string ToJson() const;
+
+ private:
+  JsonRow& Raw(const std::string& key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects a bench's persisted trajectory: run metadata plus one row per
+/// measured configuration, written as
+///
+///   {
+///     "bench": "<name>",
+///     "schema": "apcache-bench-v1",
+///     "meta": { ...run-level context... },
+///     "runs": [ { ...one row per swept configuration... } ]
+///   }
+///
+/// The BENCH_*.json files at the repo root are committed so every PR's
+/// numbers land in history and regressions are diffable.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Run-level context (host parameters, workload constants, units).
+  JsonRow& Meta() { return meta_; }
+
+  /// Appends a run row; the reference stays valid for the report's life.
+  JsonRow& AddRun();
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (+ trailing newline). Returns false and
+  /// leaves no partial file behind when the path cannot be opened.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  JsonRow meta_;
+  std::deque<JsonRow> runs_;  // deque: stable references across AddRun
+};
+
+}  // namespace apc::bench
+
+#endif  // APC_BENCH_BENCH_REPORT_H_

@@ -1,20 +1,33 @@
-// Scaling bench for the concurrent serving runtime (src/runtime/).
+// Scaling bench for the concurrent serving runtime (src/runtime/) — and
+// the writer of BENCH_runtime.json, the repo's persisted perf trajectory.
 //
 // Part 1 re-validates the runtime's equivalence claim: a single-shard
 // engine driven in lockstep from one thread must reproduce the sequential
 // CacheSystem's cost accounting exactly — same value- and query-initiated
 // refresh counts, same total cost.
 //
-// Part 2 sweeps worker threads (1 → N) against shard counts and reports
-// closed-loop throughput and latency percentiles, with an updater thread
-// streaming source updates through the UpdateBus during every run. Every
-// returned interval is checked against its precision constraint; the
-// violations column must read 0.
+// Part 2 sweeps the read-mostly serving hot path (point_read_fraction
+// 0.95) across worker threads × shards × Zipf skew, in BOTH lock modes:
+// "shared" (the real runtime: snapshot reads take shard locks shared) and
+// "exclusive" (the pre-shared_mutex baseline, every access exclusive).
+// The updater streams tick-all events through the UpdateBus during every
+// run, so readers race a cycling writer. Every returned interval is
+// checked against its precision constraint; violations must be 0.
 //
-// Usage: bench_runtime_throughput [queries_per_thread] [num_sources]
+// Part 3 runs a phase-shifting scenario: a skewed read-heavy regime, then
+// a write-heavy uniform regime, then a pure-read regime — the update:query
+// ratio flips mid-run, exercising the adaptive δ policies under regime
+// change.
+//
+// Usage: bench_runtime_throughput [queries_per_thread] [num_sources] [out.json]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "cache/system.h"
 #include "core/adaptive_policy.h"
@@ -27,6 +40,7 @@ namespace {
 using namespace apc;
 
 constexpr uint64_t kSeed = 77;
+constexpr double kPointReadFraction = 0.95;
 
 QueryWorkloadParams Workload(int num_sources) {
   QueryWorkloadParams params;
@@ -90,68 +104,235 @@ bool DeterminismCheck(int num_sources) {
   return match;
 }
 
+struct SweepPoint {
+  std::string mode;  // "shared" | "exclusive"
+  double zipf_s = 0.0;
+  int shards = 1;
+  int threads = 1;
+  DriverReport report;
+};
+
+DriverReport RunOne(bool exclusive_read_locks, double zipf_s, int shards,
+                    int threads, int64_t queries_per_thread, int num_sources,
+                    const std::vector<WorkloadPhase>& phases,
+                    int64_t* queries_executed) {
+  EngineConfig config;
+  config.num_shards = shards;
+  config.system.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
+  config.seed = kSeed;
+  config.exclusive_read_locks = exclusive_read_locks;
+  ShardedEngine engine(config, Sources(num_sources));
+
+  DriverConfig driver;
+  driver.num_threads = threads;
+  driver.queries_per_thread = queries_per_thread;
+  driver.workload = Workload(num_sources);
+  driver.workload.zipf_s = zipf_s;
+  driver.run_updates = true;
+  driver.point_read_fraction = kPointReadFraction;
+  driver.phases = phases;
+  driver.seed = kSeed + static_cast<uint64_t>(shards * 1000 + threads * 10 +
+                                              (exclusive_read_locks ? 1 : 0));
+  DriverReport report = RunWorkload(engine, driver);
+  // Progress is judged by the engine's own atomic counter, not by the
+  // driver's derived tally: every issued query must have reached the engine.
+  *queries_executed = engine.counters().queries_executed.load();
+  return report;
+}
+
+/// Repeats a sweep point and keeps the qps-median run: single runs are
+/// scheduler-noisy (especially on few-core hosts), and the committed
+/// trajectory should track the code, not the interleaving lottery.
+/// Violations accumulate across ALL repeats — the precision guarantee has
+/// no noise to hide behind.
+DriverReport RunMedian(int repeats, bool exclusive_read_locks, double zipf_s,
+                       int shards, int threads, int64_t queries_per_thread,
+                       int num_sources, int64_t* queries_executed,
+                       int64_t* all_violations) {
+  std::vector<DriverReport> reports;
+  std::vector<int64_t> executed(static_cast<size_t>(repeats), 0);
+  for (int r = 0; r < repeats; ++r) {
+    reports.push_back(RunOne(exclusive_read_locks, zipf_s, shards, threads,
+                             queries_per_thread, num_sources, {},
+                             &executed[static_cast<size_t>(r)]));
+    *all_violations += reports.back().violations;
+  }
+  size_t median = 0;
+  std::vector<size_t> order(reports.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return reports[a].queries_per_second < reports[b].queries_per_second;
+  });
+  median = order[order.size() / 2];
+  *queries_executed = executed[median];
+  return reports[median];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int64_t queries_per_thread = argc > 1 ? std::atoll(argv[1]) : 2000;
+  int64_t queries_per_thread = argc > 1 ? std::atoll(argv[1]) : 20000;
   int num_sources = argc > 2 ? std::atoi(argv[2]) : 256;
+  std::string out_path = argc > 3 ? argv[3] : "BENCH_runtime.json";
   if (queries_per_thread <= 0 || !Workload(num_sources).IsValid()) {
     std::fprintf(stderr,
-                 "usage: %s [queries_per_thread] [num_sources]\n"
+                 "usage: %s [queries_per_thread] [num_sources] [out.json]\n"
                  "  queries_per_thread >= 1, num_sources >= 10 (group size)\n",
                  argv[0]);
     return 2;
   }
+
+  bench::BenchReport report("runtime_throughput");
+  report.Meta()
+      .Int("queries_per_thread", queries_per_thread)
+      .Int("num_sources", num_sources)
+      .Num("point_read_fraction", kPointReadFraction)
+      .Int("group_size", 10)
+      .Int("hardware_threads",
+           static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .Str("workload", "mixed SUM/MAX/MIN/AVG + point reads, updates via bus")
+      .Str("units", "latency us, qps queries/s, cost_rate cost/tick");
 
   bench::Banner("RUNTIME-1",
                 "single shard + single thread reproduces CacheSystem");
   bool deterministic = DeterminismCheck(num_sources);
 
   bench::Banner("RUNTIME-2",
-                "closed-loop throughput, threads x shards sweep");
-  bench::Note("mixed SUM/MAX/MIN/AVG workload, group size 10, "
-              "updates streaming through the UpdateBus");
-  std::printf(
-      "\n  %7s %8s %12s %10s %10s %10s %11s\n",
-      "shards", "threads", "queries/s", "p50 us", "p99 us", "ticks",
-      "violations");
+                "read-mostly hot path: threads x shards x skew, both lock modes");
+  bench::Note("point_read_fraction 0.95, updates streaming through the bus;");
+  bench::Note("'shared' = snapshot reads take shard locks shared (the runtime),");
+  bench::Note("'exclusive' = every access exclusive (pre-shared_mutex baseline)");
+  std::printf("\n  %9s %5s %7s %8s %12s %9s %9s %9s %10s %7s %11s\n", "mode",
+              "zipf", "shards", "threads", "queries/s", "p50 us", "p95 us",
+              "p99 us", "cost/tick", "ticks", "violations");
 
+  std::vector<SweepPoint> sweep;
   int64_t total_violations = 0;
   bool concurrent_progress = false;
-  for (int shards : {1, 2, 4, 8}) {
-    for (int threads : {1, 2, 4}) {
-      EngineConfig config;
-      config.num_shards = shards;
-      config.system.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
-      config.seed = kSeed;
-      ShardedEngine engine(config, Sources(num_sources));
-
-      DriverConfig driver;
-      driver.num_threads = threads;
-      driver.queries_per_thread = queries_per_thread;
-      driver.workload = Workload(num_sources);
-      driver.run_updates = true;
-      driver.point_read_fraction = 0.2;
-      driver.seed = kSeed + static_cast<uint64_t>(shards * 100 + threads);
-      DriverReport report = RunWorkload(engine, driver);
-
-      total_violations += report.violations;
-      // Progress is judged by the engine's own atomic counter, not by the
-      // driver's derived tally: every query issued by every worker must
-      // actually have reached the engine.
-      if (threads > 1 && engine.counters().queries_executed.load() ==
-                             threads * queries_per_thread) {
-        concurrent_progress = true;
+  for (bool exclusive : {false, true}) {
+    for (double zipf_s : {0.0, 1.1}) {
+      for (int shards : {1, 8}) {
+        for (int threads : {1, 4, 8}) {
+          SweepPoint point;
+          point.mode = exclusive ? "exclusive" : "shared";
+          point.zipf_s = zipf_s;
+          point.shards = shards;
+          point.threads = threads;
+          int64_t executed = 0;
+          point.report =
+              RunMedian(/*repeats=*/5, exclusive, zipf_s, shards, threads,
+                        queries_per_thread, num_sources, &executed,
+                        &total_violations);
+          const DriverReport& r = point.report;
+          if (threads > 1 &&
+              executed ==
+                  static_cast<int64_t>(threads) * queries_per_thread) {
+            concurrent_progress = true;
+          }
+          std::printf(
+              "  %9s %5.1f %7d %8d %12.0f %9.1f %9.1f %9.1f %10.3f %7lld"
+              " %11lld\n",
+              point.mode.c_str(), zipf_s, shards, threads,
+              r.queries_per_second, r.latency_p50_us, r.latency_p95_us,
+              r.latency_p99_us, r.costs.CostRate(),
+              static_cast<long long>(r.ticks),
+              static_cast<long long>(r.violations));
+          report.AddRun()
+              .Str("scenario", "steady")
+              .Str("mode", point.mode)
+              .Num("zipf_s", zipf_s)
+              .Int("shards", shards)
+              .Int("threads", threads)
+              .Num("point_read_fraction", kPointReadFraction)
+              .Num("qps", r.queries_per_second)
+              .Num("p50_us", r.latency_p50_us)
+              .Num("p95_us", r.latency_p95_us)
+              .Num("p99_us", r.latency_p99_us)
+              .Num("cost_rate", r.costs.CostRate())
+              .Int("queries", r.queries)
+              .Int("ticks", r.ticks)
+              .Int("value_refreshes", r.costs.value_refreshes)
+              .Int("query_refreshes", r.costs.query_refreshes)
+              .Int("violations", r.violations);
+          sweep.push_back(std::move(point));
+        }
       }
-      std::printf("  %7d %8d %12.0f %10.1f %10.1f %10lld %11lld\n", shards,
-                  threads, report.queries_per_second, report.latency_p50_us,
-                  report.latency_p99_us,
-                  static_cast<long long>(report.ticks),
-                  static_cast<long long>(report.violations));
     }
   }
 
+  bench::Banner("RUNTIME-3", "phase-shifting workload (regime change)");
+  bench::Note("phase 1: skewed read-heavy | phase 2: uniform write-heavy | "
+              "phase 3: pure reads, updates paused");
+  {
+    std::vector<WorkloadPhase> phases(3);
+    phases[0].queries_per_thread = queries_per_thread;
+    phases[0].point_read_fraction = 0.95;
+    phases[0].zipf_s = 1.1;
+    phases[0].update_burst = 4;
+    phases[1].queries_per_thread = queries_per_thread;
+    phases[1].point_read_fraction = 0.2;
+    phases[1].zipf_s = 0.0;
+    phases[1].update_burst = 64;
+    phases[2].queries_per_thread = queries_per_thread;
+    phases[2].point_read_fraction = 1.0;
+    phases[2].zipf_s = 1.1;
+    phases[2].update_burst = 0;
+    int64_t executed = 0;
+    DriverReport r = RunOne(false, 0.0, 8, 4, queries_per_thread,
+                            num_sources, phases, &executed);
+    total_violations += r.violations;
+    std::printf("  %lld queries in %.2fs -> %.0f q/s, p99 %.1f us, "
+                "%lld ticks, %lld violations\n",
+                static_cast<long long>(r.queries), r.wall_seconds,
+                r.queries_per_second, r.latency_p99_us,
+                static_cast<long long>(r.ticks),
+                static_cast<long long>(r.violations));
+    report.AddRun()
+        .Str("scenario", "phase_shift")
+        .Str("mode", "shared")
+        .Str("phases",
+             "read95/zipf1.1/burst4 -> read20/uniform/burst64 -> "
+             "read100/zipf1.1/paused")
+        .Int("shards", 8)
+        .Int("threads", 4)
+        .Num("qps", r.queries_per_second)
+        .Num("p50_us", r.latency_p50_us)
+        .Num("p95_us", r.latency_p95_us)
+        .Num("p99_us", r.latency_p99_us)
+        .Num("cost_rate", r.costs.CostRate())
+        .Int("queries", r.queries)
+        .Int("ticks", r.ticks)
+        .Int("violations", r.violations);
+  }
+
+  // Headline comparison: shared vs exclusive at the widest concurrency.
+  bench::Banner("SUMMARY", "shared-lock read path vs exclusive baseline");
+  for (double zipf_s : {0.0, 1.1}) {
+    for (int shards : {1, 8}) {
+      double shared_qps = 0.0;
+      double exclusive_qps = 0.0;
+      for (const SweepPoint& point : sweep) {
+        if (point.threads != 8 || point.shards != shards ||
+            point.zipf_s != zipf_s) {
+          continue;
+        }
+        (point.mode == "shared" ? shared_qps : exclusive_qps) =
+            point.report.queries_per_second;
+      }
+      std::printf(
+          "  8 threads, %d shard%s, zipf %.1f: shared %8.0f q/s vs "
+          "exclusive %8.0f q/s  (%+.1f%%)\n",
+          shards, shards == 1 ? " " : "s", zipf_s, shared_qps, exclusive_qps,
+          exclusive_qps > 0.0
+              ? 100.0 * (shared_qps - exclusive_qps) / exclusive_qps
+              : 0.0);
+    }
+  }
+
+  bool wrote = report.WriteFile(out_path);
   std::printf("\n");
+  bench::Note(wrote ? "trajectory written to " + out_path
+                    : "FAILED to write " + out_path);
   bench::Note(deterministic
                   ? "determinism: 1 shard / 1 thread MATCHES CacheSystem"
                   : "determinism: MISMATCH vs CacheSystem (BUG)");
@@ -161,6 +342,8 @@ int main(int argc, char** argv) {
   bench::Note(concurrent_progress
                   ? "concurrency: multi-thread runs completed all queries"
                   : "concurrency: multi-thread runs made no progress (BUG)");
-  return (deterministic && total_violations == 0 && concurrent_progress) ? 0
-                                                                         : 1;
+  return (deterministic && total_violations == 0 && concurrent_progress &&
+          wrote)
+             ? 0
+             : 1;
 }

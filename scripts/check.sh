@@ -3,8 +3,22 @@
 #
 #   scripts/check.sh            # full: configure, build, ctest, bench smoke
 #   scripts/check.sh --no-bench # tier-1 only
+#   scripts/check.sh --tsan     # rebuild with -DAPC_SANITIZE=thread and rerun
+#                               # the concurrency tests under ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # The runtime/bus/driver suites are the ones with real thread
+  # interleavings; everything else is single-threaded by construction.
+  cmake -B build-tsan -S . -DAPC_SANITIZE=thread -DAPCACHE_BUILD_BENCHES=OFF \
+        -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+        -R '^(runtime_test|update_bus_test|workload_driver_test)$'
+  echo "check.sh: concurrency tests clean under ThreadSanitizer"
+  exit 0
+fi
 
 # --- tier-1 verify -------------------------------------------------------
 cmake -B build -S .
@@ -19,6 +33,6 @@ fi
 # --- Release bench smoke -------------------------------------------------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_runtime_throughput
-./build-release/bench_runtime_throughput 500 128
+./build-release/bench_runtime_throughput 500 128 build-release/BENCH_runtime.json
 
 echo "check.sh: all checks passed"

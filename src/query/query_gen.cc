@@ -1,5 +1,7 @@
 #include "query/query_gen.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace apc {
@@ -9,6 +11,14 @@ QueryGenerator::QueryGenerator(const QueryWorkloadParams& params,
     : params_(params), rng_(seed), constraints_(params.constraints, seed ^ 0xc0ffee) {
   scratch_ids_.resize(static_cast<size_t>(params_.num_sources));
   std::iota(scratch_ids_.begin(), scratch_ids_.end(), 0);
+  if (params_.zipf_s > 0.0) {
+    zipf_cdf_.reserve(static_cast<size_t>(params_.num_sources));
+    double total = 0.0;
+    for (int k = 0; k < params_.num_sources; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -params_.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+  }
 }
 
 Query QueryGenerator::Next() {
@@ -26,16 +36,73 @@ Query QueryGenerator::Next() {
   }
   q.constraint = constraints_.Next();
 
-  // Partial Fisher-Yates: the first group_size slots become a uniform
-  // sample of distinct ids.
   int n = params_.num_sources;
   int g = params_.group_size;
-  for (int i = 0; i < g; ++i) {
-    int j = static_cast<int>(rng_.UniformInt(i, n - 1));
-    std::swap(scratch_ids_[static_cast<size_t>(i)],
-              scratch_ids_[static_cast<size_t>(j)]);
+  if (zipf_cdf_.empty()) {
+    // Partial Fisher-Yates: the first group_size slots become a uniform
+    // sample of distinct ids. (This branch also keeps the historical Rng
+    // stream bit-exact for zipf_s == 0 seeds.)
+    for (int i = 0; i < g; ++i) {
+      int j = static_cast<int>(rng_.UniformInt(i, n - 1));
+      std::swap(scratch_ids_[static_cast<size_t>(i)],
+                scratch_ids_[static_cast<size_t>(j)]);
+    }
+    q.source_ids.assign(scratch_ids_.begin(), scratch_ids_.begin() + g);
+    return q;
   }
-  q.source_ids.assign(scratch_ids_.begin(), scratch_ids_.begin() + g);
+
+  // Zipf-skewed sample of distinct ids. The first element is exactly
+  // Zipf-distributed (point-read streams use it as the hot-key draw);
+  // later elements are Zipf conditioned on distinctness — i.e. weighted
+  // sampling without replacement. Fast path: draw from the full cdf and
+  // reject duplicates (O(log n) per draw while the chosen mass is small).
+  // When a draw keeps landing on already-chosen ids — g close to n with a
+  // steep exponent concentrates nearly all mass on the chosen head, and
+  // pure rejection would effectively never terminate — fall back to one
+  // exact O(n) draw over the remaining ids.
+  q.source_ids.clear();
+  q.source_ids.reserve(static_cast<size_t>(g));
+  double total = zipf_cdf_.back();
+  double chosen_mass = 0.0;
+  auto weight = [this](int id) {
+    return id == 0 ? zipf_cdf_[0]
+                   : zipf_cdf_[static_cast<size_t>(id)] -
+                         zipf_cdf_[static_cast<size_t>(id) - 1];
+  };
+  auto chosen = [&q](int id) {
+    return std::find(q.source_ids.begin(), q.source_ids.end(), id) !=
+           q.source_ids.end();
+  };
+  constexpr int kMaxRejects = 32;
+  while (static_cast<int>(q.source_ids.size()) < g) {
+    int id = -1;
+    for (int attempt = 0; attempt < kMaxRejects; ++attempt) {
+      double u = rng_.Uniform(0.0, total);
+      auto it = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+      int candidate = static_cast<int>(it - zipf_cdf_.begin());
+      if (candidate >= n) candidate = n - 1;  // u == total edge
+      if (!chosen(candidate)) {
+        id = candidate;
+        break;
+      }
+    }
+    if (id < 0) {
+      // Exact draw over the not-yet-chosen ids, proportional to weight.
+      // chosen_mass re-sums rounded cdf differences, so the remaining span
+      // can round ever so slightly negative once only the coldest ids are
+      // left — clamp, and the keep-last-unchosen edge below resolves it.
+      double u = rng_.Uniform(0.0, std::max(0.0, total - chosen_mass));
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        if (chosen(k)) continue;
+        acc += weight(k);
+        id = k;  // keep the last unchosen id so u == acc edges resolve
+        if (u < acc) break;
+      }
+    }
+    chosen_mass += weight(id);
+    q.source_ids.push_back(id);
+  }
   return q;
 }
 

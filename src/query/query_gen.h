@@ -10,9 +10,13 @@
 namespace apc {
 
 /// Workload mix for query generation: queries aggregate `group_size`
-/// distinct sources chosen uniformly at random (the paper uses SUM or MAX
-/// over 10 randomly selected sources), with constraints drawn from
-/// `constraints`.
+/// distinct sources, with constraints drawn from `constraints`. Source
+/// selection is uniform (the paper uses SUM or MAX over 10 randomly
+/// selected sources) unless `zipf_s > 0`, which skews selection toward the
+/// low ids with Zipf exponent s — the phase-varying, hot-key workloads
+/// dynamic precision pays off on (Yesil et al., "On Dynamic Precision
+/// Scaling"): id 0 is the hottest key, id k is drawn with probability
+/// proportional to 1/(k+1)^s.
 struct QueryWorkloadParams {
   int num_sources = 50;
   int group_size = 10;
@@ -21,6 +25,9 @@ struct QueryWorkloadParams {
   double max_fraction = 0.0;
   double min_fraction = 0.0;
   double avg_fraction = 0.0;
+  /// Zipf exponent for source selection; 0 keeps the paper's uniform draw
+  /// (and the exact historical Rng stream — seeds reproduce old runs).
+  double zipf_s = 0.0;
   ConstraintParams constraints;
 
   bool IsValid() const {
@@ -28,7 +35,7 @@ struct QueryWorkloadParams {
            group_size <= num_sources && max_fraction >= 0.0 &&
            min_fraction >= 0.0 && avg_fraction >= 0.0 &&
            max_fraction + min_fraction + avg_fraction <= 1.0 &&
-           constraints.IsValid();
+           zipf_s >= 0.0 && constraints.IsValid();
   }
 };
 
@@ -37,8 +44,8 @@ class QueryGenerator {
  public:
   QueryGenerator(const QueryWorkloadParams& params, uint64_t seed);
 
-  /// Next query: kind per `max_fraction`, `group_size` distinct source ids,
-  /// constraint from the configured distribution.
+  /// Next query: kind per `max_fraction`, `group_size` distinct source ids
+  /// (uniform or Zipf-skewed), constraint from the configured distribution.
   Query Next();
 
   const QueryWorkloadParams& params() const { return params_; }
@@ -48,6 +55,8 @@ class QueryGenerator {
   Rng rng_;
   ConstraintGenerator constraints_;
   std::vector<int> scratch_ids_;
+  /// Cumulative Zipf weights over ids 0..n-1 (empty when zipf_s == 0).
+  std::vector<double> zipf_cdf_;
 };
 
 }  // namespace apc

@@ -1,31 +1,66 @@
 #include "runtime/shard.h"
 
-#include <cassert>
+#include <limits>
 
 namespace apc {
 
+namespace {
+
+/// RAII read lock that honors the bench-baseline downgrade: shared
+/// acquisition normally, exclusive when `exclusive` is set.
+class ReadLock {
+ public:
+  ReadLock(std::shared_mutex& mu, bool exclusive)
+      : mu_(mu), exclusive_(exclusive) {
+    if (exclusive_) {
+      mu_.lock();
+    } else {
+      mu_.lock_shared();
+    }
+  }
+  ~ReadLock() {
+    if (exclusive_) {
+      mu_.unlock();
+    } else {
+      mu_.unlock_shared();
+    }
+  }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+  const bool exclusive_;
+};
+
+}  // namespace
+
 Shard::Shard(int index, const SystemConfig& config, size_t capacity,
-             uint64_t seed, RuntimeCounters* counters)
+             uint64_t seed, RuntimeCounters* counters,
+             bool exclusive_read_locks)
     : index_(index),
       config_(config),
       counters_(counters),
+      exclusive_read_locks_(exclusive_read_locks),
       cache_(capacity),
       costs_(config.costs),
       rng_(seed) {}
 
-void Shard::AddSource(std::unique_ptr<Source> source) {
+bool Shard::AddSource(std::unique_ptr<Source> source) {
+  if (source == nullptr) return false;
   bool inserted = by_id_.emplace(source->id(), sources_.size()).second;
-  assert(inserted && "duplicate source id");
-  if (!inserted) return;
+  if (!inserted) return false;  // duplicate id: rejected, caller decides
   sources_.push_back(std::move(source));
+  return true;
 }
 
-Source* Shard::SourceById(int id) const {
-  return sources_[by_id_.at(id)].get();
+Source* Shard::FindSource(int id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : sources_[it->second].get();
 }
 
 void Shard::PopulateInitial(int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   for (auto& src : sources_) {
     CachedApprox approx = src->InitialApprox(now);
     cache_.Offer(src->id(), approx, src->raw_width());
@@ -63,23 +98,42 @@ void Shard::TickSourceLocked(Source* src, int64_t now) {
   cache_.Offer(src->id(), approx, src->raw_width());
 }
 
+void Shard::RecordRejectedUpdateLocked() {
+  ++rejected_updates_;
+  if (counters_ != nullptr) {
+    counters_->rejected_updates.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void Shard::TickAll(int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   for (auto& src : sources_) TickSourceLocked(src.get(), now);
 }
 
 void Shard::TickSource(int id, int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  TickSourceLocked(SourceById(id), now);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  Source* src = FindSource(id);
+  if (src == nullptr) {
+    RecordRejectedUpdateLocked();
+    return;
+  }
+  TickSourceLocked(src, now);
 }
 
 void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [id, now] : updates) TickSourceLocked(SourceById(id), now);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  for (const auto& [id, now] : updates) {
+    Source* src = FindSource(id);
+    if (src == nullptr) {
+      RecordRejectedUpdateLocked();
+      continue;
+    }
+    TickSourceLocked(src, now);
+  }
 }
 
 Interval Shard::VisibleInterval(int id, int64_t now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   const CacheEntry* entry = cache_.Find(id);
   if (entry == nullptr) return Interval::Unbounded();
   return entry->approx.AtTime(now);
@@ -87,7 +141,7 @@ Interval Shard::VisibleInterval(int id, int64_t now) const {
 
 void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
                           std::vector<QueryItem>* items, int64_t now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   for (const auto& [pos, id] : slots) {
     const CacheEntry* entry = cache_.Find(id);
     (*items)[pos].interval =
@@ -100,67 +154,127 @@ double Shard::PullExactLocked(int id, int64_t now) {
   if (counters_ != nullptr) {
     counters_->query_refreshes.fetch_add(1, std::memory_order_relaxed);
   }
-  Source* src = SourceById(id);
+  Source* src = FindSource(id);
   CachedApprox approx = src->Refresh(RefreshType::kQueryInitiated, now);
   cache_.Offer(id, approx, src->raw_width());
   return src->value();
 }
 
 double Shard::PullExact(int id, int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  if (!Owns(id)) {
+    if (counters_ != nullptr) {
+      counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return PullExactLocked(id, now);
 }
 
 void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
                           std::vector<QueryItem>* items, int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   for (const auto& [pos, id] : slots) {
+    if (!Owns(id)) {
+      // Keep the snapshot interval; the caller already excluded unowned
+      // ids, so this only fires for standalone (engine-less) misuse.
+      if (counters_ != nullptr) {
+        counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
     (*items)[pos].interval = Interval::Exact(PullExactLocked(id, now));
   }
 }
 
+int Shard::PullCandidateRun(AggregateKind kind, double constraint,
+                            int first_idx, std::vector<QueryItem>* items,
+                            int64_t now) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  int idx = first_idx;
+  while (idx >= 0) {
+    int id = (*items)[static_cast<size_t>(idx)].source_id;
+    if (!Owns(id)) return idx;  // next candidate lives on another shard
+    Interval exact = Interval::Exact(PullExactLocked(id, now));
+    // One charge per distinct id: a duplicated id inside the query becomes
+    // exact in every slot, so the elimination never re-selects it.
+    for (auto& item : *items) {
+      if (item.source_id == id) item.interval = exact;
+    }
+    idx = kind == AggregateKind::kMax
+              ? NextMaxRefreshCandidate(*items, constraint)
+              : NextMinRefreshCandidate(*items, constraint);
+  }
+  return -1;
+}
+
 Interval Shard::PointRead(int id, double max_width, int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // The exclusive baseline does the whole read under its one exclusive
+  // acquisition, exactly like the pre-shared_mutex runtime — a second
+  // acquisition here would bias the bench comparison in shared's favor.
+  if (!exclusive_read_locks_) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const CacheEntry* entry = cache_.Find(id);
+    if (entry != nullptr) {
+      Interval visible = entry->approx.AtTime(now);
+      if (visible.Width() <= max_width) return visible;
+    }
+  }
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  // Check (again, in shared mode) under the exclusive lock: a refresh may
+  // have landed between the two acquisitions, making the pull (and its
+  // Cqr charge) needless.
   const CacheEntry* entry = cache_.Find(id);
   if (entry != nullptr) {
     Interval visible = entry->approx.AtTime(now);
     if (visible.Width() <= max_width) return visible;
   }
+  if (!Owns(id)) {
+    if (counters_ != nullptr) {
+      counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Interval::Unbounded();
+  }
   return Interval::Exact(PullExactLocked(id, now));
 }
 
 void Shard::BeginMeasurement(int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   costs_.BeginMeasurement(now);
 }
 
 void Shard::EndMeasurement(int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   costs_.EndMeasurement(now);
 }
 
 CostTracker Shard::CostsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   return costs_;
 }
 
 std::pair<double, size_t> Shard::RawWidthSum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   double total = 0.0;
   for (const auto& src : sources_) total += src->raw_width();
   return {total, sources_.size()};
 }
 
 size_t Shard::CacheSize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   return cache_.size();
 }
 
 size_t Shard::CacheCapacity() const { return cache_.capacity(); }
 
 int64_t Shard::lost_pushes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReadLock lock(mu_, exclusive_read_locks_);
   return lost_pushes_;
+}
+
+int64_t Shard::rejected_updates() const {
+  ReadLock lock(mu_, exclusive_read_locks_);
+  return rejected_updates_;
 }
 
 }  // namespace apc

@@ -4,7 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -29,17 +29,31 @@ struct RuntimeCounters {
   std::atomic<int64_t> lost_pushes{0};
   std::atomic<int64_t> queries_executed{0};
   std::atomic<int64_t> updates_applied{0};
+  /// Update events naming a source id no shard owns: skipped and counted
+  /// rather than crashing the pump thread.
+  std::atomic<int64_t> rejected_updates{0};
+  /// Query/point-read source ids no shard owns: dropped from the request
+  /// and counted (the malformed id contributes nothing to the result).
+  std::atomic<int64_t> rejected_query_ids{0};
 };
 
 /// A slot to fill in (or pull for) a query's item vector: the index into the
 /// caller's `items` array paired with the source id living on this shard.
 using ShardSlot = std::pair<size_t, int>;
 
-/// One partition of the concurrent runtime: a mutex-guarded slice of the
-/// environment owning the sources hashed to it, their share of the cache
-/// capacity, and a CostTracker. All public methods are thread-safe; batch
-/// variants take the shard lock once per call so a query crossing the shard
-/// pays one lock acquisition rather than one per value.
+/// One partition of the concurrent runtime: a reader/writer-locked slice of
+/// the environment owning the sources hashed to it, their share of the
+/// cache capacity, and a CostTracker. All public methods are thread-safe;
+/// batch variants take the shard lock once per call so a query crossing the
+/// shard pays one lock acquisition rather than one per value.
+///
+/// Pure snapshot reads (FillIntervals, VisibleInterval, the satisfied
+/// branch of PointRead, the observability snapshots) take the lock shared,
+/// so precision-bounded reads answered from the cache — the hot path the
+/// protocol exists to make cheap — never serialize against each other, only
+/// against refreshes. `exclusive_read_locks` downgrades reads to exclusive
+/// acquisition; it exists solely as the bench baseline for measuring what
+/// the shared path buys.
 ///
 /// The refresh semantics are those of the sequential `CacheSystem`
 /// (cache/system.cc): value-initiated refreshes are charged even when the
@@ -53,14 +67,17 @@ class Shard {
   /// `capacity` is this shard's slice of the system's cache capacity χ.
   /// `counters` (owned by the engine) may be null in unit tests.
   Shard(int index, const SystemConfig& config, size_t capacity, uint64_t seed,
-        RuntimeCounters* counters);
+        RuntimeCounters* counters, bool exclusive_read_locks = false);
 
-  /// Registers a source on this shard. Not thread-safe; sources are added
-  /// during engine construction, before any concurrent access.
-  void AddSource(std::unique_ptr<Source> source);
+  /// Registers a source on this shard. Returns false — and drops the
+  /// source — when it is null or its id is already registered. Not
+  /// thread-safe; sources are added during engine construction, before any
+  /// concurrent access.
+  bool AddSource(std::unique_ptr<Source> source);
 
   int index() const { return index_; }
   size_t num_sources() const { return sources_.size(); }
+  /// Safe without the lock: the id map is immutable once construction ends.
   bool Owns(int id) const { return by_id_.count(id) != 0; }
 
   /// Ships every owned source's initial approximation (free of charge).
@@ -71,11 +88,12 @@ class Shard {
   void TickAll(int64_t now);
 
   /// Advances a single owned source and performs its value-initiated
-  /// refresh if triggered.
+  /// refresh if triggered. An unknown id is skipped and counted in
+  /// RuntimeCounters::rejected_updates (and rejected_updates()).
   void TickSource(int id, int64_t now);
 
   /// Applies a batch of single-source updates under one lock acquisition.
-  /// Every (id, now) pair must be owned by this shard.
+  /// Pairs naming ids this shard does not own are skipped and counted.
   void TickSources(const std::vector<std::pair<int, int64_t>>& updates);
 
   /// The interval a query sees for `id` at `now`: the cached interval, or
@@ -83,23 +101,39 @@ class Shard {
   Interval VisibleInterval(int id, int64_t now) const;
 
   /// Fills `items->at(slot.first).interval` with the visible interval of
-  /// `slot.second` for every slot, under one lock acquisition.
+  /// `slot.second` for every slot, under one (shared) lock acquisition.
   void FillIntervals(const std::vector<ShardSlot>& slots,
                      std::vector<QueryItem>* items, int64_t now) const;
 
   /// Pulls the exact value of `id` (query-initiated refresh): charges Cqr,
   /// adjusts the source's width, re-offers the fresh approximation, and
-  /// returns the exact value.
+  /// returns the exact value. An unowned id is charge-free, counted as
+  /// rejected, and yields NaN.
   double PullExact(int id, int64_t now);
 
   /// Pulls every slot's source exactly and stores Interval::Exact into the
-  /// corresponding item, under one lock acquisition.
+  /// corresponding item, under one lock acquisition. Slots naming unowned
+  /// ids keep their snapshot interval and are counted as rejected.
   void PullExactMany(const std::vector<ShardSlot>& slots,
                      std::vector<QueryItem>* items, int64_t now);
 
+  /// Runs the MAX/MIN candidate-elimination loop for as long as the next
+  /// candidate is owned by this shard, under ONE exclusive lock
+  /// acquisition: pulls the candidate, stores the exact interval into every
+  /// item with that source id (a duplicated id is charged once), and
+  /// recomputes. `first_idx` is the candidate that routed the caller here
+  /// (already known to live on this shard). Returns the first candidate
+  /// index owned by another shard, or -1 when the constraint is satisfied.
+  /// `kind` must be kMax or kMin.
+  int PullCandidateRun(AggregateKind kind, double constraint, int first_idx,
+                       std::vector<QueryItem>* items, int64_t now);
+
   /// Precision-bounded point read: returns the cached interval when its
-  /// width already satisfies `max_width`, otherwise pulls the exact value
-  /// (one query-initiated refresh) and returns an exact interval.
+  /// width already satisfies `max_width` (shared lock only), otherwise
+  /// upgrades to the exclusive lock, re-checks — a racing refresh may have
+  /// satisfied the bound in between, in which case nothing is charged — and
+  /// pulls the exact value (one query-initiated refresh). An unowned id
+  /// yields the unbounded interval, charge-free, counted as rejected.
   Interval PointRead(int id, double max_width, int64_t now);
 
   void BeginMeasurement(int64_t now);
@@ -115,23 +149,28 @@ class Shard {
   size_t CacheSize() const;
   size_t CacheCapacity() const;
   int64_t lost_pushes() const;
+  int64_t rejected_updates() const;
 
  private:
-  Source* SourceById(int id) const;
+  /// Owned source for `id`, or nullptr (never throws — pump hardening).
+  Source* FindSource(int id) const;
   void TickSourceLocked(Source* src, int64_t now);
+  void RecordRejectedUpdateLocked();
   double PullExactLocked(int id, int64_t now);
 
   const int index_;
   const SystemConfig config_;
   RuntimeCounters* const counters_;
+  const bool exclusive_read_locks_;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Source>> sources_;
   std::unordered_map<int, size_t> by_id_;
   Cache cache_;
   CostTracker costs_;
   Rng rng_;
   int64_t lost_pushes_ = 0;
+  int64_t rejected_updates_ = 0;
 };
 
 }  // namespace apc

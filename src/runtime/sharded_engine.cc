@@ -36,13 +36,16 @@ ShardedEngine::ShardedEngine(const EngineConfig& config,
     shards_.push_back(std::make_unique<Shard>(
         i, config.system, cap_hi - cap_lo,
         config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i)),
-        &counters_));
+        &counters_, config.exclusive_read_locks));
   }
   for (auto& src : sources) {
     if (src == nullptr) continue;
-    ++num_sources_;
-    shards_[static_cast<size_t>(ShardOf(src->id()))]->AddSource(
-        std::move(src));
+    // Count only accepted sources: a duplicate id is rejected by its shard,
+    // and num_sources() must equal the sum of ShardSourceCounts().
+    if (shards_[static_cast<size_t>(ShardOf(src->id()))]->AddSource(
+            std::move(src))) {
+      ++num_sources_;
+    }
   }
 }
 
@@ -73,9 +76,15 @@ Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
   const size_t nshards = shards_.size();
   if (groups.size() < nshards) groups.resize(nshards);
 
-  // Snapshot the visible intervals, one lock acquisition per shard touched.
+  // Snapshot the visible intervals, one (shared) lock acquisition per shard
+  // touched. Ids no shard owns are malformed input: dropped from the item
+  // set and counted, so the aggregate ranges over the known sources only.
   items.clear();
   for (int id : query.source_ids) {
+    if (!shards_[static_cast<size_t>(ShardOf(id))]->Owns(id)) {
+      counters_.rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     QueryItem item;
     item.source_id = id;
     items.push_back(item);
@@ -96,46 +105,62 @@ Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
       // per shard (the groups scratch is reused for the pull slots). The
       // non-pulled items keep their snapshot intervals, so the result width
       // is exactly what the selection guaranteed even if other threads
-      // refresh those values concurrently.
+      // refresh those values concurrently. A source id occurring more than
+      // once is pulled — and charged — once: the first occurrence becomes
+      // the pull slot and the exact interval is copied to its twins after
+      // the batch.
       std::vector<size_t> selection =
           query.kind == AggregateKind::kSum
               ? SumRefreshSelection(items, query.constraint)
               : AvgRefreshSelection(items, query.constraint);
       for (size_t s = 0; s < nshards; ++s) groups[s].clear();
-      for (size_t idx : selection) {
-        groups[static_cast<size_t>(ShardOf(items[idx].source_id))].push_back(
-            {idx, items[idx].source_id});
+      for (size_t i = 0; i < selection.size(); ++i) {
+        size_t idx = selection[i];
+        int id = items[idx].source_id;
+        bool duplicate = false;
+        for (size_t j = 0; j < i && !duplicate; ++j) {
+          duplicate = items[selection[j]].source_id == id;
+        }
+        if (!duplicate) {
+          groups[static_cast<size_t>(ShardOf(id))].push_back({idx, id});
+        }
       }
       for (size_t s = 0; s < nshards; ++s) {
         if (!groups[s].empty()) {
           shards_[s]->PullExactMany(groups[s], &items, now);
         }
       }
+      // Propagate each pulled exact value to every occurrence of its id.
+      for (size_t s = 0; s < nshards; ++s) {
+        for (const auto& [pos, id] : groups[s]) {
+          for (auto& item : items) {
+            if (item.source_id == id) item.interval = items[pos].interval;
+          }
+        }
+      }
       return query.kind == AggregateKind::kSum ? SumInterval(items)
                                                : AvgInterval(items);
     }
-    case AggregateKind::kMax: {
-      // Iterative candidate elimination; each pull either lowers the
-      // result's upper bound or raises its lower bound, so the loop
-      // terminates (every pull makes one item exact).
-      int idx;
-      while ((idx = NextMaxRefreshCandidate(items, query.constraint)) >= 0) {
-        int id = items[static_cast<size_t>(idx)].source_id;
-        double exact =
-            shards_[static_cast<size_t>(ShardOf(id))]->PullExact(id, now);
-        items[static_cast<size_t>(idx)].interval = Interval::Exact(exact);
-      }
-      return MaxInterval(items);
-    }
+    case AggregateKind::kMax:
     case AggregateKind::kMin: {
-      int idx;
-      while ((idx = NextMinRefreshCandidate(items, query.constraint)) >= 0) {
+      // Iterative candidate elimination; each pull either tightens the
+      // result's determining bound or eliminates candidates, so the loop
+      // terminates (every pull makes one item exact). The elimination runs
+      // inside the owning shard for as long as consecutive candidates stay
+      // there — one lock acquisition per shard per run of candidates, not
+      // one per pull (a single-shard engine does the whole loop under one
+      // lock). The pull sequence is identical to pulling candidates one at
+      // a time, so the CacheSystem determinism guarantee is unaffected.
+      int idx = query.kind == AggregateKind::kMax
+                    ? NextMaxRefreshCandidate(items, query.constraint)
+                    : NextMinRefreshCandidate(items, query.constraint);
+      while (idx >= 0) {
         int id = items[static_cast<size_t>(idx)].source_id;
-        double exact =
-            shards_[static_cast<size_t>(ShardOf(id))]->PullExact(id, now);
-        items[static_cast<size_t>(idx)].interval = Interval::Exact(exact);
+        idx = shards_[static_cast<size_t>(ShardOf(id))]->PullCandidateRun(
+            query.kind, query.constraint, idx, &items, now);
       }
-      return MinInterval(items);
+      return query.kind == AggregateKind::kMax ? MaxInterval(items)
+                                               : MinInterval(items);
     }
   }
   return Interval(0.0, 0.0);

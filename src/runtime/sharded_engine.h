@@ -23,6 +23,10 @@ struct EngineConfig {
   uint64_t seed = 0;
   /// Capacity of the update bus (backpressure bound for producers).
   size_t bus_capacity = 1024;
+  /// Bench baseline: acquire even pure snapshot reads exclusively, as the
+  /// pre-shared-lock runtime did. Exists so bench_runtime_throughput can
+  /// measure what the shared read path buys; leave off in production use.
+  bool exclusive_read_locks = false;
 
   bool IsValid() const { return num_shards > 0 && system.costs.IsValid(); }
 };
@@ -45,12 +49,21 @@ struct EngineCosts {
 };
 
 /// The concurrent serving runtime: hash-partitions sources across N
-/// mutex-guarded shards and multiplexes precision-bounded point reads and
-/// aggregate queries from many threads over the adaptive-precision refresh
-/// protocol. Cross-shard aggregate queries snapshot the visible intervals,
-/// compute the paper's refresh selection globally (greedy widest-first for
-/// SUM/AVG, iterative candidate elimination for MAX/MIN), then batch the
-/// exact pulls per shard.
+/// reader/writer-locked shards and multiplexes precision-bounded point
+/// reads and aggregate queries from many threads over the adaptive-
+/// precision refresh protocol. Snapshot reads take shard locks shared, so
+/// constraint-satisfied reads (the common case the protocol optimizes for)
+/// proceed concurrently; only refreshes acquire exclusively. Cross-shard
+/// aggregate queries snapshot the visible intervals, compute the paper's
+/// refresh selection globally (greedy widest-first for SUM/AVG, iterative
+/// candidate elimination for MAX/MIN), then batch the exact pulls per
+/// shard — MAX/MIN elimination runs inside the owning shard for runs of
+/// consecutive candidates, one lock acquisition per run.
+///
+/// Malformed input is rejected, not fatal: update events and query ids
+/// naming sources no shard owns are skipped and counted in the
+/// RuntimeCounters (`rejected_updates`, `rejected_query_ids`), and
+/// duplicate ids within one query are pulled (and charged) once.
 ///
 /// Every returned interval satisfies the query's precision constraint: the
 /// result is composed from the snapshot plus exact pulls, so concurrent

@@ -1,5 +1,6 @@
 #include "runtime/workload_driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -27,6 +28,18 @@ struct ThreadResult {
   int64_t violations = 0;
 };
 
+/// The run's phase schedule: the configured phases, or the single phase the
+/// legacy scalar knobs describe.
+std::vector<WorkloadPhase> EffectiveSchedule(const DriverConfig& config) {
+  if (!config.phases.empty()) return config.phases;
+  WorkloadPhase phase;
+  phase.queries_per_thread = config.queries_per_thread;
+  phase.point_read_fraction = config.point_read_fraction;
+  phase.zipf_s = config.workload.zipf_s;
+  phase.update_burst = config.update_burst;
+  return {phase};
+}
+
 }  // namespace
 
 std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
@@ -47,11 +60,18 @@ std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
 
 DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   if (!config.IsValid()) return DriverReport{};
+  const std::vector<WorkloadPhase> schedule = EffectiveSchedule(config);
+  const size_t num_threads = static_cast<size_t>(config.num_threads);
+
   engine.PopulateInitial(0);
   engine.BeginMeasurement(0);
 
   std::atomic<int64_t> clock{0};
   std::atomic<bool> stop_updates{false};
+  // Phase each worker is currently in; the updater follows the slowest
+  // worker so the update:query regime flips system-wide at the boundary.
+  std::vector<std::atomic<int>> thread_phase(num_threads);
+  for (auto& phase : thread_phase) phase.store(0, std::memory_order_relaxed);
 
   std::thread updater;
   // StartUpdatePump fails when the engine's bus was already closed by a
@@ -60,47 +80,72 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   if (updates_running) {
     // The updater streams tick-all events through the bus as fast as
     // backpressure allows; a slow pump throttles it instead of the queue
-    // growing without bound.
+    // growing without bound. The clock only advances past events the bus
+    // ACCEPTED: a push rejected at shutdown must not inflate the tick
+    // count, the EndMeasurement clock, or CostRate()'s denominator.
     updater = std::thread([&] {
       while (!stop_updates.load(std::memory_order_relaxed)) {
-        for (int i = 0; i < config.update_burst; ++i) {
-          int64_t t = clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        // Slowest worker's phase decides the regime.
+        int slowest = static_cast<int>(schedule.size()) - 1;
+        for (const auto& phase : thread_phase) {
+          slowest = std::min(slowest, phase.load(std::memory_order_relaxed));
+        }
+        int burst = schedule[static_cast<size_t>(slowest)].update_burst;
+        if (burst == 0) {
+          // Updates paused for this phase (pure-read regime): sleep rather
+          // than spin so the pause doesn't steal cycles from the query
+          // workers it is supposed to leave unperturbed.
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
+        }
+        for (int i = 0; i < burst; ++i) {
+          int64_t t = clock.load(std::memory_order_relaxed) + 1;
           if (!engine.bus().Push({t, UpdateEvent::kAllSources})) return;
+          clock.store(t, std::memory_order_relaxed);
         }
         std::this_thread::yield();
       }
     });
   }
 
-  std::vector<ThreadResult> results(
-      static_cast<size_t>(config.num_threads));
+  std::vector<ThreadResult> results(num_threads);
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(config.num_threads));
+  workers.reserve(num_threads);
   auto wall_start = std::chrono::steady_clock::now();
 
   for (int ti = 0; ti < config.num_threads; ++ti) {
     workers.emplace_back([&, ti] {
       ThreadResult& local = results[static_cast<size_t>(ti)];
       uint64_t t = static_cast<uint64_t>(ti);
-      QueryGenerator gen(config.workload,
-                         config.seed ^ (0xA11CEULL + 0x9E3779B9ULL * t));
       Rng rng(config.seed ^ (0xD517ULL + 0xBF58476DULL * t));
-      for (int64_t q = 0; q < config.queries_per_thread; ++q) {
-        Query query = gen.Next();
-        int64_t now = clock.load(std::memory_order_relaxed);
-        bool point_read = config.point_read_fraction > 0.0 &&
-                          rng.Bernoulli(config.point_read_fraction);
-        auto t0 = std::chrono::steady_clock::now();
-        Interval result =
-            point_read
-                ? engine.PointRead(query.source_ids.front(), query.constraint,
-                                   now)
-                : engine.ExecuteQuery(query, now);
-        auto t1 = std::chrono::steady_clock::now();
-        double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
-        local.latency_us.Add(us);
-        local.stats.Add(us);
-        if (ViolatesConstraint(result, query.constraint)) ++local.violations;
+      for (size_t p = 0; p < schedule.size(); ++p) {
+        const WorkloadPhase& phase = schedule[p];
+        thread_phase[static_cast<size_t>(ti)].store(
+            static_cast<int>(p), std::memory_order_relaxed);
+        QueryWorkloadParams workload = config.workload;
+        workload.zipf_s = phase.zipf_s;
+        QueryGenerator gen(workload,
+                           config.seed ^ (0xA11CEULL + 0x9E3779B9ULL * t +
+                                          0x51CEB00BULL * p));
+        for (int64_t q = 0; q < phase.queries_per_thread; ++q) {
+          Query query = gen.Next();
+          int64_t now = clock.load(std::memory_order_relaxed);
+          bool point_read = phase.point_read_fraction > 0.0 &&
+                            rng.Bernoulli(phase.point_read_fraction);
+          auto t0 = std::chrono::steady_clock::now();
+          Interval result =
+              point_read ? engine.PointRead(query.source_ids.front(),
+                                            query.constraint, now)
+                         : engine.ExecuteQuery(query, now);
+          auto t1 = std::chrono::steady_clock::now();
+          double us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          local.latency_us.Add(us);
+          local.stats.Add(us);
+          if (ViolatesConstraint(result, query.constraint)) {
+            ++local.violations;
+          }
+        }
       }
     });
   }
@@ -126,8 +171,12 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
     stats.Merge(local.stats);
     report.violations += local.violations;
   }
+  int64_t queries_per_thread = 0;
+  for (const WorkloadPhase& phase : schedule) {
+    queries_per_thread += phase.queries_per_thread;
+  }
   report.queries =
-      static_cast<int64_t>(config.num_threads) * config.queries_per_thread;
+      static_cast<int64_t>(config.num_threads) * queries_per_thread;
   report.ticks = final_tick;
   report.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();

@@ -14,14 +14,45 @@
 
 namespace apc {
 
+/// One regime of a phase-shifting workload. Each query thread issues
+/// `queries_per_thread` requests in the phase before moving to the next;
+/// the updater thread follows the globally slowest thread's phase, so the
+/// update:query ratio flips for the whole system when the run crosses a
+/// phase boundary. Dynamic-precision policies are exactly the components
+/// such regime changes stress: the per-value widths tuned during a
+/// read-heavy phase are wrong for the write-heavy phase that follows, and
+/// the adaptive δ must re-converge.
+struct WorkloadPhase {
+  /// Queries each thread issues in this phase (> 0).
+  int64_t queries_per_thread = 0;
+  /// Mix of single-source point reads (width bound = the query constraint)
+  /// interleaved into each thread's stream; the rest are aggregates.
+  double point_read_fraction = 0.0;
+  /// Zipf exponent for source selection during the phase (0 = uniform).
+  double zipf_s = 0.0;
+  /// Tick-all events pushed per updater burst while this phase is active;
+  /// 0 pauses updates for the phase (a pure-read regime).
+  int update_burst = 8;
+
+  bool IsValid() const {
+    return queries_per_thread > 0 && point_read_fraction >= 0.0 &&
+           point_read_fraction <= 1.0 && zipf_s >= 0.0 && update_burst >= 0;
+  }
+};
+
 /// Configuration of the closed-loop concurrent load generator. Each query
-/// thread owns an independent QueryGenerator (and thus an independent Rng
-/// stream derived from `seed`), issues `queries_per_thread` precision-
-/// bounded aggregate queries back-to-back, and validates that every result
-/// interval satisfies its constraint. An optional updater thread streams
-/// tick-all events through the engine's UpdateBus while queries run, so
+/// thread owns independent QueryGenerators (and thus independent Rng
+/// streams derived from `seed`), issues its phases' precision-bounded
+/// queries back-to-back, and validates that every result interval
+/// satisfies its constraint. An optional updater thread streams tick-all
+/// events through the engine's UpdateBus while queries run, so
 /// value-initiated refreshes race with query-initiated ones the way a live
 /// deployment's would.
+///
+/// When `phases` is empty the run is a single phase assembled from the
+/// legacy scalar knobs (`queries_per_thread`, `point_read_fraction`,
+/// `update_burst`, `workload.zipf_s`), which keeps old configs working
+/// unchanged.
 struct DriverConfig {
   int num_threads = 2;
   int64_t queries_per_thread = 1000;
@@ -34,12 +65,22 @@ struct DriverConfig {
   /// Mix of single-source point reads (width bound = the query constraint)
   /// interleaved into each thread's stream; the rest are aggregates.
   double point_read_fraction = 0.0;
+  /// Phase schedule; empty = one phase from the scalar knobs above.
+  std::vector<WorkloadPhase> phases;
   uint64_t seed = 1;
 
   bool IsValid() const {
-    return num_threads > 0 && queries_per_thread > 0 && update_burst > 0 &&
-           point_read_fraction >= 0.0 && point_read_fraction <= 1.0 &&
-           workload.IsValid();
+    if (num_threads <= 0 || point_read_fraction < 0.0 ||
+        point_read_fraction > 1.0 || !workload.IsValid()) {
+      return false;
+    }
+    if (phases.empty()) {
+      return queries_per_thread > 0 && update_burst > 0;
+    }
+    for (const WorkloadPhase& phase : phases) {
+      if (!phase.IsValid()) return false;
+    }
+    return true;
   }
 };
 
@@ -50,7 +91,9 @@ struct DriverConfig {
 struct DriverReport {
   int64_t queries = 0;
   int64_t violations = 0;
-  /// Logical ticks pushed through the update bus (0 when updates are off).
+  /// Logical ticks pushed through the update bus — only events the bus
+  /// actually accepted (0 when updates are off), so the tick count and the
+  /// EndMeasurement clock never include pushes rejected at shutdown.
   int64_t ticks = 0;
   double wall_seconds = 0.0;
   double queries_per_second = 0.0;

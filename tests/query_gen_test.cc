@@ -140,5 +140,73 @@ TEST(QueryGeneratorTest, GroupEqualsAllSources) {
   EXPECT_EQ(unique.size(), 10u);
 }
 
+TEST(QueryGeneratorTest, NegativeZipfExponentIsInvalid) {
+  QueryWorkloadParams p = BaseParams();
+  p.zipf_s = -0.5;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(QueryGeneratorTest, ZipfSelectionSkewsTowardLowIds) {
+  QueryWorkloadParams p = BaseParams();
+  p.num_sources = 100;
+  p.group_size = 1;  // single draws expose the marginal distribution
+  p.zipf_s = 1.5;
+  QueryGenerator gen(p, 9);
+  int count_hot = 0;
+  int count_cold = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    int id = gen.Next().source_ids.front();
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, 100);
+    if (id == 0) ++count_hot;
+    if (id >= 90) ++count_cold;
+  }
+  // s=1.5, n=100: P(id=0) ≈ 0.38, P(id >= 90) ≈ 0.4%. Loose bounds so the
+  // test never flakes across seeds.
+  EXPECT_GT(count_hot, n / 5);
+  EXPECT_LT(count_cold, n / 20);
+}
+
+TEST(QueryGeneratorTest, ZipfGroupsStayDistinctAndInRange) {
+  QueryWorkloadParams p = BaseParams();
+  p.zipf_s = 1.2;
+  QueryGenerator gen(p, 10);
+  for (int i = 0; i < 500; ++i) {
+    Query q = gen.Next();
+    EXPECT_EQ(q.source_ids.size(), 10u);
+    std::set<int> unique(q.source_ids.begin(), q.source_ids.end());
+    EXPECT_EQ(unique.size(), q.source_ids.size());
+    for (int id : q.source_ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 50);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, ZipfIsDeterministic) {
+  QueryWorkloadParams p = BaseParams();
+  p.zipf_s = 0.8;
+  QueryGenerator a(p, 11), b(p, 11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Next().source_ids, b.Next().source_ids);
+  }
+}
+
+// zipf_s == 0 must keep the historical uniform Rng stream bit-exact:
+// configs and seeds from earlier runs reproduce the same queries.
+TEST(QueryGeneratorTest, ZeroZipfMatchesUniformStream) {
+  QueryWorkloadParams uniform = BaseParams();
+  QueryWorkloadParams zipf_zero = BaseParams();
+  zipf_zero.zipf_s = 0.0;
+  QueryGenerator a(uniform, 13), b(zipf_zero, 13);
+  for (int i = 0; i < 200; ++i) {
+    Query qa = a.Next();
+    Query qb = b.Next();
+    EXPECT_EQ(qa.source_ids, qb.source_ids);
+    EXPECT_DOUBLE_EQ(qa.constraint, qb.constraint);
+  }
+}
+
 }  // namespace
 }  // namespace apc

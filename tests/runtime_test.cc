@@ -271,6 +271,170 @@ TEST(ShardedEngineTest, ConcurrentQueriesRespectPrecisionConstraints) {
   EXPECT_GT(costs.value_refreshes, 0);
 }
 
+// Satellite fix: an UpdateEvent carrying an id no shard owns used to throw
+// out of `by_id_.at` on the pump thread and terminate the process. It must
+// be skipped and counted instead.
+TEST(ShardedEngineTest, UnknownSourceIdUpdatesAreSkippedAndCounted) {
+  constexpr int kSources = 12;
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(kSources));
+  engine.PopulateInitial(0);
+
+  ASSERT_TRUE(engine.StartUpdatePump());
+  ASSERT_TRUE(engine.bus().Push({1, 500}));   // not a registered id
+  ASSERT_TRUE(engine.bus().Push({1, 3}));     // valid
+  ASSERT_TRUE(engine.bus().Push({2, -99}));   // negative, not kAllSources
+  engine.StopUpdatePump();  // drains; the pump thread must survive
+
+  EXPECT_EQ(engine.counters().rejected_updates.load(), 2);
+  EXPECT_EQ(engine.counters().updates_applied.load(), 1);
+  int64_t per_shard_rejected = 0;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    per_shard_rejected += engine.shard(s).rejected_updates();
+  }
+  EXPECT_EQ(per_shard_rejected, 2);
+
+  // The synchronous single-source path takes the same guard.
+  engine.shard(0).TickSource(777, 3);
+  EXPECT_EQ(engine.counters().rejected_updates.load(), 3);
+}
+
+// Satellite fix: duplicate-id sources used to be silently dropped by the
+// shard while the engine still counted them, so num_sources() disagreed
+// with the sum of ShardSourceCounts().
+TEST(ShardedEngineTest, DuplicateSourceIdsRejectedAndNotCounted) {
+  std::vector<std::unique_ptr<Source>> sources = MakeSources(10);
+  for (auto& dup : MakeSources(5)) {  // ids 0..4 again
+    sources.push_back(std::move(dup));
+  }
+  sources.push_back(nullptr);
+
+  EngineConfig config;
+  config.num_shards = 4;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, std::move(sources));
+
+  EXPECT_EQ(engine.num_sources(), 10u);
+  size_t hosted = 0;
+  for (size_t count : engine.ShardSourceCounts()) hosted += count;
+  EXPECT_EQ(hosted, engine.num_sources());
+
+  // The engine remains fully usable after rejecting the duplicates.
+  engine.PopulateInitial(0);
+  EXPECT_TRUE(engine.PointRead(3, 0.0, 0).IsExact());
+}
+
+// Satellite fix: a source id occurring twice in one query used to be
+// pulled — and charged Cqr — once per occurrence.
+TEST(ShardedEngineTest, DuplicateIdsInOneQueryChargeOnce) {
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(8));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  Query sum;
+  sum.kind = AggregateKind::kSum;
+  sum.source_ids = {3, 3, 7};
+  sum.constraint = 0.0;  // forces every distinct id exact
+  Interval sum_result = engine.ExecuteQuery(sum, 0);
+  EXPECT_TRUE(sum_result.IsExact());
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 2)
+      << "duplicate id 3 must be charged once";
+
+  Query max;
+  max.kind = AggregateKind::kMax;
+  max.source_ids = {5, 5};
+  max.constraint = 0.0;
+  Interval max_result = engine.ExecuteQuery(max, 0);
+  EXPECT_TRUE(max_result.IsExact());
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 3)
+      << "MAX elimination must not re-select the twin of a pulled id";
+}
+
+// Malformed query ids (no owning shard) are dropped and counted, never
+// fatal: the aggregate ranges over the known sources, a point read sees
+// the unbounded interval, and nothing is charged for the unknown id.
+TEST(ShardedEngineTest, UnknownQueryIdsAreDroppedNotFatal) {
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(8));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  Query sum;
+  sum.kind = AggregateKind::kSum;
+  sum.source_ids = {2, 999};
+  sum.constraint = 0.0;
+  Interval result = engine.ExecuteQuery(sum, 0);
+  EXPECT_TRUE(result.IsExact()) << "the known id must still be aggregated";
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 1);
+  EXPECT_EQ(engine.counters().rejected_query_ids.load(), 1);
+
+  Interval unbounded = engine.PointRead(999, 1e12, 0);
+  EXPECT_EQ(unbounded.Width(), kInfinity);
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 1) << "no charge";
+  EXPECT_EQ(engine.counters().rejected_query_ids.load(), 2);
+}
+
+// Tentpole property: snapshot readers (FillIntervals via ExecuteQuery,
+// plus the observability snapshots) keep making progress while a writer
+// cycles TickAll. With every value cached and constraints far wider than
+// any interval, no query ever upgrades to an exclusive pull — the whole
+// read side runs on shared locks and must finish with zero refcharges.
+TEST(ShardedEngineTest, ConcurrentReadersProgressWhileWriterCycles) {
+  constexpr int kSources = 64;
+  EngineConfig config;
+  config.num_shards = 4;
+  // χ is partitioned across shards; 4× the source count guarantees every
+  // shard's slice covers the sources hashed to it, so everything stays
+  // cached and no read ever sees the unbounded interval.
+  config.system.cache_capacity = kSources * 4;
+  ShardedEngine engine(config, MakeSources(kSources));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  QueryWorkloadParams workload = MakeWorkload(kSources);
+  workload.constraints.avg = 1e7;  // far wider than any cached interval
+  workload.constraints.rho = 0.5;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> ticks{0};
+  std::thread writer([&] {
+    for (int64_t t = 1; !stop.load(std::memory_order_relaxed); ++t) {
+      engine.TickAll(t);
+      ticks.store(t, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> readers;
+  std::atomic<int64_t> completed{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      QueryGenerator gen(workload, kSeed + 100 + static_cast<uint64_t>(r));
+      for (int q = 0; q < 500; ++q) {
+        int64_t now = ticks.load(std::memory_order_relaxed);
+        Interval result = engine.ExecuteQuery(gen.Next(), now);
+        ASSERT_LT(result.Width(), 1e7);
+        engine.shard(r).CostsSnapshot();
+        engine.MeanRawWidth();
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(completed.load(), 4 * 500);
+  EXPECT_GT(ticks.load(), 0) << "writer made no progress";
+  EXPECT_EQ(engine.TotalCosts().query_refreshes, 0)
+      << "a loose-constraint read took the exclusive pull path";
+}
+
 // Direct (driver-less) races: raw ExecuteQuery callers against raw TickAll
 // callers, exercising the shard locks without any bus in between.
 TEST(ShardedEngineTest, RawConcurrentAccessKeepsGuarantee) {
