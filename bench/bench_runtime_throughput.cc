@@ -4,15 +4,20 @@
 // Part 1 re-validates the runtime's equivalence claim: a single-shard
 // engine driven in lockstep from one thread must reproduce the sequential
 // CacheSystem's cost accounting exactly — same value- and query-initiated
-// refresh counts, same total cost.
+// refresh counts, same total cost. Since the shared-core refactor both
+// sides drive the same ProtocolTable, so this now re-checks the wiring in
+// every read-lock mode rather than two hand-maintained twins.
 //
 // Part 2 sweeps the read-mostly serving hot path (point_read_fraction
-// 0.95) across worker threads × shards × Zipf skew, in BOTH lock modes:
-// "shared" (the real runtime: snapshot reads take shard locks shared) and
-// "exclusive" (the pre-shared_mutex baseline, every access exclusive).
-// The updater streams tick-all events through the UpdateBus during every
-// run, so readers race a cycling writer. Every returned interval is
-// checked against its precision constraint; violations must be 0.
+// 0.95) across worker threads × shards × Zipf skew, in all THREE lock
+// modes: "seqlock" (the runtime default: snapshot reads validate an
+// optimistic per-entry versioned read and take no shard lock at all),
+// "shared" (snapshot reads acquire the shard shared_mutex shared — the
+// pre-seqlock runtime), and "exclusive" (every access exclusive — the
+// original baseline). The updater streams tick-all events through the
+// UpdateBus during every run, so readers race a cycling writer. Every
+// returned interval is checked against its precision constraint;
+// violations must be 0.
 //
 // Part 3 runs a phase-shifting scenario: a skewed read-heavy regime, then
 // a write-heavy uniform regime, then a pure-read regime — the update:query
@@ -42,6 +47,22 @@ using namespace apc;
 constexpr uint64_t kSeed = 77;
 constexpr double kPointReadFraction = 0.95;
 
+constexpr ReadLockMode kModes[] = {ReadLockMode::kSeqlock,
+                                   ReadLockMode::kShared,
+                                   ReadLockMode::kExclusive};
+
+const char* ModeName(ReadLockMode mode) {
+  switch (mode) {
+    case ReadLockMode::kSeqlock:
+      return "seqlock";
+    case ReadLockMode::kShared:
+      return "shared";
+    case ReadLockMode::kExclusive:
+      return "exclusive";
+  }
+  return "?";
+}
+
 QueryWorkloadParams Workload(int num_sources) {
   QueryWorkloadParams params;
   params.num_sources = num_sources;
@@ -64,55 +85,58 @@ bool DeterminismCheck(int num_sources) {
   SystemConfig sys_config;
   sys_config.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
 
-  CacheSystem sequential(sys_config, Sources(num_sources));
-  sequential.PopulateInitial(0);
-  sequential.costs().BeginMeasurement(0);
+  bool all_match = true;
+  for (ReadLockMode mode : kModes) {
+    CacheSystem sequential(sys_config, Sources(num_sources));
+    sequential.PopulateInitial(0);
+    sequential.costs().BeginMeasurement(0);
 
-  EngineConfig engine_config;
-  engine_config.system = sys_config;
-  engine_config.num_shards = 1;
-  ShardedEngine engine(engine_config, Sources(num_sources));
-  engine.PopulateInitial(0);
-  engine.BeginMeasurement(0);
+    EngineConfig engine_config;
+    engine_config.system = sys_config;
+    engine_config.num_shards = 1;
+    engine_config.read_lock_mode = mode;
+    ShardedEngine engine(engine_config, Sources(num_sources));
+    engine.PopulateInitial(0);
+    engine.BeginMeasurement(0);
 
-  QueryGenerator gen_a(Workload(num_sources), kSeed ^ 0x7e57);
-  QueryGenerator gen_b(Workload(num_sources), kSeed ^ 0x7e57);
-  for (int64_t t = 1; t <= kTicks; ++t) {
-    sequential.Tick(t);
-    engine.TickAll(t);
-    sequential.ExecuteQuery(gen_a.Next(), t);
-    engine.ExecuteQuery(gen_b.Next(), t);
+    QueryGenerator gen_a(Workload(num_sources), kSeed ^ 0x7e57);
+    QueryGenerator gen_b(Workload(num_sources), kSeed ^ 0x7e57);
+    for (int64_t t = 1; t <= kTicks; ++t) {
+      sequential.Tick(t);
+      engine.TickAll(t);
+      sequential.ExecuteQuery(gen_a.Next(), t);
+      engine.ExecuteQuery(gen_b.Next(), t);
+    }
+    sequential.costs().EndMeasurement(kTicks);
+    engine.EndMeasurement(kTicks);
+
+    EngineCosts engine_costs = engine.TotalCosts();
+    bool match =
+        engine_costs.value_refreshes ==
+            sequential.costs().value_refreshes() &&
+        engine_costs.query_refreshes ==
+            sequential.costs().query_refreshes() &&
+        engine_costs.total_cost == sequential.costs().total_cost();
+    std::printf(
+        "  %-9s vs CacheSystem: vr=%lld qr=%lld cost=%s  ->  %s\n",
+        ModeName(mode), static_cast<long long>(engine_costs.value_refreshes),
+        static_cast<long long>(engine_costs.query_refreshes),
+        bench::Num(engine_costs.total_cost).c_str(),
+        match ? "MATCH" : "MISMATCH");
+    all_match = all_match && match;
   }
-  sequential.costs().EndMeasurement(kTicks);
-  engine.EndMeasurement(kTicks);
-
-  EngineCosts engine_costs = engine.TotalCosts();
-  bool match =
-      engine_costs.value_refreshes == sequential.costs().value_refreshes() &&
-      engine_costs.query_refreshes == sequential.costs().query_refreshes() &&
-      engine_costs.total_cost == sequential.costs().total_cost();
-  std::printf(
-      "  sequential CacheSystem: vr=%lld qr=%lld cost=%s\n"
-      "  1-shard engine:         vr=%lld qr=%lld cost=%s   ->  %s\n",
-      static_cast<long long>(sequential.costs().value_refreshes()),
-      static_cast<long long>(sequential.costs().query_refreshes()),
-      bench::Num(sequential.costs().total_cost()).c_str(),
-      static_cast<long long>(engine_costs.value_refreshes),
-      static_cast<long long>(engine_costs.query_refreshes),
-      bench::Num(engine_costs.total_cost).c_str(),
-      match ? "MATCH" : "MISMATCH");
-  return match;
+  return all_match;
 }
 
 struct SweepPoint {
-  std::string mode;  // "shared" | "exclusive"
+  ReadLockMode mode = ReadLockMode::kSeqlock;
   double zipf_s = 0.0;
   int shards = 1;
   int threads = 1;
   DriverReport report;
 };
 
-DriverReport RunOne(bool exclusive_read_locks, double zipf_s, int shards,
+DriverReport RunOne(ReadLockMode mode, double zipf_s, int shards,
                     int threads, int64_t queries_per_thread, int num_sources,
                     const std::vector<WorkloadPhase>& phases,
                     int64_t* queries_executed) {
@@ -120,7 +144,7 @@ DriverReport RunOne(bool exclusive_read_locks, double zipf_s, int shards,
   config.num_shards = shards;
   config.system.cache_capacity = static_cast<size_t>(num_sources) * 3 / 4;
   config.seed = kSeed;
-  config.exclusive_read_locks = exclusive_read_locks;
+  config.read_lock_mode = mode;
   ShardedEngine engine(config, Sources(num_sources));
 
   DriverConfig driver;
@@ -131,8 +155,10 @@ DriverReport RunOne(bool exclusive_read_locks, double zipf_s, int shards,
   driver.run_updates = true;
   driver.point_read_fraction = kPointReadFraction;
   driver.phases = phases;
-  driver.seed = kSeed + static_cast<uint64_t>(shards * 1000 + threads * 10 +
-                                              (exclusive_read_locks ? 1 : 0));
+  // Deliberately mode-independent: every lock mode faces the identical
+  // query/constraint streams, so mode comparisons differ only in the code
+  // under test, not in the workload draw.
+  driver.seed = kSeed + static_cast<uint64_t>(shards * 1000 + threads * 10);
   DriverReport report = RunWorkload(engine, driver);
   // Progress is judged by the engine's own atomic counter, not by the
   // driver's derived tally: every issued query must have reached the engine.
@@ -145,14 +171,14 @@ DriverReport RunOne(bool exclusive_read_locks, double zipf_s, int shards,
 /// trajectory should track the code, not the interleaving lottery.
 /// Violations accumulate across ALL repeats — the precision guarantee has
 /// no noise to hide behind.
-DriverReport RunMedian(int repeats, bool exclusive_read_locks, double zipf_s,
+DriverReport RunMedian(int repeats, ReadLockMode mode, double zipf_s,
                        int shards, int threads, int64_t queries_per_thread,
                        int num_sources, int64_t* queries_executed,
                        int64_t* all_violations) {
   std::vector<DriverReport> reports;
   std::vector<int64_t> executed(static_cast<size_t>(repeats), 0);
   for (int r = 0; r < repeats; ++r) {
-    reports.push_back(RunOne(exclusive_read_locks, zipf_s, shards, threads,
+    reports.push_back(RunOne(mode, zipf_s, shards, threads,
                              queries_per_thread, num_sources, {},
                              &executed[static_cast<size_t>(r)]));
     *all_violations += reports.back().violations;
@@ -197,11 +223,14 @@ int main(int argc, char** argv) {
                 "single shard + single thread reproduces CacheSystem");
   bool deterministic = DeterminismCheck(num_sources);
 
-  bench::Banner("RUNTIME-2",
-                "read-mostly hot path: threads x shards x skew, both lock modes");
+  bench::Banner(
+      "RUNTIME-2",
+      "read-mostly hot path: threads x shards x skew, all three lock modes");
   bench::Note("point_read_fraction 0.95, updates streaming through the bus;");
-  bench::Note("'shared' = snapshot reads take shard locks shared (the runtime),");
-  bench::Note("'exclusive' = every access exclusive (pre-shared_mutex baseline)");
+  bench::Note("'seqlock' = optimistic per-entry versioned reads, no shard "
+              "lock (the runtime),");
+  bench::Note("'shared' = snapshot reads take shard locks shared,");
+  bench::Note("'exclusive' = every access exclusive (original baseline)");
   std::printf("\n  %9s %5s %7s %8s %12s %9s %9s %9s %10s %7s %11s\n", "mode",
               "zipf", "shards", "threads", "queries/s", "p50 us", "p95 us",
               "p99 us", "cost/tick", "ticks", "violations");
@@ -209,18 +238,18 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   int64_t total_violations = 0;
   bool concurrent_progress = false;
-  for (bool exclusive : {false, true}) {
+  for (ReadLockMode mode : kModes) {
     for (double zipf_s : {0.0, 1.1}) {
       for (int shards : {1, 8}) {
         for (int threads : {1, 4, 8}) {
           SweepPoint point;
-          point.mode = exclusive ? "exclusive" : "shared";
+          point.mode = mode;
           point.zipf_s = zipf_s;
           point.shards = shards;
           point.threads = threads;
           int64_t executed = 0;
           point.report =
-              RunMedian(/*repeats=*/5, exclusive, zipf_s, shards, threads,
+              RunMedian(/*repeats=*/7, mode, zipf_s, shards, threads,
                         queries_per_thread, num_sources, &executed,
                         &total_violations);
           const DriverReport& r = point.report;
@@ -232,14 +261,13 @@ int main(int argc, char** argv) {
           std::printf(
               "  %9s %5.1f %7d %8d %12.0f %9.1f %9.1f %9.1f %10.3f %7lld"
               " %11lld\n",
-              point.mode.c_str(), zipf_s, shards, threads,
-              r.queries_per_second, r.latency_p50_us, r.latency_p95_us,
-              r.latency_p99_us, r.costs.CostRate(),
-              static_cast<long long>(r.ticks),
+              ModeName(mode), zipf_s, shards, threads, r.queries_per_second,
+              r.latency_p50_us, r.latency_p95_us, r.latency_p99_us,
+              r.costs.CostRate(), static_cast<long long>(r.ticks),
               static_cast<long long>(r.violations));
           report.AddRun()
               .Str("scenario", "steady")
-              .Str("mode", point.mode)
+              .Str("mode", ModeName(mode))
               .Num("zipf_s", zipf_s)
               .Int("shards", shards)
               .Int("threads", threads)
@@ -253,6 +281,8 @@ int main(int argc, char** argv) {
               .Int("ticks", r.ticks)
               .Int("value_refreshes", r.costs.value_refreshes)
               .Int("query_refreshes", r.costs.query_refreshes)
+              .Int("rejected_updates", r.rejected_updates)
+              .Int("rejected_query_ids", r.rejected_query_ids)
               .Int("violations", r.violations);
           sweep.push_back(std::move(point));
         }
@@ -278,8 +308,9 @@ int main(int argc, char** argv) {
     phases[2].zipf_s = 1.1;
     phases[2].update_burst = 0;
     int64_t executed = 0;
-    DriverReport r = RunOne(false, 0.0, 8, 4, queries_per_thread,
-                            num_sources, phases, &executed);
+    DriverReport r = RunOne(ReadLockMode::kSeqlock, 0.0, 8, 4,
+                            queries_per_thread, num_sources, phases,
+                            &executed);
     total_violations += r.violations;
     std::printf("  %lld queries in %.2fs -> %.0f q/s, p99 %.1f us, "
                 "%lld ticks, %lld violations\n",
@@ -289,7 +320,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.violations));
     report.AddRun()
         .Str("scenario", "phase_shift")
-        .Str("mode", "shared")
+        .Str("mode", "seqlock")
         .Str("phases",
              "read95/zipf1.1/burst4 -> read20/uniform/burst64 -> "
              "read100/zipf1.1/paused")
@@ -302,30 +333,39 @@ int main(int argc, char** argv) {
         .Num("cost_rate", r.costs.CostRate())
         .Int("queries", r.queries)
         .Int("ticks", r.ticks)
+        .Int("rejected_updates", r.rejected_updates)
+        .Int("rejected_query_ids", r.rejected_query_ids)
         .Int("violations", r.violations);
   }
 
-  // Headline comparison: shared vs exclusive at the widest concurrency.
-  bench::Banner("SUMMARY", "shared-lock read path vs exclusive baseline");
+  // Headline comparison: the three modes at the widest concurrency. The
+  // committed BENCH_runtime.json must show seqlock >= shared at 8 threads
+  // (the seqlock refactor's acceptance bar); the note below reports it,
+  // but the exit status deliberately gates only the correctness invariants
+  // (determinism, precision, progress) — a scheduler-noisy smoke run on an
+  // arbitrary host must not flake CI over a perf race it cannot resolve.
+  bench::Banner("SUMMARY", "seqlock vs shared vs exclusive at 8 threads");
+  bool seqlock_holds = true;
   for (double zipf_s : {0.0, 1.1}) {
     for (int shards : {1, 8}) {
-      double shared_qps = 0.0;
-      double exclusive_qps = 0.0;
+      double qps[3] = {0.0, 0.0, 0.0};
       for (const SweepPoint& point : sweep) {
         if (point.threads != 8 || point.shards != shards ||
             point.zipf_s != zipf_s) {
           continue;
         }
-        (point.mode == "shared" ? shared_qps : exclusive_qps) =
-            point.report.queries_per_second;
+        qps[static_cast<int>(point.mode)] = point.report.queries_per_second;
       }
+      double seqlock = qps[static_cast<int>(ReadLockMode::kSeqlock)];
+      double shared = qps[static_cast<int>(ReadLockMode::kShared)];
+      double exclusive = qps[static_cast<int>(ReadLockMode::kExclusive)];
+      if (seqlock < shared) seqlock_holds = false;
       std::printf(
-          "  8 threads, %d shard%s, zipf %.1f: shared %8.0f q/s vs "
-          "exclusive %8.0f q/s  (%+.1f%%)\n",
-          shards, shards == 1 ? " " : "s", zipf_s, shared_qps, exclusive_qps,
-          exclusive_qps > 0.0
-              ? 100.0 * (shared_qps - exclusive_qps) / exclusive_qps
-              : 0.0);
+          "  8 threads, %d shard%s, zipf %.1f: seqlock %8.0f | shared "
+          "%8.0f | exclusive %8.0f q/s  (seqlock vs shared %+.1f%%)\n",
+          shards, shards == 1 ? " " : "s", zipf_s, seqlock, shared,
+          exclusive,
+          shared > 0.0 ? 100.0 * (seqlock - shared) / shared : 0.0);
     }
   }
 
@@ -334,7 +374,8 @@ int main(int argc, char** argv) {
   bench::Note(wrote ? "trajectory written to " + out_path
                     : "FAILED to write " + out_path);
   bench::Note(deterministic
-                  ? "determinism: 1 shard / 1 thread MATCHES CacheSystem"
+                  ? "determinism: 1 shard / 1 thread MATCHES CacheSystem in "
+                    "all modes"
                   : "determinism: MISMATCH vs CacheSystem (BUG)");
   bench::Note(total_violations == 0
                   ? "precision: every concurrent result met its constraint"
@@ -342,6 +383,9 @@ int main(int argc, char** argv) {
   bench::Note(concurrent_progress
                   ? "concurrency: multi-thread runs completed all queries"
                   : "concurrency: multi-thread runs made no progress (BUG)");
+  bench::Note(seqlock_holds
+                  ? "seqlock read path >= shared-lock path at 8 threads"
+                  : "seqlock read path LOST to shared locks at 8 threads");
   return (deterministic && total_violations == 0 && concurrent_progress &&
           wrote)
              ? 0

@@ -9,10 +9,14 @@
 ///
 /// Layering (each layer only depends on the ones above it):
 ///   util      — Status/Result, Rng, math helpers, flags
-///   core      — Interval, precision policies, analytic model
+///   core      — Interval, precision policies, analytic model, and the
+///               engine-agnostic protocol core: ProtocolCell (per-value
+///               state machine), ProtocolTable (entry store + eviction +
+///               charging + versioned read slots), CostTracker
 ///   data      — update streams, synthetic traces, trace I/O
 ///   query     — precision constraints, bounded aggregates
-///   cache     — Source/Cache/CacheSystem refresh protocol
+///   cache     — Source/Cache/CacheSystem: the sequential driver over the
+///               protocol core
 ///   baseline  — WJH97 exact caching, HSW94 divergence caching
 ///   hierarchy — two-level caching extension
 ///   sim       — simulation drivers and canned experiments
@@ -26,8 +30,11 @@
 
 #include "core/adaptive_policy.h"
 #include "core/analytic_model.h"
+#include "core/cost_model.h"
 #include "core/interval.h"
 #include "core/precision_policy.h"
+#include "core/protocol_cell.h"
+#include "core/protocol_table.h"
 #include "core/stale_policy.h"
 #include "core/variants/history_policy.h"
 #include "core/variants/time_varying.h"

@@ -24,6 +24,12 @@ struct DivergenceCachingParams {
 /// detailed projections for data access and update patterns" based on the
 /// k most recent reads and writes.
 ///
+/// Layering note: this policy plugs into StaleCacheSystem, which charges
+/// refreshes through the shared protocol core's CostTracker
+/// (core/cost_model.h) exactly like the interval systems; the projection
+/// logic below is what [HSW94] substitutes for the adaptive ProtocolCell
+/// width walk that our algorithm (AdaptiveStaleBounds) uses.
+///
 /// At each refresh of a value this implementation:
 ///  1. estimates the write rate λw and read rate λr from the moving
 ///     windows, and the constraint range [δmin, δmax] from the constraints

@@ -7,7 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "cache/cost_model.h"
+#include "core/cost_model.h"
 #include "data/update_stream.h"
 #include "query/aggregate.h"
 

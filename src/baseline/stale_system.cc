@@ -8,30 +8,22 @@ void StaleBoundPolicy::ObserveRead(int /*id*/, int64_t /*now*/,
 
 AdaptiveStaleBounds::AdaptiveStaleBounds(const AdaptivePolicyParams& params,
                                          int num_values, uint64_t seed) {
-  policies_.reserve(static_cast<size_t>(num_values));
-  raw_bounds_.reserve(static_cast<size_t>(num_values));
+  cells_.reserve(static_cast<size_t>(num_values));
   Rng root(seed);
   for (int i = 0; i < num_values; ++i) {
-    policies_.push_back(
-        std::make_unique<AdaptivePolicy>(params, root.Fork()));
-    raw_bounds_.push_back(params.initial_width);
+    cells_.emplace_back(std::make_unique<AdaptivePolicy>(params, root.Fork()));
   }
 }
 
 double AdaptiveStaleBounds::InitialBound(int id) {
-  auto& policy = policies_.at(static_cast<size_t>(id));
-  return policy->EffectiveWidth(raw_bounds_.at(static_cast<size_t>(id)));
+  return cells_.at(static_cast<size_t>(id)).EffectiveWidth();
 }
 
 double AdaptiveStaleBounds::OnRefresh(int id, RefreshType type,
                                       int64_t now) {
-  auto& policy = policies_.at(static_cast<size_t>(id));
-  double& raw = raw_bounds_.at(static_cast<size_t>(id));
-  RefreshContext ctx;
-  ctx.type = type;
-  ctx.time = now;
-  raw = policy->NextWidth(raw, ctx);
-  return policy->EffectiveWidth(raw);
+  ProtocolCell& cell = cells_.at(static_cast<size_t>(id));
+  cell.AdvanceWidth(type, /*escaped_above=*/false, now);
+  return cell.EffectiveWidth();
 }
 
 StaleCacheSystem::StaleCacheSystem(const StaleSystemConfig& config,

@@ -5,8 +5,9 @@
 #include <memory>
 #include <vector>
 
-#include "cache/cost_model.h"
 #include "core/adaptive_policy.h"
+#include "core/cost_model.h"
+#include "core/protocol_cell.h"
 #include "util/rng.h"
 
 namespace apc {
@@ -35,7 +36,11 @@ class StaleBoundPolicy {
 
 /// Our algorithm specialized to stale-value approximations (paper §4.7):
 /// per-value multiplicative bound adjustment with cost factor
-/// theta' = Cvr/Cqr, thresholds in units of updates.
+/// theta' = Cvr/Cqr, thresholds in units of updates. Each value's state is
+/// a ProtocolCell — the same per-value state machine the interval systems
+/// drive (core/protocol_cell.h) — with the retained raw width serving as
+/// the raw divergence bound; the cell's shipped-interval state is unused
+/// here because stale-value approximations carry no interval.
 class AdaptiveStaleBounds : public StaleBoundPolicy {
  public:
   /// `params` should already carry theta_multiplier = 1 (see
@@ -47,12 +52,11 @@ class AdaptiveStaleBounds : public StaleBoundPolicy {
   double OnRefresh(int id, RefreshType type, int64_t now) override;
 
   double raw_bound(int id) const {
-    return raw_bounds_.at(static_cast<size_t>(id));
+    return cells_.at(static_cast<size_t>(id)).raw_width();
   }
 
  private:
-  std::vector<std::unique_ptr<PrecisionPolicy>> policies_;
-  std::vector<double> raw_bounds_;
+  std::vector<ProtocolCell> cells_;
 };
 
 /// Configuration of the stale-value caching simulator.

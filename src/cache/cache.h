@@ -1,58 +1,21 @@
 #ifndef APC_CACHE_CACHE_H_
 #define APC_CACHE_CACHE_H_
 
-#include <cstddef>
-#include <unordered_map>
-
-#include "core/precision_policy.h"
+#include "core/protocol_table.h"
 
 namespace apc {
 
-/// One cached approximation together with the raw width the source retained
-/// when shipping it. Eviction ordering uses raw widths: the paper is
-/// explicit that the widest-interval eviction decision "is based on
-/// original widths, not on 0 or ∞ widths due to thresholds".
-struct CacheEntry {
-  CachedApprox approx;
-  double raw_width = 0.0;
-};
+/// The storage-and-eviction semantics moved into the protocol core
+/// (core/protocol_table.h) so the sequential system, the baselines, and
+/// the concurrent shards share one implementation; these aliases keep the
+/// historical names working for direct users and tests.
+using CacheEntry = ProtocolEntry;
 
-/// Fixed-capacity cache of interval approximations keyed by source id.
-/// When full, it evicts the entry with the largest raw width — the least
-/// precise approximation contributes least to overall cache precision
-/// (paper §2). An offered approximation that would itself be the widest is
-/// rejected and the value simply stays uncached.
-class Cache {
+/// Fixed-capacity cache of interval approximations keyed by source id —
+/// exactly EntryStore; see its documentation for the eviction rule.
+class Cache : public EntryStore {
  public:
-  /// `capacity` is the paper's χ: the number of approximations the cache
-  /// can hold.
-  explicit Cache(size_t capacity) : capacity_(capacity) {}
-
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return entries_.size(); }
-
-  /// Returns the entry for `id`, or nullptr when not cached.
-  const CacheEntry* Find(int id) const;
-
-  /// Offers a (re)freshed approximation. Replaces in place when `id` is
-  /// already cached; inserts when below capacity; otherwise either evicts
-  /// the current widest entry (when the offer is narrower) or rejects the
-  /// offer. Returns true when the approximation is cached afterwards.
-  bool Offer(int id, const CachedApprox& approx, double raw_width);
-
-  /// Drops `id` if present (used by tests and by capacity changes).
-  void Erase(int id);
-
-  /// Id of the entry with the largest raw width, or -1 when empty.
-  int WidestId() const;
-
-  const std::unordered_map<int, CacheEntry>& entries() const {
-    return entries_;
-  }
-
- private:
-  size_t capacity_;
-  std::unordered_map<int, CacheEntry> entries_;
+  using EntryStore::EntryStore;
 };
 
 }  // namespace apc

@@ -6,35 +6,8 @@ Source::Source(int id, std::unique_ptr<UpdateStream> stream,
                std::unique_ptr<PrecisionPolicy> policy)
     : id_(id),
       stream_(std::move(stream)),
-      policy_(std::move(policy)),
-      raw_width_(policy_->InitialWidth()) {
-  last_approx_ = policy_->MakeApprox(stream_->current(), raw_width_, 0);
-}
+      cell_(std::move(policy), stream_->current(), 0) {}
 
 double Source::Tick() { return stream_->Next(); }
-
-bool Source::NeedsValueRefresh(int64_t now) const {
-  return !last_approx_.Valid(value(), now);
-}
-
-bool Source::EscapedAbove(int64_t now) const {
-  return value() > last_approx_.AtTime(now).hi();
-}
-
-CachedApprox Source::Refresh(RefreshType type, int64_t now) {
-  RefreshContext ctx;
-  ctx.type = type;
-  ctx.escaped_above =
-      (type == RefreshType::kValueInitiated) && EscapedAbove(now);
-  ctx.time = now;
-  raw_width_ = policy_->NextWidth(raw_width_, ctx);
-  last_approx_ = policy_->MakeApprox(value(), raw_width_, now);
-  return last_approx_;
-}
-
-CachedApprox Source::InitialApprox(int64_t now) {
-  last_approx_ = policy_->MakeApprox(value(), raw_width_, now);
-  return last_approx_;
-}
 
 }  // namespace apc

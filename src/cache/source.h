@@ -3,17 +3,16 @@
 
 #include <memory>
 
-#include "core/precision_policy.h"
+#include "core/protocol_cell.h"
 #include "data/update_stream.h"
 
 namespace apc {
 
 /// A data source hosting one exact numeric value (paper §4.1: "each source
-/// holds one exact numeric value"). The source owns:
-///
-///  * the update stream that drives the value,
-///  * its per-value precision policy instance, and
-///  * the *retained raw width* plus the last approximation it shipped.
+/// holds one exact numeric value"): an update stream driving the value,
+/// paired with the value's ProtocolCell — the per-value protocol state
+/// machine (retained raw width, last-shipped approximation, policy hook)
+/// shared by every execution engine (core/protocol_cell.h).
 ///
 /// The last shipped approximation matters because caches never notify
 /// sources of evictions (paper §2): the source keeps testing validity
@@ -26,36 +25,45 @@ class Source {
 
   int id() const { return id_; }
   double value() const { return stream_->current(); }
-  double raw_width() const { return raw_width_; }
-  const CachedApprox& last_approx() const { return last_approx_; }
-  PrecisionPolicy* policy() { return policy_.get(); }
+  double raw_width() const { return cell_.raw_width(); }
+  const CachedApprox& last_approx() const { return cell_.last_shipped(); }
+  PrecisionPolicy* policy() { return cell_.policy(); }
+  const PrecisionPolicy* policy() const { return cell_.policy(); }
+
+  /// The protocol state machine, for engines (ProtocolTable drivers) that
+  /// operate on cells directly.
+  ProtocolCell& cell() { return cell_; }
+  const ProtocolCell& cell() const { return cell_; }
 
   /// Advances the update stream one tick and returns the new exact value.
   double Tick();
 
   /// True when the current exact value has escaped the last shipped
   /// approximation — the trigger for a value-initiated refresh.
-  bool NeedsValueRefresh(int64_t now) const;
+  bool NeedsValueRefresh(int64_t now) const {
+    return cell_.NeedsValueRefresh(value(), now);
+  }
 
   /// True when the escape is above the interval's upper endpoint (consulted
   /// by the uncentered policy variant).
-  bool EscapedAbove(int64_t now) const;
+  bool EscapedAbove(int64_t now) const {
+    return cell_.EscapedAbove(value(), now);
+  }
 
   /// Applies the policy's width update for a refresh of kind `type` and
-  /// returns the fresh approximation of the current exact value. Updates
-  /// both the retained raw width and the last shipped approximation.
-  CachedApprox Refresh(RefreshType type, int64_t now);
+  /// returns the fresh approximation of the current exact value.
+  CachedApprox Refresh(RefreshType type, int64_t now) {
+    return cell_.Refresh(value(), type, now);
+  }
 
   /// Ships the very first approximation (initial cache population; the
   /// paper's warm-up period absorbs its cost).
-  CachedApprox InitialApprox(int64_t now);
+  CachedApprox InitialApprox(int64_t now) { return cell_.Ship(value(), now); }
 
  private:
   int id_;
   std::unique_ptr<UpdateStream> stream_;
-  std::unique_ptr<PrecisionPolicy> policy_;
-  double raw_width_;
-  CachedApprox last_approx_;
+  ProtocolCell cell_;
 };
 
 }  // namespace apc

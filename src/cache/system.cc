@@ -5,52 +5,26 @@ namespace apc {
 CacheSystem::CacheSystem(const SystemConfig& config,
                          std::vector<std::unique_ptr<Source>> sources,
                          uint64_t seed)
-    : config_(config),
-      sources_(std::move(sources)),
-      cache_(config.cache_capacity),
-      costs_(config.costs),
-      rng_(seed) {}
+    : sources_(std::move(sources)), table_(config.TableConfig(), seed) {
+  for (const auto& src : sources_) table_.Register(src->id());
+}
 
 void CacheSystem::PopulateInitial(int64_t now) {
   for (auto& src : sources_) {
-    CachedApprox approx = src->InitialApprox(now);
-    cache_.Offer(src->id(), approx, src->raw_width());
+    table_.OfferInitial(src->id(), src->cell(), src->value(), now);
   }
 }
 
 void CacheSystem::Tick(int64_t now) {
   for (auto& src : sources_) {
     src->Tick();
-    // The source tests validity against the approximation it last shipped —
-    // caches never report evictions (paper §2), so refreshes are pushed
-    // even for entries the cache has dropped.
-    if (src->NeedsValueRefresh(now)) {
-      costs_.RecordValueRefresh();
-      CachedApprox approx = src->Refresh(RefreshType::kValueInitiated, now);
-      if (config_.push_loss_probability > 0.0 &&
-          rng_.Bernoulli(config_.push_loss_probability)) {
-        // The message is lost: the source has already updated its own
-        // notion of the shipped interval, but the cache never sees it.
-        ++lost_pushes_;
-        continue;
-      }
-      cache_.Offer(src->id(), approx, src->raw_width());
-    }
+    table_.OnValueTick(src->id(), src->cell(), src->value(), now);
   }
 }
 
-Interval CacheSystem::VisibleInterval(int id, int64_t now) const {
-  const CacheEntry* entry = cache_.Find(id);
-  if (entry == nullptr) return Interval::Unbounded();
-  return entry->approx.AtTime(now);
-}
-
 double CacheSystem::PullExact(int id, int64_t now) {
-  costs_.RecordQueryRefresh();
   Source* src = source(id);
-  CachedApprox approx = src->Refresh(RefreshType::kQueryInitiated, now);
-  cache_.Offer(id, approx, src->raw_width());
-  return src->value();
+  return table_.Pull(id, src->cell(), src->value(), now);
 }
 
 Interval CacheSystem::ExecuteQuery(const Query& query, int64_t now) {
@@ -107,7 +81,7 @@ Interval CacheSystem::ExecuteQuery(const Query& query, int64_t now) {
 
 int CacheSystem::CountInvalidEntries(int64_t now) const {
   int invalid = 0;
-  for (const auto& [id, entry] : cache_.entries()) {
+  for (const auto& [id, entry] : table_.entries()) {
     if (!entry.approx.Valid(source(id)->value(), now)) ++invalid;
   }
   return invalid;

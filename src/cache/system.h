@@ -5,10 +5,10 @@
 #include <vector>
 
 #include "cache/cache.h"
-#include "cache/cost_model.h"
 #include "cache/source.h"
+#include "core/cost_model.h"
+#include "core/protocol_table.h"
 #include "query/aggregate.h"
-#include "util/rng.h"
 
 namespace apc {
 
@@ -27,12 +27,21 @@ struct SystemConfig {
   /// §1.1), and the robustness bench quantifies what that assumption is
   /// worth.
   double push_loss_probability = 0.0;
+
+  /// The protocol-core slice of this configuration.
+  ProtocolTable::Config TableConfig() const {
+    return {costs, cache_capacity, push_loss_probability};
+  }
 };
 
-/// The end-to-end protocol engine. Drives source updates, detects and
-/// charges value-initiated refreshes, and executes precision-constrained
-/// aggregate queries, charging a query-initiated refresh per exact value
-/// pulled from a source.
+/// The sequential end-to-end protocol engine: a single-threaded driver over
+/// the shared protocol core (core/protocol_table.h). Advances source
+/// updates, lets the ProtocolTable detect and charge value-initiated
+/// refreshes, and executes precision-constrained aggregate queries,
+/// charging a query-initiated refresh per exact value pulled from a
+/// source. The concurrent runtime's Shard drives the very same table, so a
+/// single-shard engine reproduces this system bit-for-bit (the lockstep
+/// parity tests in tests/runtime_test.cc enforce it).
 class CacheSystem {
  public:
   CacheSystem(const SystemConfig& config,
@@ -54,10 +63,12 @@ class CacheSystem {
   /// is guaranteed to be at most the constraint.
   Interval ExecuteQuery(const Query& query, int64_t now);
 
-  CostTracker& costs() { return costs_; }
-  const CostTracker& costs() const { return costs_; }
-  Cache& cache() { return cache_; }
-  const Cache& cache() const { return cache_; }
+  CostTracker& costs() { return table_.costs(); }
+  const CostTracker& costs() const { return table_.costs(); }
+  /// The cached-entry view (Find/size/capacity/entries) of the protocol
+  /// table — the historical `cache()` observers read through it unchanged.
+  const ProtocolTable& cache() const { return table_; }
+  const ProtocolTable& table() const { return table_; }
   Source* source(int id) { return sources_.at(static_cast<size_t>(id)).get(); }
   const Source* source(int id) const {
     return sources_.at(static_cast<size_t>(id)).get();
@@ -69,7 +80,7 @@ class CacheSystem {
 
   /// Number of value-initiated refresh messages dropped by failure
   /// injection so far.
-  int64_t lost_pushes() const { return lost_pushes_; }
+  int64_t lost_pushes() const { return table_.lost_pushes(); }
 
   /// Diagnostic: how many cached entries do NOT currently contain their
   /// source's exact value. Always 0 under reliable delivery; with push
@@ -79,19 +90,17 @@ class CacheSystem {
  private:
   /// The interval a query sees for `id` at time `now`: the cached interval,
   /// or the unbounded interval when the value is not cached.
-  Interval VisibleInterval(int id, int64_t now) const;
+  Interval VisibleInterval(int id, int64_t now) const {
+    return table_.VisibleInterval(id, now);
+  }
 
   /// Pulls the exact value of `id` (query-initiated refresh): charges Cqr,
   /// updates the source's width, offers the fresh approximation to the
   /// cache, and returns the exact value.
   double PullExact(int id, int64_t now);
 
-  SystemConfig config_;
   std::vector<std::unique_ptr<Source>> sources_;
-  Cache cache_;
-  CostTracker costs_;
-  Rng rng_;
-  int64_t lost_pushes_ = 0;
+  ProtocolTable table_;
 };
 
 }  // namespace apc

@@ -62,6 +62,7 @@ class AdaptivePolicy : public PrecisionPolicy {
   double NextWidth(double raw_width, const RefreshContext& ctx) override;
   double EffectiveWidth(double raw_width) const override;
   std::unique_ptr<PrecisionPolicy> Clone() const override;
+  bool IsValidConfig() const override { return params_.IsValid(); }
 
   const AdaptivePolicyParams& params() const { return params_; }
 

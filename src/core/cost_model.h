@@ -1,0 +1,68 @@
+#ifndef APC_CORE_COST_MODEL_H_
+#define APC_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace apc {
+
+/// Refresh costs of the environment (paper §4.3). The defaults model one
+/// request/response pair per remote read (Cqr = 2) and a single update
+/// message pushed to the cache (Cvr = 1, loose consistency). Under
+/// two-phase locking a push needs two round trips, Cvr = 4.
+struct RefreshCosts {
+  double cvr = 1.0;
+  double cqr = 2.0;
+
+  /// Cost factor for interval approximations: theta = 2·Cvr/Cqr.
+  double ThetaInterval() const { return 2.0 * cvr / cqr; }
+  /// Cost factor for stale-value approximations: theta' = Cvr/Cqr.
+  double ThetaStale() const { return cvr / cqr; }
+
+  bool IsValid() const { return cvr > 0.0 && cqr > 0.0; }
+};
+
+/// Accumulates refresh counts and total cost, with warm-up gating: counts
+/// recorded before BeginMeasurement() are tracked separately and excluded
+/// from the reported cost rate, matching the paper's discarded warm-up
+/// period.
+class CostTracker {
+ public:
+  explicit CostTracker(const RefreshCosts& costs) : costs_(costs) {}
+
+  /// Starts the measured period at simulation time `now` (ticks).
+  void BeginMeasurement(int64_t now);
+
+  void RecordValueRefresh();
+  void RecordQueryRefresh();
+
+  /// Marks the end of the run; `now` is one past the final tick.
+  void EndMeasurement(int64_t now);
+
+  bool measuring() const { return measuring_; }
+  int64_t value_refreshes() const { return value_refreshes_; }
+  int64_t query_refreshes() const { return query_refreshes_; }
+  double total_cost() const;
+  int64_t measured_ticks() const;
+
+  /// Average cost per tick Ω over the measured period.
+  double CostRate() const;
+  /// Per-tick refresh probabilities over the measured period.
+  double MeasuredPvr() const;
+  double MeasuredPqr() const;
+
+  const RefreshCosts& costs() const { return costs_; }
+
+ private:
+  RefreshCosts costs_;
+  bool measuring_ = false;
+  int64_t start_tick_ = 0;
+  int64_t end_tick_ = 0;
+  int64_t value_refreshes_ = 0;
+  int64_t query_refreshes_ = 0;
+  int64_t warmup_value_refreshes_ = 0;
+  int64_t warmup_query_refreshes_ = 0;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_COST_MODEL_H_

@@ -83,6 +83,13 @@ class PrecisionPolicy {
 
   /// Deep copy, including per-value state and an independent RNG stream.
   virtual std::unique_ptr<PrecisionPolicy> Clone() const = 0;
+
+  /// True when the policy's configuration is in its documented domain.
+  /// Engines check this at construction so a bad parameter set (negative
+  /// alpha, inverted thresholds, non-positive initial width, ...) is
+  /// rejected up front instead of producing NaN widths mid-run. The
+  /// default accepts everything; parameterized policies override.
+  virtual bool IsValidConfig() const { return true; }
 };
 
 /// Policy that always uses the same width. Used to measure refresh

@@ -1,0 +1,35 @@
+#include "core/protocol_cell.h"
+
+namespace apc {
+
+ProtocolCell::ProtocolCell(std::unique_ptr<PrecisionPolicy> policy,
+                           double initial_value, int64_t now)
+    : policy_(std::move(policy)), raw_width_(policy_->InitialWidth()) {
+  last_shipped_ = policy_->MakeApprox(initial_value, raw_width_, now);
+}
+
+double ProtocolCell::AdvanceWidth(RefreshType type, bool escaped_above,
+                                  int64_t now) {
+  RefreshContext ctx;
+  ctx.type = type;
+  ctx.escaped_above = escaped_above;
+  ctx.time = now;
+  raw_width_ = policy_->NextWidth(raw_width_, ctx);
+  return raw_width_;
+}
+
+CachedApprox ProtocolCell::Refresh(double value, RefreshType type,
+                                   int64_t now) {
+  bool escaped_above =
+      (type == RefreshType::kValueInitiated) && EscapedAbove(value, now);
+  AdvanceWidth(type, escaped_above, now);
+  last_shipped_ = policy_->MakeApprox(value, raw_width_, now);
+  return last_shipped_;
+}
+
+CachedApprox ProtocolCell::Ship(double value, int64_t now) {
+  last_shipped_ = policy_->MakeApprox(value, raw_width_, now);
+  return last_shipped_;
+}
+
+}  // namespace apc

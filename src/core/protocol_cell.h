@@ -1,0 +1,88 @@
+#ifndef APC_CORE_PROTOCOL_CELL_H_
+#define APC_CORE_PROTOCOL_CELL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/precision_policy.h"
+
+namespace apc {
+
+/// The per-value state machine of the refresh protocol, engine-agnostic:
+/// the retained raw width, the last-shipped approximation (the source-side
+/// interval the protocol tests validity against), and the policy hook that
+/// adjusts the width on each refresh.
+///
+/// Every execution engine drives the same cell: the sequential CacheSystem
+/// and the concurrent runtime's shards wrap one in a Source (cell + update
+/// stream), and the stale-value baseline uses the cell's width bookkeeping
+/// directly (widths are divergence bounds there; the shipped interval is
+/// unused). The cell itself knows nothing about caches, charging, or
+/// locking — that is ProtocolTable's job (protocol_table.h).
+///
+/// Two invariants the parity tests pin down live here:
+///  * the *raw* width is retained across refreshes even when the effective
+///    width snaps to 0 or infinity at the delta0/delta1 thresholds (paper
+///    §2: the source "still retains the original width, and uses it when
+///    setting the next width");
+///  * escape direction is evaluated against the last-shipped approximation
+///    BEFORE the width update, because caches never report evictions and
+///    the source's view of "what the cache holds" is what it last sent.
+class ProtocolCell {
+ public:
+  /// `policy` decides the widths; the cell takes per-value ownership (each
+  /// value needs its own instance — policies may carry state and a private
+  /// RNG stream). `initial_value` seeds the first shipped approximation,
+  /// exactly as if the value had been shipped at time `now`.
+  explicit ProtocolCell(std::unique_ptr<PrecisionPolicy> policy,
+                        double initial_value = 0.0, int64_t now = 0);
+
+  ProtocolCell(ProtocolCell&&) = default;
+  ProtocolCell& operator=(ProtocolCell&&) = default;
+
+  double raw_width() const { return raw_width_; }
+  const CachedApprox& last_shipped() const { return last_shipped_; }
+  PrecisionPolicy* policy() { return policy_.get(); }
+  const PrecisionPolicy* policy() const { return policy_.get(); }
+
+  /// Raw width after delta0/delta1 threshold snapping — what actually
+  /// ships (or, in the stale-value setting, the installed bound).
+  double EffectiveWidth() const { return policy_->EffectiveWidth(raw_width_); }
+
+  /// True when `value` has escaped the last shipped approximation — the
+  /// trigger for a value-initiated refresh.
+  bool NeedsValueRefresh(double value, int64_t now) const {
+    return !last_shipped_.Valid(value, now);
+  }
+
+  /// True when the escape is above the interval's upper endpoint (consulted
+  /// by the uncentered policy variant).
+  bool EscapedAbove(double value, int64_t now) const {
+    return value > last_shipped_.AtTime(now).hi();
+  }
+
+  /// Applies the policy's width update for a refresh of kind `type` and
+  /// returns the new raw width. Does NOT reship an approximation — the
+  /// stale-value setting adjusts bounds without interval state.
+  double AdvanceWidth(RefreshType type, bool escaped_above, int64_t now);
+
+  /// Full refresh: advances the width (escape direction derived from the
+  /// pre-refresh shipped interval) and ships a fresh approximation of
+  /// `value`, which becomes the new last-shipped state.
+  CachedApprox Refresh(double value, RefreshType type, int64_t now);
+
+  /// Ships an approximation of `value` at the current width without a
+  /// width update (initial cache population; the paper's warm-up period
+  /// absorbs its cost).
+  CachedApprox Ship(double value, int64_t now);
+
+ private:
+  std::unique_ptr<PrecisionPolicy> policy_;
+  double raw_width_;
+  CachedApprox last_shipped_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_PROTOCOL_CELL_H_

@@ -1,0 +1,173 @@
+#include "core/protocol_table.h"
+
+namespace apc {
+
+const ProtocolEntry* EntryStore::Find(int id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+int EntryStore::WidestId() const {
+  int widest = -1;
+  double widest_width = -1.0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.raw_width > widest_width ||
+        (entry.raw_width == widest_width && id > widest)) {
+      widest = id;
+      widest_width = entry.raw_width;
+    }
+  }
+  return widest;
+}
+
+EntryStore::OfferResult EntryStore::OfferEx(int id, const CachedApprox& approx,
+                                            double raw_width) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.approx = approx;
+    it->second.raw_width = raw_width;
+    return {true, -1};
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(id, ProtocolEntry{approx, raw_width});
+    return {true, -1};
+  }
+  if (capacity_ == 0) return {false, -1};
+  int widest = WidestId();
+  const ProtocolEntry& incumbent = entries_.at(widest);
+  // "the modified approximation may still be the widest and remain
+  // uncached" — ties keep the incumbent to avoid pointless churn.
+  if (raw_width >= incumbent.raw_width) return {false, -1};
+  entries_.erase(widest);
+  entries_.emplace(id, ProtocolEntry{approx, raw_width});
+  return {true, widest};
+}
+
+void EntryStore::Erase(int id) { entries_.erase(id); }
+
+ProtocolTable::ProtocolTable(const Config& config, uint64_t seed)
+    : config_(config),
+      store_(config.capacity),
+      costs_(config.costs),
+      rng_(seed) {}
+
+bool ProtocolTable::Register(int id) {
+  if (slot_of_.count(id) != 0) return false;
+  slots_.emplace_back();
+  slot_of_.emplace(id, &slots_.back());
+  return true;
+}
+
+void ProtocolTable::WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
+                              bool cached) {
+  // Seqlock publish: odd version -> payload -> even version. The release
+  // fence keeps the payload stores from sinking above the odd mark; the
+  // final release store publishes the payload to validating readers.
+  uint32_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.cached.store(cached, std::memory_order_relaxed);
+  slot.lo.store(approx.base.lo(), std::memory_order_relaxed);
+  slot.hi.store(approx.base.hi(), std::memory_order_relaxed);
+  slot.refresh_time.store(approx.refresh_time, std::memory_order_relaxed);
+  slot.growth_coeff.store(approx.growth_coeff, std::memory_order_relaxed);
+  slot.growth_exp.store(approx.growth_exp, std::memory_order_relaxed);
+  slot.drift_rate.store(approx.drift_rate, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
+                                  double raw_width) {
+  EntryStore::OfferResult result = store_.OfferEx(id, approx, raw_width);
+  if (result.evicted_id >= 0) {
+    auto evicted = slot_of_.find(result.evicted_id);
+    if (evicted != slot_of_.end()) {
+      WriteSlot(*evicted->second, CachedApprox{}, /*cached=*/false);
+    }
+  }
+  if (result.cached) {
+    auto it = slot_of_.find(id);
+    if (it != slot_of_.end()) WriteSlot(*it->second, approx, /*cached=*/true);
+  }
+}
+
+void ProtocolTable::OfferInitial(int id, ProtocolCell& cell, double value,
+                                 int64_t now) {
+  CachedApprox approx = cell.Ship(value, now);
+  OfferMirrored(id, approx, cell.raw_width());
+}
+
+ValueTickOutcome ProtocolTable::OnValueTick(int id, ProtocolCell& cell,
+                                            double value, int64_t now) {
+  ValueTickOutcome outcome;
+  // The cell tests validity against the approximation it last shipped —
+  // caches never report evictions (paper §2), so refreshes are pushed even
+  // for entries the cache has dropped.
+  if (!cell.NeedsValueRefresh(value, now)) return outcome;
+  costs_.RecordValueRefresh();
+  outcome.refreshed = true;
+  CachedApprox approx = cell.Refresh(value, RefreshType::kValueInitiated, now);
+  if (config_.push_loss_probability > 0.0 &&
+      rng_.Bernoulli(config_.push_loss_probability)) {
+    // The message is lost: the source has already updated its own notion of
+    // the shipped interval (and paid Cvr), but the cache never sees it.
+    ++lost_pushes_;
+    outcome.lost = true;
+    return outcome;
+  }
+  OfferMirrored(id, approx, cell.raw_width());
+  return outcome;
+}
+
+double ProtocolTable::Pull(int id, ProtocolCell& cell, double value,
+                           int64_t now) {
+  costs_.RecordQueryRefresh();
+  CachedApprox approx = cell.Refresh(value, RefreshType::kQueryInitiated, now);
+  OfferMirrored(id, approx, cell.raw_width());
+  return value;
+}
+
+Interval ProtocolTable::VisibleInterval(int id, int64_t now) const {
+  const ProtocolEntry* entry = store_.Find(id);
+  if (entry == nullptr) return Interval::Unbounded();
+  return entry->approx.AtTime(now);
+}
+
+SnapshotRead ProtocolTable::TryVisibleInterval(int id, int64_t now,
+                                               Interval* out) const {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    *out = Interval::Unbounded();
+    return SnapshotRead::kMiss;
+  }
+  const VersionedSlot& slot = *it->second;
+  uint32_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 & 1u) return SnapshotRead::kTorn;  // write in progress
+  bool cached = slot.cached.load(std::memory_order_relaxed);
+  double lo = slot.lo.load(std::memory_order_relaxed);
+  double hi = slot.hi.load(std::memory_order_relaxed);
+  int64_t refresh_time = slot.refresh_time.load(std::memory_order_relaxed);
+  double growth_coeff = slot.growth_coeff.load(std::memory_order_relaxed);
+  double growth_exp = slot.growth_exp.load(std::memory_order_relaxed);
+  double drift_rate = slot.drift_rate.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != v1) {
+    return SnapshotRead::kTorn;
+  }
+  // Only a validated copy is materialized: a torn {lo, hi} pair could
+  // violate lo <= hi and must never reach the Interval constructor.
+  if (!cached) {
+    *out = Interval::Unbounded();
+    return SnapshotRead::kMiss;
+  }
+  CachedApprox approx;
+  approx.base = Interval(lo, hi);
+  approx.refresh_time = refresh_time;
+  approx.growth_coeff = growth_coeff;
+  approx.growth_exp = growth_exp;
+  approx.drift_rate = drift_rate;
+  *out = approx.AtTime(now);
+  return SnapshotRead::kHit;
+}
+
+}  // namespace apc

@@ -1,0 +1,236 @@
+#ifndef APC_CORE_PROTOCOL_TABLE_H_
+#define APC_CORE_PROTOCOL_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "core/cost_model.h"
+#include "core/interval.h"
+#include "core/protocol_cell.h"
+#include "util/rng.h"
+
+namespace apc {
+
+/// One cached approximation together with the raw width the source retained
+/// when shipping it. Eviction ordering uses raw widths: the paper is
+/// explicit that the widest-interval eviction decision "is based on
+/// original widths, not on 0 or ∞ widths due to thresholds".
+struct ProtocolEntry {
+  CachedApprox approx;
+  double raw_width = 0.0;
+};
+
+/// Fixed-capacity map of interval approximations keyed by source id, with
+/// the paper's eviction rule: when full, evict the entry with the largest
+/// raw width — the least precise approximation contributes least to overall
+/// cache precision (paper §2). An offered approximation that would itself
+/// be the widest is rejected and the value simply stays uncached.
+///
+/// This is the storage-and-eviction half of the protocol, factored out of
+/// the engines so the semantics exist once; `Cache` (cache/cache.h) is a
+/// thin alias kept for direct users, and ProtocolTable composes it with
+/// charging and the versioned read slots.
+class EntryStore {
+ public:
+  /// What an Offer did, so callers maintaining derived state (the seqlock
+  /// slots) know exactly which ids changed.
+  struct OfferResult {
+    /// The offered approximation is cached afterwards.
+    bool cached = false;
+    /// Id evicted to make room, or -1.
+    int evicted_id = -1;
+  };
+
+  /// `capacity` is the paper's χ: the number of approximations held.
+  explicit EntryStore(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Returns the entry for `id`, or nullptr when not cached.
+  const ProtocolEntry* Find(int id) const;
+
+  /// Offers a (re)freshed approximation. Replaces in place when `id` is
+  /// already cached; inserts when below capacity; otherwise either evicts
+  /// the current widest entry (when the offer is narrower) or rejects the
+  /// offer. Returns true when the approximation is cached afterwards.
+  bool Offer(int id, const CachedApprox& approx, double raw_width) {
+    return OfferEx(id, approx, raw_width).cached;
+  }
+
+  /// Offer variant reporting the eviction, for mirrored-state maintainers.
+  OfferResult OfferEx(int id, const CachedApprox& approx, double raw_width);
+
+  /// Drops `id` if present (used by tests and by capacity changes).
+  void Erase(int id);
+
+  /// Id of the entry with the largest raw width, or -1 when empty. Ties
+  /// keep the larger id, so the choice is deterministic regardless of map
+  /// iteration order.
+  int WidestId() const;
+
+  const std::unordered_map<int, ProtocolEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<int, ProtocolEntry> entries_;
+};
+
+/// Outcome of a value-initiated protocol step, so engines can maintain
+/// their own observability counters without re-deriving the decision.
+struct ValueTickOutcome {
+  /// The value had escaped its shipped interval: a refresh was performed
+  /// and charged (Cvr) — even when the push was then lost in transit.
+  bool refreshed = false;
+  /// Failure injection dropped the push: the source updated its own notion
+  /// of the shipped interval, but the cache never saw the message.
+  bool lost = false;
+};
+
+/// Result of an optimistic (seqlock-validated) read of one entry.
+enum class SnapshotRead {
+  /// A concurrent writer raced the read; nothing can be concluded — the
+  /// caller must fall back to a locked read.
+  kTorn,
+  /// Definitive: the id is not cached (or was never registered); a query
+  /// sees the unbounded interval.
+  kMiss,
+  /// Definitive: `*out` holds the visible interval.
+  kHit,
+};
+
+/// The engine-agnostic heart of the refresh protocol: the cell-driven
+/// refresh/charging state machine, the capacity-χ entry store with
+/// raw-width eviction, and per-entry versioned slots for optimistic
+/// concurrent reads. Both the sequential CacheSystem and every concurrent
+/// Shard are thin drivers over this table, which is what makes their
+/// semantics provably identical (the lockstep parity tests in
+/// tests/runtime_test.cc pin the equivalence bit-for-bit).
+///
+/// The charging discipline the paper implies and the tests enforce:
+///  * a value-initiated refresh is charged Cvr when the escape is
+///    detected, BEFORE failure injection decides the push's fate — the
+///    source paid for the message whether or not it arrived;
+///  * every query-initiated pull charges Cqr, and the fresh approximation
+///    is re-offered to the cache on every pull (it may still be rejected
+///    as the widest);
+///  * eviction ordering uses retained raw widths, never the thresholded
+///    effective widths.
+///
+/// Thread-compatibility contract: all mutating methods (and the
+/// authoritative readers) require external synchronization by the owning
+/// engine — the sequential system is single-threaded, a shard holds its
+/// mutex exclusively. `TryVisibleInterval` is the one exception: it may be
+/// called from any thread with NO lock held, and validates against the
+/// per-entry version counters that every mutation bumps; a racing write
+/// yields SnapshotRead::kTorn, never a mixed interval. All slot fields are
+/// atomics, so the optimistic path is data-race-free (and TSan-clean) by
+/// construction.
+class ProtocolTable {
+ public:
+  struct Config {
+    RefreshCosts costs;
+    /// Cache capacity χ (number of approximations).
+    size_t capacity = 50;
+    /// Probability that a value-initiated refresh message is lost in
+    /// transit (failure injection; 0 disables).
+    double push_loss_probability = 0.0;
+  };
+
+  /// `seed` drives the push-loss Bernoulli stream only, so seed-matched
+  /// engines lose the same pushes.
+  ProtocolTable(const Config& config, uint64_t seed);
+
+  ProtocolTable(const ProtocolTable&) = delete;
+  ProtocolTable& operator=(const ProtocolTable&) = delete;
+
+  /// Registers `id` before any concurrent access; allocates its versioned
+  /// read slot. Returns false on a duplicate id. The id→slot map is
+  /// immutable afterwards, which is what lets TryVisibleInterval run
+  /// without any lock.
+  bool Register(int id);
+  bool Registered(int id) const { return slot_of_.count(id) != 0; }
+  size_t num_registered() const { return slots_.size(); }
+
+  // -- the protocol state machine ------------------------------------
+
+  /// Ships `cell`'s initial approximation of `value` free of charge
+  /// (initial cache population; warm-up absorbs the cost).
+  void OfferInitial(int id, ProtocolCell& cell, double value, int64_t now);
+
+  /// Value-initiated step: if `value` escaped the cell's shipped interval,
+  /// charges Cvr, refreshes the cell, and offers the fresh approximation —
+  /// unless failure injection drops the push, in which case the charge
+  /// stands and the cache keeps (or keeps lacking) the stale entry.
+  ValueTickOutcome OnValueTick(int id, ProtocolCell& cell, double value,
+                               int64_t now);
+
+  /// Query-initiated pull of the exact `value`: charges Cqr, refreshes the
+  /// cell, re-offers the fresh approximation, and returns `value`.
+  double Pull(int id, ProtocolCell& cell, double value, int64_t now);
+
+  // -- reads ----------------------------------------------------------
+
+  /// The interval a query sees for `id` at `now`: the cached interval, or
+  /// the unbounded interval when not cached. Authoritative; requires the
+  /// owner's synchronization.
+  Interval VisibleInterval(int id, int64_t now) const;
+
+  /// Optimistic lock-free read of `id`'s visible interval. On kMiss `*out`
+  /// is the unbounded interval; on kTorn `*out` is unspecified and the
+  /// caller must retry under the owner's lock.
+  SnapshotRead TryVisibleInterval(int id, int64_t now, Interval* out) const;
+
+  // -- cache view (authoritative; owner-synchronized) ------------------
+  const ProtocolEntry* Find(int id) const { return store_.Find(id); }
+  size_t size() const { return store_.size(); }
+  size_t capacity() const { return store_.capacity(); }
+  int WidestId() const { return store_.WidestId(); }
+  const std::unordered_map<int, ProtocolEntry>& entries() const {
+    return store_.entries();
+  }
+
+  // -- charging and observability --------------------------------------
+  CostTracker& costs() { return costs_; }
+  const CostTracker& costs() const { return costs_; }
+  int64_t lost_pushes() const { return lost_pushes_; }
+
+ private:
+  /// Seqlock-protected mirror of one registered id's cached entry. Writers
+  /// (under the owner's exclusive synchronization) bump `version` to odd,
+  /// store the payload with relaxed atomics, then publish an even version;
+  /// readers validate the version around a relaxed copy. Plain fields
+  /// would be a data race; atomics make the optimistic path well-defined.
+  struct VersionedSlot {
+    std::atomic<uint32_t> version{0};
+    std::atomic<bool> cached{false};
+    std::atomic<double> lo{0.0};
+    std::atomic<double> hi{0.0};
+    std::atomic<int64_t> refresh_time{0};
+    std::atomic<double> growth_coeff{0.0};
+    std::atomic<double> growth_exp{0.0};
+    std::atomic<double> drift_rate{0.0};
+  };
+
+  /// Offers to the store and mirrors the result into the seqlock slots.
+  void OfferMirrored(int id, const CachedApprox& approx, double raw_width);
+  void WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
+                 bool cached);
+
+  Config config_;
+  EntryStore store_;
+  CostTracker costs_;
+  Rng rng_;
+  int64_t lost_pushes_ = 0;
+  std::deque<VersionedSlot> slots_;  // deque: atomics never move
+  std::unordered_map<int, VersionedSlot*> slot_of_;
+};
+
+}  // namespace apc
+
+#endif  // APC_CORE_PROTOCOL_TABLE_H_

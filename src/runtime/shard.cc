@@ -6,12 +6,14 @@ namespace apc {
 
 namespace {
 
-/// RAII read lock that honors the bench-baseline downgrade: shared
-/// acquisition normally, exclusive when `exclusive` is set.
+/// RAII read lock for the non-seqlock snapshot paths and the observability
+/// snapshots: shared acquisition normally, exclusive in the kExclusive
+/// bench baseline. (Seqlock-mode observability reads also land here — they
+/// are rare and want a consistent locked view, not an optimistic one.)
 class ReadLock {
  public:
-  ReadLock(std::shared_mutex& mu, bool exclusive)
-      : mu_(mu), exclusive_(exclusive) {
+  ReadLock(std::shared_mutex& mu, ReadLockMode mode)
+      : mu_(mu), exclusive_(mode == ReadLockMode::kExclusive) {
     if (exclusive_) {
       mu_.lock();
     } else {
@@ -36,20 +38,17 @@ class ReadLock {
 }  // namespace
 
 Shard::Shard(int index, const SystemConfig& config, size_t capacity,
-             uint64_t seed, RuntimeCounters* counters,
-             bool exclusive_read_locks)
+             uint64_t seed, RuntimeCounters* counters, ReadLockMode read_mode)
     : index_(index),
-      config_(config),
       counters_(counters),
-      exclusive_read_locks_(exclusive_read_locks),
-      cache_(capacity),
-      costs_(config.costs),
-      rng_(seed) {}
+      read_mode_(read_mode),
+      table_({config.costs, capacity, config.push_loss_probability}, seed) {}
 
 bool Shard::AddSource(std::unique_ptr<Source> source) {
   if (source == nullptr) return false;
   bool inserted = by_id_.emplace(source->id(), sources_.size()).second;
   if (!inserted) return false;  // duplicate id: rejected, caller decides
+  table_.Register(source->id());
   sources_.push_back(std::move(source));
   return true;
 }
@@ -62,40 +61,30 @@ Source* Shard::FindSource(int id) const {
 void Shard::PopulateInitial(int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   for (auto& src : sources_) {
-    CachedApprox approx = src->InitialApprox(now);
-    cache_.Offer(src->id(), approx, src->raw_width());
+    table_.OfferInitial(src->id(), src->cell(), src->value(), now);
   }
 }
 
-// Keep TickSourceLocked/PullExactLocked in lockstep with CacheSystem::Tick
-// and CacheSystem::PullExact (cache/system.cc): the runtime's determinism
-// guarantee is that both charge and refresh identically, and the
-// SingleShardMatchesCacheSystem* tests fail on any drift.
+// TickSourceLocked/PullExactLocked drive the SAME ProtocolTable methods as
+// CacheSystem::Tick and CacheSystem::PullExact: the runtime's determinism
+// guarantee — both charge and refresh identically, pinned by the
+// SingleShardMatchesCacheSystem* tests — now holds by construction rather
+// than by hand-maintained imitation.
 void Shard::TickSourceLocked(Source* src, int64_t now) {
   src->Tick();
   if (counters_ != nullptr) {
     counters_->updates_applied.fetch_add(1, std::memory_order_relaxed);
   }
-  // The source tests validity against the approximation it last shipped —
-  // caches never report evictions (paper §2), so refreshes are pushed even
-  // for entries the cache has dropped.
-  if (!src->NeedsValueRefresh(now)) return;
-  costs_.RecordValueRefresh();
+  ValueTickOutcome outcome =
+      table_.OnValueTick(src->id(), src->cell(), src->value(), now);
   if (counters_ != nullptr) {
-    counters_->value_refreshes.fetch_add(1, std::memory_order_relaxed);
-  }
-  CachedApprox approx = src->Refresh(RefreshType::kValueInitiated, now);
-  if (config_.push_loss_probability > 0.0 &&
-      rng_.Bernoulli(config_.push_loss_probability)) {
-    // The message is lost: the source has already updated its own notion of
-    // the shipped interval, but the cache never sees it.
-    ++lost_pushes_;
-    if (counters_ != nullptr) {
+    if (outcome.refreshed) {
+      counters_->value_refreshes.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome.lost) {
       counters_->lost_pushes.fetch_add(1, std::memory_order_relaxed);
     }
-    return;
   }
-  cache_.Offer(src->id(), approx, src->raw_width());
 }
 
 void Shard::RecordRejectedUpdateLocked() {
@@ -133,49 +122,73 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
 }
 
 Interval Shard::VisibleInterval(int id, int64_t now) const {
-  ReadLock lock(mu_, exclusive_read_locks_);
-  const CacheEntry* entry = cache_.Find(id);
-  if (entry == nullptr) return Interval::Unbounded();
-  return entry->approx.AtTime(now);
+  if (read_mode_ == ReadLockMode::kSeqlock) {
+    Interval out;
+    if (table_.TryVisibleInterval(id, now, &out) != SnapshotRead::kTorn) {
+      return out;
+    }
+    // Torn by a racing refresh: settle it under the shared lock.
+  }
+  ReadLock lock(mu_, read_mode_);
+  return table_.VisibleInterval(id, now);
 }
 
 void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
                           std::vector<QueryItem>* items, int64_t now) const {
-  ReadLock lock(mu_, exclusive_read_locks_);
+  if (read_mode_ == ReadLockMode::kSeqlock) {
+    // Optimistic pass: no lock at all for entries whose seqlock validates.
+    // Torn entries (a refresh raced the copy) are collected and settled
+    // under one shared acquisition — rare, so the hot path allocates
+    // nothing and touches no lock word.
+    std::vector<size_t> torn;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const auto& [pos, id] = slots[i];
+      Interval out;
+      if (table_.TryVisibleInterval(id, now, &out) == SnapshotRead::kTorn) {
+        torn.push_back(i);
+      } else {
+        (*items)[pos].interval = out;
+      }
+    }
+    if (torn.empty()) return;
+    ReadLock lock(mu_, read_mode_);
+    for (size_t i : torn) {
+      const auto& [pos, id] = slots[i];
+      (*items)[pos].interval = table_.VisibleInterval(id, now);
+    }
+    return;
+  }
+  ReadLock lock(mu_, read_mode_);
   for (const auto& [pos, id] : slots) {
-    const CacheEntry* entry = cache_.Find(id);
-    (*items)[pos].interval =
-        entry == nullptr ? Interval::Unbounded() : entry->approx.AtTime(now);
+    (*items)[pos].interval = table_.VisibleInterval(id, now);
   }
 }
 
-double Shard::PullExactLocked(int id, int64_t now) {
-  costs_.RecordQueryRefresh();
+double Shard::PullExactLocked(Source* src, int64_t now) {
   if (counters_ != nullptr) {
     counters_->query_refreshes.fetch_add(1, std::memory_order_relaxed);
   }
-  Source* src = FindSource(id);
-  CachedApprox approx = src->Refresh(RefreshType::kQueryInitiated, now);
-  cache_.Offer(id, approx, src->raw_width());
-  return src->value();
+  return table_.Pull(src->id(), src->cell(), src->value(), now);
 }
 
 double Shard::PullExact(int id, int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
-  if (!Owns(id)) {
+  Source* src = FindSource(id);
+  if (src == nullptr) {
     if (counters_ != nullptr) {
       counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
     }
     return std::numeric_limits<double>::quiet_NaN();
   }
-  return PullExactLocked(id, now);
+  return PullExactLocked(src, now);
 }
 
 void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
                           std::vector<QueryItem>* items, int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   for (const auto& [pos, id] : slots) {
-    if (!Owns(id)) {
+    Source* src = FindSource(id);
+    if (src == nullptr) {
       // Keep the snapshot interval; the caller already excluded unowned
       // ids, so this only fires for standalone (engine-less) misuse.
       if (counters_ != nullptr) {
@@ -183,7 +196,7 @@ void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
       }
       continue;
     }
-    (*items)[pos].interval = Interval::Exact(PullExactLocked(id, now));
+    (*items)[pos].interval = Interval::Exact(PullExactLocked(src, now));
   }
 }
 
@@ -194,8 +207,9 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
   int idx = first_idx;
   while (idx >= 0) {
     int id = (*items)[static_cast<size_t>(idx)].source_id;
-    if (!Owns(id)) return idx;  // next candidate lives on another shard
-    Interval exact = Interval::Exact(PullExactLocked(id, now));
+    Source* src = FindSource(id);
+    if (src == nullptr) return idx;  // next candidate lives on another shard
+    Interval exact = Interval::Exact(PullExactLocked(src, now));
     // One charge per distinct id: a duplicated id inside the query becomes
     // exact in every slot, so the elimination never re-selects it.
     for (auto& item : *items) {
@@ -209,71 +223,78 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
 }
 
 Interval Shard::PointRead(int id, double max_width, int64_t now) {
-  // The exclusive baseline does the whole read under its one exclusive
-  // acquisition, exactly like the pre-shared_mutex runtime — a second
-  // acquisition here would bias the bench comparison in shared's favor.
-  if (!exclusive_read_locks_) {
+  // Fast path per mode; the exclusive baseline does the whole read under
+  // its one exclusive acquisition, exactly like the original runtime — a
+  // second acquisition there would bias the bench comparison.
+  if (read_mode_ == ReadLockMode::kSeqlock) {
+    Interval visible;
+    if (table_.TryVisibleInterval(id, now, &visible) == SnapshotRead::kHit &&
+        visible.Width() <= max_width) {
+      return visible;
+    }
+  } else if (read_mode_ == ReadLockMode::kShared) {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    const CacheEntry* entry = cache_.Find(id);
+    const ProtocolEntry* entry = table_.Find(id);
     if (entry != nullptr) {
       Interval visible = entry->approx.AtTime(now);
       if (visible.Width() <= max_width) return visible;
     }
   }
   std::lock_guard<std::shared_mutex> lock(mu_);
-  // Check (again, in shared mode) under the exclusive lock: a refresh may
-  // have landed between the two acquisitions, making the pull (and its
-  // Cqr charge) needless.
-  const CacheEntry* entry = cache_.Find(id);
+  // Check (again, in the optimistic modes) under the exclusive lock: a
+  // refresh may have landed between the two acquisitions, making the pull
+  // (and its Cqr charge) needless.
+  const ProtocolEntry* entry = table_.Find(id);
   if (entry != nullptr) {
     Interval visible = entry->approx.AtTime(now);
     if (visible.Width() <= max_width) return visible;
   }
-  if (!Owns(id)) {
+  Source* src = FindSource(id);
+  if (src == nullptr) {
     if (counters_ != nullptr) {
       counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
     }
     return Interval::Unbounded();
   }
-  return Interval::Exact(PullExactLocked(id, now));
+  return Interval::Exact(PullExactLocked(src, now));
 }
 
 void Shard::BeginMeasurement(int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
-  costs_.BeginMeasurement(now);
+  table_.costs().BeginMeasurement(now);
 }
 
 void Shard::EndMeasurement(int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
-  costs_.EndMeasurement(now);
+  table_.costs().EndMeasurement(now);
 }
 
 CostTracker Shard::CostsSnapshot() const {
-  ReadLock lock(mu_, exclusive_read_locks_);
-  return costs_;
+  ReadLock lock(mu_, read_mode_);
+  return table_.costs();
 }
 
 std::pair<double, size_t> Shard::RawWidthSum() const {
-  ReadLock lock(mu_, exclusive_read_locks_);
+  ReadLock lock(mu_, read_mode_);
   double total = 0.0;
   for (const auto& src : sources_) total += src->raw_width();
   return {total, sources_.size()};
 }
 
 size_t Shard::CacheSize() const {
-  ReadLock lock(mu_, exclusive_read_locks_);
-  return cache_.size();
+  ReadLock lock(mu_, read_mode_);
+  return table_.size();
 }
 
-size_t Shard::CacheCapacity() const { return cache_.capacity(); }
+size_t Shard::CacheCapacity() const { return table_.capacity(); }
 
 int64_t Shard::lost_pushes() const {
-  ReadLock lock(mu_, exclusive_read_locks_);
-  return lost_pushes_;
+  ReadLock lock(mu_, read_mode_);
+  return table_.lost_pushes();
 }
 
 int64_t Shard::rejected_updates() const {
-  ReadLock lock(mu_, exclusive_read_locks_);
+  ReadLock lock(mu_, read_mode_);
   return rejected_updates_;
 }
 

@@ -9,15 +9,35 @@
 #include <utility>
 #include <vector>
 
-#include "cache/cache.h"
-#include "cache/cost_model.h"
 #include "cache/source.h"
 #include "cache/system.h"
 #include "core/interval.h"
+#include "core/protocol_table.h"
 #include "query/aggregate.h"
-#include "util/rng.h"
 
 namespace apc {
+
+/// How snapshot reads acquire the shard. The runtime's hot path is a read
+/// that the cache already satisfies; the three modes trade lock traffic on
+/// exactly that path and exist side by side so the bench measures (rather
+/// than assumes) what each step buys:
+///
+///  * kSeqlock   — the default. Snapshot reads validate an optimistic
+///                 per-entry read against the ProtocolTable's versioned
+///                 slots and take NO shard lock at all; only a torn read
+///                 (a racing refresh of the same entry) falls back to the
+///                 shared lock. Refreshes still serialize exclusively.
+///  * kShared    — snapshot reads take the shard's shared_mutex shared
+///                 (the pre-seqlock runtime): readers don't serialize
+///                 against each other, but every read still pays two
+///                 atomic RMWs on the shared lock word.
+///  * kExclusive — every access exclusive (the original runtime); the
+///                 bench's contention baseline.
+enum class ReadLockMode {
+  kSeqlock,
+  kShared,
+  kExclusive,
+};
 
 /// Engine-wide tallies kept in atomics so monitoring threads can observe
 /// totals without taking any shard lock. Shards bump these alongside their
@@ -35,29 +55,33 @@ struct RuntimeCounters {
   /// Query/point-read source ids no shard owns: dropped from the request
   /// and counted (the malformed id contributes nothing to the result).
   std::atomic<int64_t> rejected_query_ids{0};
+  /// Sources rejected at engine construction: null, duplicate id, or a
+  /// precision policy whose configuration is invalid (see
+  /// PrecisionPolicy::IsValidConfig).
+  std::atomic<int64_t> rejected_sources{0};
 };
 
 /// A slot to fill in (or pull for) a query's item vector: the index into the
 /// caller's `items` array paired with the source id living on this shard.
 using ShardSlot = std::pair<size_t, int>;
 
-/// One partition of the concurrent runtime: a reader/writer-locked slice of
-/// the environment owning the sources hashed to it, their share of the
-/// cache capacity, and a CostTracker. All public methods are thread-safe;
-/// batch variants take the shard lock once per call so a query crossing the
+/// One partition of the concurrent runtime: a slice of the environment
+/// owning the sources hashed to it, their share of the cache capacity, and
+/// a shared-core ProtocolTable. All public methods are thread-safe; batch
+/// variants take the shard lock once per call so a query crossing the
 /// shard pays one lock acquisition rather than one per value.
 ///
+/// Writes (ticks, pulls) always hold the shard's shared_mutex exclusively.
 /// Pure snapshot reads (FillIntervals, VisibleInterval, the satisfied
-/// branch of PointRead, the observability snapshots) take the lock shared,
-/// so precision-bounded reads answered from the cache — the hot path the
-/// protocol exists to make cheap — never serialize against each other, only
-/// against refreshes. `exclusive_read_locks` downgrades reads to exclusive
-/// acquisition; it exists solely as the bench baseline for measuring what
-/// the shared path buys.
+/// branch of PointRead) follow the configured ReadLockMode: optimistic
+/// per-entry seqlock validation by default — the read hot path acquires no
+/// lock at all — with shared- and exclusive-acquisition modes kept as
+/// measurable bench baselines.
 ///
-/// The refresh semantics are those of the sequential `CacheSystem`
-/// (cache/system.cc): value-initiated refreshes are charged even when the
-/// push is lost in transit, eviction ordering uses raw widths, and every
+/// The refresh semantics are the shared protocol core's
+/// (core/protocol_table.h), the same table the sequential CacheSystem
+/// drives: value-initiated refreshes are charged even when the push is
+/// lost in transit, eviction ordering uses raw widths, and every
 /// query-initiated pull re-offers the fresh approximation to the cache. A
 /// single-shard engine driven in lockstep from one thread and seeded like
 /// the CacheSystem therefore reproduces its cost accounting exactly,
@@ -67,7 +91,8 @@ class Shard {
   /// `capacity` is this shard's slice of the system's cache capacity χ.
   /// `counters` (owned by the engine) may be null in unit tests.
   Shard(int index, const SystemConfig& config, size_t capacity, uint64_t seed,
-        RuntimeCounters* counters, bool exclusive_read_locks = false);
+        RuntimeCounters* counters,
+        ReadLockMode read_mode = ReadLockMode::kSeqlock);
 
   /// Registers a source on this shard. Returns false — and drops the
   /// source — when it is null or its id is already registered. Not
@@ -101,7 +126,9 @@ class Shard {
   Interval VisibleInterval(int id, int64_t now) const;
 
   /// Fills `items->at(slot.first).interval` with the visible interval of
-  /// `slot.second` for every slot, under one (shared) lock acquisition.
+  /// `slot.second` for every slot. In seqlock mode this takes no lock for
+  /// entries whose optimistic read validates, and one shared acquisition
+  /// for any that tore; in the other modes it is one acquisition total.
   void FillIntervals(const std::vector<ShardSlot>& slots,
                      std::vector<QueryItem>* items, int64_t now) const;
 
@@ -129,11 +156,12 @@ class Shard {
                        std::vector<QueryItem>* items, int64_t now);
 
   /// Precision-bounded point read: returns the cached interval when its
-  /// width already satisfies `max_width` (shared lock only), otherwise
-  /// upgrades to the exclusive lock, re-checks — a racing refresh may have
-  /// satisfied the bound in between, in which case nothing is charged — and
-  /// pulls the exact value (one query-initiated refresh). An unowned id
-  /// yields the unbounded interval, charge-free, counted as rejected.
+  /// width already satisfies `max_width` (optimistic or shared read per
+  /// the mode), otherwise takes the exclusive lock, re-checks — a racing
+  /// refresh may have satisfied the bound in between, in which case
+  /// nothing is charged — and pulls the exact value (one query-initiated
+  /// refresh). An unowned id yields the unbounded interval, charge-free,
+  /// counted as rejected.
   Interval PointRead(int id, double max_width, int64_t now);
 
   void BeginMeasurement(int64_t now);
@@ -156,20 +184,16 @@ class Shard {
   Source* FindSource(int id) const;
   void TickSourceLocked(Source* src, int64_t now);
   void RecordRejectedUpdateLocked();
-  double PullExactLocked(int id, int64_t now);
+  double PullExactLocked(Source* src, int64_t now);
 
   const int index_;
-  const SystemConfig config_;
   RuntimeCounters* const counters_;
-  const bool exclusive_read_locks_;
+  const ReadLockMode read_mode_;
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Source>> sources_;
   std::unordered_map<int, size_t> by_id_;
-  Cache cache_;
-  CostTracker costs_;
-  Rng rng_;
-  int64_t lost_pushes_ = 0;
+  ProtocolTable table_;
   int64_t rejected_updates_ = 0;
 };
 

@@ -18,11 +18,17 @@ uint64_t MixId(uint64_t x) {
 
 ShardedEngine::ShardedEngine(const EngineConfig& config,
                              std::vector<std::unique_ptr<Source>> sources)
-    : config_(config), bus_(config.bus_capacity) {
+    : config_(config),
+      bus_(config.bus_capacity < 1 ? 1 : config.bus_capacity) {
   assert(config.IsValid());
-  // Release builds clamp rather than crash (no-exceptions contract).
-  int n = config.num_shards < 1 ? 1 : config.num_shards;
+  // Release builds clamp rather than crash (no-exceptions contract): at
+  // least one shard, and no more shards than cache capacity so every
+  // shard's χ slice is non-empty (matching EngineConfig::IsValid).
   size_t capacity = config.system.cache_capacity;
+  int n = config.num_shards < 1 ? 1 : config.num_shards;
+  if (capacity > 0 && static_cast<size_t>(n) > capacity) {
+    n = static_cast<int>(capacity);
+  }
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     // Partition χ so the slices sum exactly to the total capacity.
@@ -36,15 +42,23 @@ ShardedEngine::ShardedEngine(const EngineConfig& config,
     shards_.push_back(std::make_unique<Shard>(
         i, config.system, cap_hi - cap_lo,
         config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i)),
-        &counters_, config.exclusive_read_locks));
+        &counters_, config.read_lock_mode));
   }
   for (auto& src : sources) {
-    if (src == nullptr) continue;
-    // Count only accepted sources: a duplicate id is rejected by its shard,
-    // and num_sources() must equal the sum of ShardSourceCounts().
+    // Reject malformed sources at construction: null, an invalid policy
+    // configuration (would produce NaN widths mid-run), or a duplicate id
+    // (rejected by its shard). Count only accepted sources, so
+    // num_sources() always equals the sum of ShardSourceCounts().
+    if (src == nullptr || src->policy() == nullptr ||
+        !src->policy()->IsValidConfig()) {
+      counters_.rejected_sources.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (shards_[static_cast<size_t>(ShardOf(src->id()))]->AddSource(
             std::move(src))) {
       ++num_sources_;
+    } else {
+      counters_.rejected_sources.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }

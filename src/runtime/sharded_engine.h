@@ -21,14 +21,26 @@ struct EngineConfig {
   SystemConfig system;
   int num_shards = 1;
   uint64_t seed = 0;
-  /// Capacity of the update bus (backpressure bound for producers).
+  /// Capacity of the update bus (backpressure bound for producers). Must
+  /// be positive: a zero-capacity bus would block every producer forever.
   size_t bus_capacity = 1024;
-  /// Bench baseline: acquire even pure snapshot reads exclusively, as the
-  /// pre-shared-lock runtime did. Exists so bench_runtime_throughput can
-  /// measure what the shared read path buys; leave off in production use.
-  bool exclusive_read_locks = false;
+  /// How snapshot reads acquire shards (see ReadLockMode): optimistic
+  /// per-entry seqlock validation by default; kShared and kExclusive are
+  /// the bench baselines the seqlock path is measured against.
+  ReadLockMode read_lock_mode = ReadLockMode::kSeqlock;
 
-  bool IsValid() const { return num_shards > 0 && system.costs.IsValid(); }
+  /// Full validation, checked at engine construction so a bad
+  /// configuration is rejected up front instead of failing later
+  /// (a 0-capacity bus deadlocks producers; more shards than cache
+  /// capacity leaves shards with a zero-entry cache slice; a loss
+  /// probability outside [0, 1] breaks the Bernoulli draw).
+  bool IsValid() const {
+    return num_shards > 0 &&
+           static_cast<size_t>(num_shards) <= system.cache_capacity &&
+           bus_capacity > 0 && system.costs.IsValid() &&
+           system.push_loss_probability >= 0.0 &&
+           system.push_loss_probability <= 1.0;
+  }
 };
 
 /// Engine-wide cost aggregate, summed over the per-shard CostTrackers.
@@ -78,6 +90,13 @@ struct EngineCosts {
 class ShardedEngine {
  public:
   /// Takes ownership of `sources`; each is routed to its shard by id hash.
+  /// `config` must satisfy EngineConfig::IsValid() — asserted in debug
+  /// builds and sanitized (shard count and bus capacity clamped into their
+  /// valid ranges) in release, per the no-exceptions contract. Sources
+  /// that are null, carry a duplicate id, or carry a precision policy with
+  /// an invalid configuration are rejected here — counted in
+  /// RuntimeCounters::rejected_sources — instead of corrupting a run
+  /// later.
   ShardedEngine(const EngineConfig& config,
                 std::vector<std::unique_ptr<Source>> sources);
   ~ShardedEngine();

@@ -190,6 +190,10 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   report.latency_p95_us = merged.Quantile(0.95);
   report.latency_p99_us = merged.Quantile(0.99);
   report.costs = engine.TotalCosts();
+  report.rejected_updates =
+      engine.counters().rejected_updates.load(std::memory_order_relaxed);
+  report.rejected_query_ids =
+      engine.counters().rejected_query_ids.load(std::memory_order_relaxed);
   return report;
 }
 

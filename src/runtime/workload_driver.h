@@ -91,6 +91,13 @@ struct DriverConfig {
 struct DriverReport {
   int64_t queries = 0;
   int64_t violations = 0;
+  /// Malformed-input tallies snapshotted from the engine's RuntimeCounters
+  /// at the end of the run: update events naming ids no shard owns, and
+  /// query/point-read ids dropped from requests. Both are 0 for well-formed
+  /// workloads; the bench JSON persists them so malformed-input rates land
+  /// in the committed trajectory.
+  int64_t rejected_updates = 0;
+  int64_t rejected_query_ids = 0;
   /// Logical ticks pushed through the update bus — only events the bus
   /// actually accepted (0 when updates are off), so the tick count and the
   /// EndMeasurement clock never include pushes rejected at shutdown.

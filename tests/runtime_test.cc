@@ -17,9 +17,13 @@ namespace {
 
 constexpr uint64_t kSeed = 2001;
 
-std::vector<std::unique_ptr<Source>> MakeSources(int n) {
+constexpr ReadLockMode kAllModes[] = {ReadLockMode::kSeqlock,
+                                      ReadLockMode::kShared,
+                                      ReadLockMode::kExclusive};
+
+std::vector<std::unique_ptr<Source>> MakeSources(
+    int n, const AdaptivePolicyParams& policy = AdaptivePolicyParams{}) {
   RandomWalkParams walk;
-  AdaptivePolicyParams policy;
   return BuildRandomWalkSources(n, walk, policy, kSeed);
 }
 
@@ -101,6 +105,115 @@ TEST(ShardedEngineTest, SingleShardMatchesCacheSystemExactly) {
   EXPECT_EQ(costs.measured_ticks, sequential.costs().measured_ticks());
   EXPECT_DOUBLE_EQ(costs.CostRate(), sequential.costs().CostRate());
   EXPECT_DOUBLE_EQ(engine.MeanRawWidth(), sequential.MeanRawWidth());
+}
+
+// Lockstep parity harness shared by the drift-detection tests below: a
+// single-shard engine and the sequential CacheSystem, built from identical
+// source populations and driven tick-for-tick, must return the same
+// intervals and account the same costs — in EVERY read-lock mode, since
+// both sides drive the same ProtocolTable and a 1-thread optimistic read
+// can never tear.
+void ExpectLockstepParity(const SystemConfig& sys_config,
+                          const AdaptivePolicyParams& policy,
+                          const QueryWorkloadParams& workload,
+                          ReadLockMode mode, int num_sources, int64_t ticks,
+                          uint64_t query_seed) {
+  CacheSystem sequential(sys_config, MakeSources(num_sources, policy), kSeed);
+  sequential.PopulateInitial(0);
+  sequential.costs().BeginMeasurement(0);
+
+  EngineConfig engine_config;
+  engine_config.system = sys_config;
+  engine_config.num_shards = 1;
+  engine_config.seed = kSeed;
+  engine_config.read_lock_mode = mode;
+  ShardedEngine engine(engine_config, MakeSources(num_sources, policy));
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  QueryGenerator sequential_queries(workload, query_seed);
+  QueryGenerator engine_queries(workload, query_seed);
+  for (int64_t t = 1; t <= ticks; ++t) {
+    sequential.Tick(t);
+    engine.TickAll(t);
+    Interval expected = sequential.ExecuteQuery(sequential_queries.Next(), t);
+    Interval actual = engine.ExecuteQuery(engine_queries.Next(), t);
+    ASSERT_EQ(actual, expected)
+        << "diverged at tick " << t << " in mode " << static_cast<int>(mode);
+  }
+  sequential.costs().EndMeasurement(ticks);
+  engine.EndMeasurement(ticks);
+
+  EXPECT_EQ(engine.lost_pushes(), sequential.lost_pushes());
+  EngineCosts costs = engine.TotalCosts();
+  EXPECT_EQ(costs.value_refreshes, sequential.costs().value_refreshes());
+  EXPECT_EQ(costs.query_refreshes, sequential.costs().query_refreshes());
+  EXPECT_DOUBLE_EQ(costs.total_cost, sequential.costs().total_cost());
+  EXPECT_DOUBLE_EQ(engine.MeanRawWidth(), sequential.MeanRawWidth());
+}
+
+// Satellite: the parity net must catch drift in the delta0/delta1
+// threshold-snapping path — raw widths retained while effective widths
+// snap to 0 (exact copies) or infinity (effectively uncached) — because
+// that is where a shared-core regression would hide: pulls of unbounded
+// entries and pushes of exact copies dominate the charging.
+TEST(ShardedEngineTest, LockstepParityWithThresholdSnapping) {
+  SystemConfig sys_config;
+  sys_config.cache_capacity = 20;
+
+  // theta = 1: deterministic width moves, so lockstep raw widths walk the
+  // powers of two in [1, 16] under this workload — both thresholds sit
+  // inside that range and genuinely fire (asserted below).
+  AdaptivePolicyParams policy;
+  policy.delta0 = 1.5;   // widths below ship as exact copies
+  policy.delta1 = 12.0;  // widths at/above ship as unbounded
+
+  QueryWorkloadParams workload = MakeWorkload(30);
+  workload.constraints.avg = 10.0;  // tight enough that pulls shrink widths
+  for (ReadLockMode mode : kAllModes) {
+    ExpectLockstepParity(sys_config, policy, workload, mode,
+                         /*num_sources=*/30, /*ticks=*/300, kSeed ^ 0x5A);
+  }
+
+  // The thresholds genuinely fired: drive one system again and observe
+  // both snapped-to-zero and snapped-to-infinity shipments.
+  CacheSystem probe(sys_config, MakeSources(30, policy), kSeed);
+  probe.PopulateInitial(0);
+  QueryGenerator queries(workload, kSeed ^ 0x5A);
+  bool snapped_exact = false;
+  bool snapped_unbounded = false;
+  for (int64_t t = 1; t <= 300; ++t) {
+    probe.Tick(t);
+    probe.ExecuteQuery(queries.Next(), t);
+    for (int id = 0; id < 30; ++id) {
+      double effective = probe.source(id)->cell().EffectiveWidth();
+      snapped_exact = snapped_exact || effective == 0.0;
+      snapped_unbounded = snapped_unbounded || effective == kInfinity;
+    }
+  }
+  EXPECT_TRUE(snapped_exact) << "delta0 never snapped: weak test setup";
+  EXPECT_TRUE(snapped_unbounded) << "delta1 never snapped: weak test setup";
+}
+
+// Satellite: MAX/MIN candidate elimination under push-loss injection —
+// lost pushes leave stale cached intervals, so the elimination order (and
+// which shard-side runs it batches) is stressed far harder than under
+// reliable delivery. All three read modes must still match the sequential
+// system pull-for-pull.
+TEST(ShardedEngineTest, LockstepParityMaxMinUnderPushLoss) {
+  SystemConfig sys_config;
+  sys_config.cache_capacity = 18;
+  sys_config.push_loss_probability = 0.25;
+
+  QueryWorkloadParams workload = MakeWorkload(24);
+  workload.max_fraction = 0.45;
+  workload.min_fraction = 0.45;
+  workload.avg_fraction = 0.0;
+
+  for (ReadLockMode mode : kAllModes) {
+    ExpectLockstepParity(sys_config, AdaptivePolicyParams{}, workload, mode,
+                         /*num_sources=*/24, /*ticks=*/300, kSeed ^ 0x5B);
+  }
 }
 
 // The guarantee extends to failure injection: shard 0 inherits the engine
@@ -435,39 +548,125 @@ TEST(ShardedEngineTest, ConcurrentReadersProgressWhileWriterCycles) {
       << "a loose-constraint read took the exclusive pull path";
 }
 
-// Direct (driver-less) races: raw ExecuteQuery callers against raw TickAll
-// callers, exercising the shard locks without any bus in between.
-TEST(ShardedEngineTest, RawConcurrentAccessKeepsGuarantee) {
+// Direct (driver-less) races: raw ExecuteQuery and PointRead callers
+// against raw TickAll callers, exercising every read-lock mode's snapshot
+// path (seqlock validation + fallback, shared acquisition, exclusive
+// baseline) without any bus in between.
+TEST(ShardedEngineTest, RawConcurrentAccessKeepsGuaranteeInEveryMode) {
   constexpr int kSources = 32;
-  EngineConfig config;
-  config.num_shards = 2;
-  config.system.cache_capacity = 24;
-  ShardedEngine engine(config, MakeSources(kSources));
-  engine.PopulateInitial(0);
+  for (ReadLockMode mode : kAllModes) {
+    EngineConfig config;
+    config.num_shards = 2;
+    config.system.cache_capacity = 24;
+    config.read_lock_mode = mode;
+    ShardedEngine engine(config, MakeSources(kSources));
+    engine.PopulateInitial(0);
 
-  std::atomic<bool> stop{false};
-  std::atomic<int64_t> violations{0};
-  std::thread ticker([&] {
-    for (int64_t t = 1; !stop.load(std::memory_order_relaxed); ++t) {
-      engine.TickAll(t);
-    }
-  });
-  std::vector<std::thread> readers;
-  for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&, r] {
-      QueryGenerator gen(MakeWorkload(kSources),
-                         kSeed + static_cast<uint64_t>(r));
-      for (int q = 0; q < 200; ++q) {
-        Query query = gen.Next();
-        Interval result = engine.ExecuteQuery(query, q);
-        if (result.Width() > query.constraint + 1e-9) ++violations;
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> violations{0};
+    std::thread ticker([&] {
+      for (int64_t t = 1; !stop.load(std::memory_order_relaxed); ++t) {
+        engine.TickAll(t);
       }
     });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([&, r] {
+        QueryGenerator gen(MakeWorkload(kSources),
+                           kSeed + static_cast<uint64_t>(r));
+        for (int q = 0; q < 200; ++q) {
+          Query query = gen.Next();
+          Interval result = (q % 4 == 3)
+                                ? engine.PointRead(query.source_ids.front(),
+                                                   query.constraint, q)
+                                : engine.ExecuteQuery(query, q);
+          if (result.Width() > query.constraint + 1e-9) ++violations;
+        }
+      });
+    }
+    for (auto& reader : readers) reader.join();
+    stop.store(true);
+    ticker.join();
+    EXPECT_EQ(violations.load(), 0)
+        << "constraint violated in mode " << static_cast<int>(mode);
   }
-  for (auto& reader : readers) reader.join();
-  stop.store(true);
-  ticker.join();
-  EXPECT_EQ(violations.load(), 0);
+}
+
+// Satellite: EngineConfig is validated in full — a zero-capacity bus would
+// deadlock every producer, and more shards than cache capacity would leave
+// some shard with a zero-entry χ slice.
+TEST(ShardedEngineTest, EngineConfigValidationRejectsBadConfigs) {
+  EngineConfig config;
+  config.system.cache_capacity = 8;
+  config.num_shards = 4;
+  EXPECT_TRUE(config.IsValid());
+
+  EngineConfig zero_bus = config;
+  zero_bus.bus_capacity = 0;
+  EXPECT_FALSE(zero_bus.IsValid());
+
+  EngineConfig too_many_shards = config;
+  too_many_shards.num_shards = 9;  // > cache_capacity
+  EXPECT_FALSE(too_many_shards.IsValid());
+
+  EngineConfig bad_loss = config;
+  bad_loss.system.push_loss_probability = 1.5;
+  EXPECT_FALSE(bad_loss.IsValid());
+
+  EngineConfig bad_costs = config;
+  bad_costs.system.costs.cvr = 0.0;
+  EXPECT_FALSE(bad_costs.IsValid());
+}
+
+// Satellite: a source carrying an invalid AdaptivePolicyParams set is
+// rejected at engine construction — counted, not allowed to poison widths
+// mid-run.
+TEST(ShardedEngineTest, InvalidPolicySourcesRejectedAtConstruction) {
+  std::vector<std::unique_ptr<Source>> sources = MakeSources(6);
+
+  AdaptivePolicyParams bad;
+  bad.alpha = -0.5;  // outside the documented domain
+  ASSERT_FALSE(bad.IsValid());
+  sources.push_back(std::make_unique<Source>(
+      100, std::make_unique<RandomWalkStream>(RandomWalkParams{}, 1),
+      std::make_unique<AdaptivePolicy>(bad, 1)));
+
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, std::move(sources));
+
+  EXPECT_EQ(engine.num_sources(), 6u) << "the bad source must be dropped";
+  EXPECT_EQ(engine.counters().rejected_sources.load(), 1);
+  EXPECT_FALSE(engine.shard(engine.ShardOf(100)).Owns(100));
+}
+
+// Satellite: the malformed-input tallies reach the DriverReport (and from
+// there the bench JSON), so rejection rates land in the committed
+// trajectory instead of dying with the process.
+TEST(ShardedEngineTest, DriverReportSurfacesRejectedCounts) {
+  EngineConfig config;
+  config.num_shards = 2;
+  config.system.cache_capacity = 8;
+  ShardedEngine engine(config, MakeSources(12));
+  engine.PopulateInitial(0);
+
+  Query bad_sum;
+  bad_sum.kind = AggregateKind::kSum;
+  bad_sum.source_ids = {1, 999};
+  bad_sum.constraint = 1e6;
+  engine.ExecuteQuery(bad_sum, 0);        // 999 -> rejected_query_ids
+  engine.shard(0).TickSource(777, 0);     // 777 -> rejected_updates
+
+  DriverConfig driver;
+  driver.num_threads = 1;
+  driver.queries_per_thread = 20;
+  driver.workload = MakeWorkload(12);
+  driver.run_updates = true;
+  DriverReport report = RunWorkload(engine, driver);
+  EXPECT_EQ(report.rejected_query_ids, 1);
+  EXPECT_EQ(report.rejected_updates, 1);
+  EXPECT_EQ(report.violations, 0);
 }
 
 }  // namespace
