@@ -15,7 +15,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
         -DAPCACHE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
-        -R '^(runtime_test|update_bus_test|workload_driver_test)$'
+        -R '^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test)$'
   echo "check.sh: concurrency tests clean under ThreadSanitizer"
   exit 0
 fi

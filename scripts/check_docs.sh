@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs consistency checks, run by the CI docs job:
+#
+#   1. Every relative markdown link in the repo-root and docs/ markdown
+#      files resolves to an existing file (anchors are stripped; http(s)
+#      and mailto links are skipped — CI must not depend on the network).
+#   2. The bench JSON file list stays in sync with the docs: every
+#      committed BENCH_*.json is documented in docs/BENCHMARKS.md and
+#      README.md, and every BENCH_*.json name mentioned anywhere in the
+#      checked markdown exists as a committed file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative markdown links resolve ---------------------------------
+md_files=$(ls ./*.md docs/*.md 2>/dev/null)
+for md in $md_files; do
+  dir=$(dirname "$md")
+  # Inline links only: [text](target). Reference-style links are not used
+  # in this repo.
+  targets=$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//') || true
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;  # intra-document anchor
+    esac
+    path="${target%%#*}"   # strip anchors on file links
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. bench JSON list in sync with the docs ---------------------------
+committed=$(ls BENCH_*.json 2>/dev/null | sort -u)
+for json in $committed; do
+  for doc in docs/BENCHMARKS.md README.md; do
+    if ! grep -q "$json" "$doc"; then
+      echo "UNDOCUMENTED BENCH FILE: $json is not mentioned in $doc"
+      fail=1
+    fi
+  done
+done
+mentioned=$(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' $md_files | sort -u) || true
+for json in $mentioned; do
+  if [[ ! -f "$json" ]]; then
+    echo "STALE BENCH REFERENCE: $json is mentioned in the docs but not committed"
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs.sh: FAILED"
+  exit 1
+fi
+echo "check_docs.sh: markdown links resolve, bench JSON list in sync"

@@ -21,7 +21,8 @@
 ///   hierarchy — two-level caching extension
 ///   sim       — simulation drivers and canned experiments
 ///   stats     — summaries, series, histograms
-///   runtime   — sharded concurrent serving engine and load driver
+///   runtime   — sharded concurrent serving engine, the tiered
+///               edge/regional engine, and the load drivers
 
 #include "util/flags.h"
 #include "util/mathutil.h"
@@ -50,7 +51,6 @@
 #include "query/query_gen.h"
 
 #include "cache/cache.h"
-#include "cache/cost_model.h"
 #include "cache/source.h"
 #include "cache/multi_system.h"
 #include "cache/system.h"
@@ -69,6 +69,7 @@
 
 #include "runtime/shard.h"
 #include "runtime/sharded_engine.h"
+#include "runtime/tiered_engine.h"
 #include "runtime/update_bus.h"
 #include "runtime/workload_driver.h"
 

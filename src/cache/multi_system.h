@@ -4,8 +4,8 @@
 #include <memory>
 #include <vector>
 
-#include "cache/cost_model.h"
 #include "core/adaptive_policy.h"
+#include "core/cost_model.h"
 #include "data/update_stream.h"
 #include "query/aggregate.h"
 

@@ -25,19 +25,31 @@ struct RefreshCosts {
 /// recorded before BeginMeasurement() are tracked separately and excluded
 /// from the reported cost rate, matching the paper's discarded warm-up
 /// period.
+///
+/// Locking contract: plain state, not thread-safe. Each tracker is owned
+/// by exactly one engine component (a ProtocolTable, a tier) whose lock
+/// covers every call — the concurrent runtime snapshots trackers under the
+/// owning shard's lock and sums the copies.
 class CostTracker {
  public:
   explicit CostTracker(const RefreshCosts& costs) : costs_(costs) {}
 
-  /// Starts the measured period at simulation time `now` (ticks).
+  /// Starts the measured period at simulation time `now` (ticks). Counts
+  /// recorded earlier move to the warm-up tallies and stop contributing to
+  /// CostRate().
   void BeginMeasurement(int64_t now);
 
+  /// Charges one value-initiated refresh (cost Cvr). Callers charge at
+  /// escape detection, BEFORE failure injection decides the push's fate.
   void RecordValueRefresh();
+  /// Charges one query-initiated refresh (cost Cqr), once per exact pull.
   void RecordQueryRefresh();
 
   /// Marks the end of the run; `now` is one past the final tick.
   void EndMeasurement(int64_t now);
 
+  // Charge-free readers; same single-owner locking contract as the
+  // mutators (a racing RecordValueRefresh would tear the tallies).
   bool measuring() const { return measuring_; }
   int64_t value_refreshes() const { return value_refreshes_; }
   int64_t query_refreshes() const { return query_refreshes_; }

@@ -61,15 +61,23 @@ struct CachedApprox {
 ///
 /// Policies may carry per-value state (uncentered and history variants), so
 /// each source value owns its own instance, produced by Clone().
+///
+/// Charging and locking contract: policies never charge costs — they only
+/// decide widths; charging is ProtocolTable's job. Instances are not
+/// thread-safe (NextWidth advances a private RNG; EffectiveWidth may read
+/// per-value state): every call must hold the lock of the engine component
+/// owning the enclosing ProtocolCell.
 class PrecisionPolicy {
  public:
   virtual ~PrecisionPolicy();
 
-  /// Raw width assigned when a value is first cached.
+  /// Raw width assigned when a value is first cached. Const and
+  /// state-independent: safe wherever the instance is reachable.
   virtual double InitialWidth() const = 0;
 
   /// Returns the new raw width given the retained raw width and the refresh
-  /// that just occurred. May consult and update per-value state.
+  /// that just occurred. May consult and update per-value state and the
+  /// policy's private RNG stream — owner's lock required, exclusively.
   virtual double NextWidth(double raw_width, const RefreshContext& ctx) = 0;
 
   /// Maps a raw width to the effective width shipped to the cache. Identity

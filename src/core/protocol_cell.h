@@ -21,6 +21,12 @@ namespace apc {
 /// unused). The cell itself knows nothing about caches, charging, or
 /// locking — that is ProtocolTable's job (protocol_table.h).
 ///
+/// Charging and locking contract: the cell never charges costs — engines
+/// charge through ProtocolTable around these calls. Instances are not
+/// thread-safe: mutators (AdvanceWidth, Refresh, Ship, ShipDerived) and
+/// NextWidth-driving paths require the owning engine component's lock held
+/// exclusively; const readers require it at least shared.
+///
 /// Two invariants the parity tests pin down live here:
 ///  * the *raw* width is retained across refreshes even when the effective
 ///    width snaps to 0 or infinity at the delta0/delta1 thresholds (paper
@@ -76,6 +82,18 @@ class ProtocolCell {
   /// width update (initial cache population; the paper's warm-up period
   /// absorbs its cost).
   CachedApprox Ship(double value, int64_t now);
+
+  /// Records an externally-constructed approximation as the last-shipped
+  /// state, without a width update. Derived tiers (hierarchy §5, the tiered
+  /// runtime) ship hull intervals that contain their parent's interval
+  /// rather than value-centered ones, so MakeApprox cannot build them; the
+  /// cell still needs to remember what was sent — the sender keeps testing
+  /// containment against its last shipment even when the receiving cache
+  /// lost or dropped it. Pair with AdvanceWidth for the width bookkeeping.
+  const CachedApprox& ShipDerived(const CachedApprox& approx) {
+    last_shipped_ = approx;
+    return last_shipped_;
+  }
 
  private:
   std::unique_ptr<PrecisionPolicy> policy_;

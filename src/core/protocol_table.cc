@@ -127,6 +127,37 @@ double ProtocolTable::Pull(int id, ProtocolCell& cell, double value,
   return value;
 }
 
+void ProtocolTable::OfferDerivedInitial(int id, const CachedApprox& approx,
+                                        double raw_width) {
+  OfferMirrored(id, approx, raw_width);
+}
+
+ValueTickOutcome ProtocolTable::OfferDerived(int id, const CachedApprox& approx,
+                                             double raw_width,
+                                             RefreshType type) {
+  ValueTickOutcome outcome;
+  outcome.refreshed = true;
+  if (type == RefreshType::kValueInitiated) {
+    costs_.RecordValueRefresh();
+    // Derived pushes cross a real link: the charge stands even when
+    // failure injection drops the message (charged-but-lost, identical to
+    // OnValueTick). The parent keeps its sender-side record of what it
+    // shipped; the receiving cache simply never sees it.
+    if (config_.push_loss_probability > 0.0 &&
+        rng_.Bernoulli(config_.push_loss_probability)) {
+      ++lost_pushes_;
+      outcome.lost = true;
+      return outcome;
+    }
+  } else {
+    // A query-initiated install is the reply of an escalated read the
+    // reader already paid for; replies are not subject to push loss.
+    costs_.RecordQueryRefresh();
+  }
+  OfferMirrored(id, approx, raw_width);
+  return outcome;
+}
+
 Interval ProtocolTable::VisibleInterval(int id, int64_t now) const {
   const ProtocolEntry* entry = store_.Find(id);
   if (entry == nullptr) return Interval::Unbounded();

@@ -33,6 +33,10 @@ struct ProtocolEntry {
 /// the engines so the semantics exist once; `Cache` (cache/cache.h) is a
 /// thin alias kept for direct users, and ProtocolTable composes it with
 /// charging and the versioned read slots.
+///
+/// Charging and locking contract: the store never charges costs (charging
+/// is ProtocolTable's job), and every method requires the owner's external
+/// synchronization — mutators exclusively, const readers at least shared.
 class EntryStore {
  public:
   /// What an Offer did, so callers maintaining derived state (the seqlock
@@ -150,43 +154,81 @@ class ProtocolTable {
   ProtocolTable& operator=(const ProtocolTable&) = delete;
 
   /// Registers `id` before any concurrent access; allocates its versioned
-  /// read slot. Returns false on a duplicate id. The id→slot map is
-  /// immutable afterwards, which is what lets TryVisibleInterval run
-  /// without any lock.
+  /// read slot. Returns false on a duplicate id. Charge-free. The id→slot
+  /// map is immutable afterwards, which is what lets TryVisibleInterval
+  /// run without any lock; registration itself is construction-time only
+  /// and must not race any other method.
   bool Register(int id);
+  /// Charge-free and safe without the owner's lock once construction ends
+  /// (the id→slot map is immutable afterwards).
   bool Registered(int id) const { return slot_of_.count(id) != 0; }
+  /// Charge-free; safe without the owner's lock after construction.
   size_t num_registered() const { return slots_.size(); }
 
   // -- the protocol state machine ------------------------------------
 
   /// Ships `cell`'s initial approximation of `value` free of charge
-  /// (initial cache population; warm-up absorbs the cost).
+  /// (initial cache population; warm-up absorbs the cost). Requires the
+  /// owner's synchronization (held exclusively).
   void OfferInitial(int id, ProtocolCell& cell, double value, int64_t now);
 
   /// Value-initiated step: if `value` escaped the cell's shipped interval,
   /// charges Cvr, refreshes the cell, and offers the fresh approximation —
   /// unless failure injection drops the push, in which case the charge
-  /// stands and the cache keeps (or keeps lacking) the stale entry.
+  /// stands and the cache keeps (or keeps lacking) the stale entry. A
+  /// still-valid value charges nothing. Requires the owner's
+  /// synchronization (held exclusively).
   ValueTickOutcome OnValueTick(int id, ProtocolCell& cell, double value,
                                int64_t now);
 
   /// Query-initiated pull of the exact `value`: charges Cqr, refreshes the
   /// cell, re-offers the fresh approximation, and returns `value`.
+  /// Requires the owner's synchronization (held exclusively).
   double Pull(int id, ProtocolCell& cell, double value, int64_t now);
+
+  // -- derived tiers ----------------------------------------------------
+  // A derived tier (hierarchy §5, the tiered runtime) caches approximations
+  // of approximations: its intervals are hulls containing a parent tier's
+  // interval, built by the engine rather than by a cell's MakeApprox. The
+  // charging discipline is the same per hop — these entry points exist so
+  // the seqlock slot mirroring and the charged-but-lost rule stay in the
+  // core instead of being re-implemented per engine.
+
+  /// Installs a derived approximation free of charge (initial population
+  /// of a derived tier, absorbed by warm-up like OfferInitial). Requires
+  /// the owner's synchronization (held exclusively).
+  void OfferDerivedInitial(int id, const CachedApprox& approx,
+                           double raw_width);
+
+  /// Derived-tier refresh: charges per `type` — Cvr for a value-initiated
+  /// push (the parent's data moved), Cqr for a query-initiated install
+  /// (the reply of an escalated read) — then offers `approx`. A
+  /// value-initiated push may be dropped by failure injection AFTER being
+  /// charged, exactly like OnValueTick's charged-but-lost rule;
+  /// query-initiated installs are read replies and are never dropped.
+  /// Requires the owner's synchronization (held exclusively).
+  ValueTickOutcome OfferDerived(int id, const CachedApprox& approx,
+                                double raw_width, RefreshType type);
 
   // -- reads ----------------------------------------------------------
 
   /// The interval a query sees for `id` at `now`: the cached interval, or
-  /// the unbounded interval when not cached. Authoritative; requires the
-  /// owner's synchronization.
+  /// the unbounded interval when not cached. Charge-free (reads never
+  /// charge; only pulls do). Authoritative; requires the owner's
+  /// synchronization (shared suffices — nothing is mutated).
   Interval VisibleInterval(int id, int64_t now) const;
 
-  /// Optimistic lock-free read of `id`'s visible interval. On kMiss `*out`
-  /// is the unbounded interval; on kTorn `*out` is unspecified and the
-  /// caller must retry under the owner's lock.
+  /// Optimistic lock-free read of `id`'s visible interval: charge-free and
+  /// callable from any thread with NO lock held (the one such method — see
+  /// the class contract). On kMiss `*out` is the unbounded interval; on
+  /// kTorn `*out` is unspecified and the caller must retry under the
+  /// owner's lock.
   SnapshotRead TryVisibleInterval(int id, int64_t now, Interval* out) const;
 
-  // -- cache view (authoritative; owner-synchronized) ------------------
+  // -- cache view -------------------------------------------------------
+  // Charge-free authoritative readers; all require the owner's
+  // synchronization (shared suffices), except capacity(), which is
+  // immutable after construction and safe anywhere.
   const ProtocolEntry* Find(int id) const { return store_.Find(id); }
   size_t size() const { return store_.size(); }
   size_t capacity() const { return store_.capacity(); }
@@ -196,6 +238,9 @@ class ProtocolTable {
   }
 
   // -- charging and observability --------------------------------------
+  // The trackers themselves are plain state: reading or mutating them
+  // (Begin/EndMeasurement included) requires the owner's synchronization,
+  // exclusive for the non-const accessor.
   CostTracker& costs() { return costs_; }
   const CostTracker& costs() const { return costs_; }
   int64_t lost_pushes() const { return lost_pushes_; }

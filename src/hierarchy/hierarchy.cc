@@ -6,17 +6,20 @@
 
 namespace apc {
 
-namespace {
-
-AdaptivePolicyParams BindCosts(AdaptivePolicyParams params,
-                               const RefreshCosts& costs) {
+AdaptivePolicyParams BindTierCosts(AdaptivePolicyParams params,
+                                   const RefreshCosts& costs) {
   params.cvr = costs.cvr;
   params.cqr = costs.cqr;
   params.theta_multiplier = 2.0;
   return params;
 }
 
-}  // namespace
+Interval DerivedHull(double effective_width, const Interval& parent) {
+  double width = std::max(effective_width, parent.Width());
+  Interval centered = Interval::Centered(parent.Center(), width);
+  return Interval(std::min(centered.lo(), parent.lo()),
+                  std::max(centered.hi(), parent.hi()));
+}
 
 HierarchicalSystem::HierarchicalSystem(
     const HierarchyConfig& config,
@@ -24,9 +27,9 @@ HierarchicalSystem::HierarchicalSystem(
     : config_(config), wan_costs_(config.wan), lan_costs_(config.lan) {
   Rng seeder(seed);
   AdaptivePolicyParams regional_params =
-      BindCosts(config_.regional_policy, config_.wan);
+      BindTierCosts(config_.regional_policy, config_.wan);
   AdaptivePolicyParams edge_params =
-      BindCosts(config_.edge_policy, config_.lan);
+      BindTierCosts(config_.edge_policy, config_.lan);
 
   regional_.resize(streams.size());
   for (size_t id = 0; id < streams.size(); ++id) {
@@ -48,13 +51,9 @@ HierarchicalSystem::HierarchicalSystem(
       entry.policy = std::make_unique<AdaptivePolicy>(edge_params,
                                                       seeder.NextUint64());
       entry.raw_width = edge_params.initial_width;
-      double width = std::max(entry.policy->EffectiveWidth(entry.raw_width),
-                              regional_[id].interval.Width());
-      Interval centered =
-          Interval::Centered(regional_[id].interval.Center(), width);
       entry.interval =
-          Interval(std::min(centered.lo(), regional_[id].interval.lo()),
-                   std::max(centered.hi(), regional_[id].interval.hi()));
+          DerivedHull(entry.policy->EffectiveWidth(entry.raw_width),
+                      regional_[id].interval);
     }
   }
 }
@@ -98,15 +97,8 @@ void HierarchicalSystem::RefreshEdge(int edge, int id, RefreshType type,
   entry.raw_width = entry.policy->NextWidth(entry.raw_width, ctx);
   // Derived precision: the edge never learns more than the regional cache
   // knows, so the shipped interval is at least as wide as the parent's.
-  // Taking the hull with the parent interval (rather than re-centering at
-  // the parent's midpoint) keeps containment exact under floating-point
-  // rounding.
-  double width = std::max(entry.policy->EffectiveWidth(entry.raw_width),
-                          parent.interval.Width());
-  Interval centered = Interval::Centered(parent.interval.Center(), width);
-  entry.interval =
-      Interval(std::min(centered.lo(), parent.interval.lo()),
-               std::max(centered.hi(), parent.interval.hi()));
+  entry.interval = DerivedHull(entry.policy->EffectiveWidth(entry.raw_width),
+                               parent.interval);
 }
 
 void HierarchicalSystem::Tick(int64_t now) {

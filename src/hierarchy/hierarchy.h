@@ -4,11 +4,26 @@
 #include <memory>
 #include <vector>
 
-#include "cache/cost_model.h"
 #include "core/adaptive_policy.h"
+#include "core/cost_model.h"
 #include "data/update_stream.h"
 
 namespace apc {
+
+/// Binds a tier's adaptive-policy parameters to the link its refreshes
+/// cross: cvr/cqr are overwritten from the link costs and the cost factor
+/// uses the interval model's theta = 2·Cvr/Cqr. Shared by the sequential
+/// HierarchicalSystem and the concurrent TieredEngine so their lockstep
+/// parity is structural, not two copies kept identical by hand.
+AdaptivePolicyParams BindTierCosts(AdaptivePolicyParams params,
+                                   const RefreshCosts& costs);
+
+/// The derived-tier interval construction (paper §5): width
+/// max(effective_width, parent width) centered on the parent interval,
+/// then hulled with the parent so containment (A_derived ⊇ A_parent) is
+/// exact under floating-point rounding. The one definition behind both
+/// HierarchicalSystem::RefreshEdge and TieredEngine's derived refreshes.
+Interval DerivedHull(double effective_width, const Interval& parent);
 
 /// Multi-level approximate caching — the extension sketched in the paper's
 /// future work (§5): "each data object resides on one source and there is

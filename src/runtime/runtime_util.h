@@ -1,0 +1,56 @@
+#ifndef APC_RUNTIME_RUNTIME_UTIL_H_
+#define APC_RUNTIME_RUNTIME_UTIL_H_
+
+#include <cstdint>
+#include <shared_mutex>
+
+#include "runtime/shard.h"
+
+namespace apc {
+namespace runtime_internal {
+
+/// splitmix64 finalizer: spreads consecutive ids uniformly across shards.
+/// The ONE partition function of the runtime — ShardedEngine and
+/// TieredEngine must agree on id→shard routing, so it lives here instead
+/// of in per-engine copies.
+inline uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// RAII read lock honoring a ReadLockMode: shared acquisition normally,
+/// exclusive in the kExclusive bench baseline. Used by every engine's
+/// non-seqlock snapshot paths and observability reads (seqlock-mode
+/// observability also lands here — those reads are rare and want a
+/// consistent locked view, not an optimistic one).
+class ReadLock {
+ public:
+  ReadLock(std::shared_mutex& mu, ReadLockMode mode)
+      : mu_(mu), exclusive_(mode == ReadLockMode::kExclusive) {
+    if (exclusive_) {
+      mu_.lock();
+    } else {
+      mu_.lock_shared();
+    }
+  }
+  ~ReadLock() {
+    if (exclusive_) {
+      mu_.unlock();
+    } else {
+      mu_.unlock_shared();
+    }
+  }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+  const bool exclusive_;
+};
+
+}  // namespace runtime_internal
+}  // namespace apc
+
+#endif  // APC_RUNTIME_RUNTIME_UTIL_H_

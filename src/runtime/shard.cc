@@ -2,40 +2,11 @@
 
 #include <limits>
 
+#include "runtime/runtime_util.h"
+
 namespace apc {
 
-namespace {
-
-/// RAII read lock for the non-seqlock snapshot paths and the observability
-/// snapshots: shared acquisition normally, exclusive in the kExclusive
-/// bench baseline. (Seqlock-mode observability reads also land here — they
-/// are rare and want a consistent locked view, not an optimistic one.)
-class ReadLock {
- public:
-  ReadLock(std::shared_mutex& mu, ReadLockMode mode)
-      : mu_(mu), exclusive_(mode == ReadLockMode::kExclusive) {
-    if (exclusive_) {
-      mu_.lock();
-    } else {
-      mu_.lock_shared();
-    }
-  }
-  ~ReadLock() {
-    if (exclusive_) {
-      mu_.unlock();
-    } else {
-      mu_.unlock_shared();
-    }
-  }
-  ReadLock(const ReadLock&) = delete;
-  ReadLock& operator=(const ReadLock&) = delete;
-
- private:
-  std::shared_mutex& mu_;
-  const bool exclusive_;
-};
-
-}  // namespace
+using runtime_internal::ReadLock;
 
 Shard::Shard(int index, const SystemConfig& config, size_t capacity,
              uint64_t seed, RuntimeCounters* counters, ReadLockMode read_mode)

@@ -2,19 +2,11 @@
 
 #include <cassert>
 
+#include "runtime/runtime_util.h"
+
 namespace apc {
 
-namespace {
-
-/// splitmix64 finalizer: spreads consecutive ids uniformly across shards.
-uint64_t MixId(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
+using runtime_internal::MixId;
 
 ShardedEngine::ShardedEngine(const EngineConfig& config,
                              std::vector<std::unique_ptr<Source>> sources)

@@ -1,0 +1,559 @@
+#include "runtime/tiered_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "hierarchy/hierarchy.h"
+#include "runtime/runtime_util.h"
+
+namespace apc {
+
+using runtime_internal::MixId;
+using runtime_internal::ReadLock;
+
+namespace {
+
+/// Release-mode counterpart of the IsValid() assert: every knob is forced
+/// into its valid range, falling back to documented defaults where no
+/// clamp makes sense (an invalid policy parameter set would otherwise
+/// produce inf/NaN widths mid-run — theta = 2·cvr/0 alone is infinite).
+TieredConfig Sanitize(TieredConfig config) {
+  if (config.num_edges < 1) config.num_edges = 1;
+  if (config.num_shards < 1) config.num_shards = 1;
+  if (config.bus_capacity < 1) config.bus_capacity = 1;
+  if (!config.wan.IsValid()) config.wan = TieredConfig{}.wan;
+  if (!config.lan.IsValid()) config.lan = TieredConfig{}.lan;
+  config.wan_push_loss = std::clamp(config.wan_push_loss, 0.0, 1.0);
+  config.lan_push_loss = std::clamp(config.lan_push_loss, 0.0, 1.0);
+  if (!BindTierCosts(config.regional_policy, config.wan).IsValid()) {
+    config.regional_policy = AdaptivePolicyParams{};
+  }
+  if (!BindTierCosts(config.edge_policy, config.lan).IsValid()) {
+    config.edge_policy = AdaptivePolicyParams{};
+  }
+  return config;
+}
+
+}  // namespace
+
+bool TieredConfig::IsValid() const {
+  return num_edges > 0 && num_shards > 0 && bus_capacity > 0 &&
+         wan.IsValid() && lan.IsValid() && wan_push_loss >= 0.0 &&
+         wan_push_loss <= 1.0 && lan_push_loss >= 0.0 &&
+         lan_push_loss <= 1.0 &&
+         BindTierCosts(regional_policy, wan).IsValid() &&
+         BindTierCosts(edge_policy, lan).IsValid();
+}
+
+TieredEngine::TieredEngine(const TieredConfig& config,
+                           std::vector<std::unique_ptr<UpdateStream>> streams)
+    : config_(Sanitize(config)),
+      bus_(config_.bus_capacity) {
+  assert(config.IsValid());
+  const int n = static_cast<int>(streams.size());
+  // Every shard must own at least one id, or its χ slice would be dead
+  // weight; clamp like ShardedEngine rather than crash (no exceptions).
+  if (n > 0 && config_.num_shards > n) config_.num_shards = n;
+  const int num_shards = config_.num_shards;
+  const int num_edges = config_.num_edges;
+
+  const AdaptivePolicyParams regional_params =
+      BindTierCosts(config_.regional_policy, config_.wan);
+  const AdaptivePolicyParams edge_params =
+      BindTierCosts(config_.edge_policy, config_.lan);
+
+  // Policy seeds are drawn in HierarchicalSystem's exact order — regional
+  // policies in id order, then edge policies edge-major — from one master
+  // Rng, so a seed-matched sequential system owns identical policy RNG
+  // streams entity for entity. The shard partition never touches this.
+  Rng seeder(config_.seed);
+  std::vector<uint64_t> regional_seeds(static_cast<size_t>(n));
+  for (auto& s : regional_seeds) s = seeder.NextUint64();
+  std::vector<std::vector<uint64_t>> edge_seeds(
+      static_cast<size_t>(num_edges),
+      std::vector<uint64_t>(static_cast<size_t>(n)));
+  for (auto& edge : edge_seeds) {
+    for (auto& s : edge) s = seeder.NextUint64();
+  }
+
+  // Partition ids (ascending within each shard, so single-shard engines
+  // iterate in id order like the sequential system).
+  std::vector<std::vector<int>> shard_ids(static_cast<size_t>(num_shards));
+  for (int id = 0; id < n; ++id) {
+    if (streams[static_cast<size_t>(id)] == nullptr) continue;
+    shard_ids[static_cast<size_t>(MixId(static_cast<uint64_t>(id)) %
+                                  static_cast<uint64_t>(num_shards))]
+        .push_back(id);
+  }
+
+  auto slice = [](size_t total, int i, int parts) {
+    return total * static_cast<size_t>(i + 1) / static_cast<size_t>(parts) -
+           total * static_cast<size_t>(i) / static_cast<size_t>(parts);
+  };
+
+  regional_.reserve(static_cast<size_t>(num_shards));
+  edges_.resize(static_cast<size_t>(num_edges));
+  for (int s = 0; s < num_shards; ++s) {
+    const std::vector<int>& ids = shard_ids[static_cast<size_t>(s)];
+    // capacity 0 = one slot per owned id: the no-eviction topology of
+    // HierarchicalSystem, and the default.
+    size_t regional_cap = config_.regional_capacity == 0
+                              ? ids.size()
+                              : slice(config_.regional_capacity, s, num_shards);
+    size_t edge_cap = config_.edge_capacity == 0
+                          ? ids.size()
+                          : slice(config_.edge_capacity, s, num_shards);
+
+    auto rs = std::make_unique<RegionalShard>(
+        ProtocolTable::Config{config_.wan, regional_cap,
+                              config_.wan_push_loss},
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(s)));
+    for (int id : ids) {
+      rs->by_id.emplace(id, rs->sources.size());
+      rs->table.Register(id);
+      rs->sources.push_back(std::make_unique<Source>(
+          id, std::move(streams[static_cast<size_t>(id)]),
+          std::make_unique<AdaptivePolicy>(
+              regional_params, regional_seeds[static_cast<size_t>(id)])));
+    }
+    for (int e = 0; e < num_edges; ++e) {
+      auto es = std::make_unique<EdgeShard>(
+          ProtocolTable::Config{config_.lan, edge_cap, config_.lan_push_loss},
+          config_.seed ^
+              (0xbf58476d1ce4e5b9ULL *
+               static_cast<uint64_t>(1 + e * num_shards + s)));
+      es->cells.reserve(ids.size());
+      for (int id : ids) {
+        es->by_id.emplace(id, es->cells.size());
+        es->table.Register(id);
+        // The cell's constructor-time shipment is a placeholder;
+        // PopulateInitial replaces it with the proper derived hull.
+        es->cells.emplace_back(
+            std::make_unique<AdaptivePolicy>(
+                edge_params,
+                edge_seeds[static_cast<size_t>(e)][static_cast<size_t>(id)]),
+            rs->sources[rs->by_id.at(id)]->value(), 0);
+      }
+      edges_[static_cast<size_t>(e)].push_back(std::move(es));
+    }
+    num_sources_ += ids.size();
+    regional_.push_back(std::move(rs));
+  }
+
+  int64_t rejected = n - static_cast<int64_t>(num_sources_);
+  if (rejected > 0) {
+    counters_.rejected_sources.fetch_add(rejected, std::memory_order_relaxed);
+  }
+}
+
+TieredEngine::~TieredEngine() { StopUpdatePump(); }
+
+int TieredEngine::ShardOf(int id) const {
+  return static_cast<int>(MixId(static_cast<uint64_t>(id)) %
+                          regional_.size());
+}
+
+bool TieredEngine::Owns(int id) const {
+  const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
+  return rs.by_id.count(id) != 0;
+}
+
+CachedApprox TieredEngine::DerivedApprox(const ProtocolCell& cell,
+                                         const Interval& parent,
+                                         int64_t now) {
+  CachedApprox approx;
+  approx.base = DerivedHull(cell.EffectiveWidth(), parent);
+  approx.refresh_time = now;
+  return approx;
+}
+
+void TieredEngine::PopulateInitial(int64_t now) {
+  for (size_t s = 0; s < regional_.size(); ++s) {
+    RegionalShard& rs = *regional_[s];
+    std::lock_guard<std::shared_mutex> rlock(rs.mu);
+    for (auto& src : rs.sources) {
+      rs.table.OfferInitial(src->id(), src->cell(), src->value(), now);
+    }
+    for (auto& edge : edges_) {
+      EdgeShard& es = *edge[s];
+      std::lock_guard<std::shared_mutex> elock(es.mu);
+      for (auto& src : rs.sources) {
+        int id = src->id();
+        Interval parent = src->cell().last_shipped().AtTime(now);
+        ProtocolCell& cell = es.cells[es.by_id.at(id)];
+        CachedApprox approx = DerivedApprox(cell, parent, now);
+        cell.ShipDerived(approx);
+        es.table.OfferDerivedInitial(id, approx, cell.raw_width());
+      }
+    }
+  }
+}
+
+void TieredEngine::TickSourceLocked(int shard, Source* src, int64_t now) {
+  src->Tick();
+  counters_.updates_applied.fetch_add(1, std::memory_order_relaxed);
+  ValueTickOutcome outcome =
+      regional_[static_cast<size_t>(shard)]->table.OnValueTick(
+          src->id(), src->cell(), src->value(), now);
+  // A lost WAN push never reached the regional cache, so no edge can have
+  // fallen out of containment — nothing to fan out (and charging a LAN
+  // push for an undelivered regional interval would be wrong).
+  if (outcome.refreshed && !outcome.lost) {
+    FanOutLocked(shard, src->id(), src->cell().last_shipped().AtTime(now),
+                 now, /*skip_edge=*/-1);
+  }
+}
+
+void TieredEngine::FanOutLocked(int shard, int id, const Interval& parent,
+                                int64_t now, int skip_edge) {
+  for (int e = 0; e < config_.num_edges; ++e) {
+    if (e == skip_edge) continue;
+    EdgeShard& es = *edges_[static_cast<size_t>(e)][static_cast<size_t>(shard)];
+    std::lock_guard<std::shared_mutex> lock(es.mu);
+    ProtocolCell& cell = es.cells[es.by_id.at(id)];
+    // Containment is tested against the sender-side record of what was
+    // last shipped to this edge (the cell), not against the edge cache:
+    // edges never report evictions, and a charged-but-lost LAN push must
+    // not be resent until the parent escapes the interval the regional
+    // cache BELIEVES the edge holds — the paper's source-side rule, one
+    // level down.
+    if (cell.last_shipped().AtTime(now).Contains(parent)) continue;
+    cell.AdvanceWidth(RefreshType::kValueInitiated, /*escaped_above=*/false,
+                      now);
+    CachedApprox approx = DerivedApprox(cell, parent, now);
+    cell.ShipDerived(approx);
+    es.table.OfferDerived(id, approx, cell.raw_width(),
+                          RefreshType::kValueInitiated);
+    counters_.derived_pushes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TieredEngine::InstallDerived(EdgeShard& es, int id,
+                                  const Interval& parent, RefreshType type,
+                                  int64_t now) {
+  std::lock_guard<std::shared_mutex> lock(es.mu);
+  ProtocolCell& cell = es.cells[es.by_id.at(id)];
+  cell.AdvanceWidth(type, /*escaped_above=*/false, now);
+  CachedApprox approx = DerivedApprox(cell, parent, now);
+  cell.ShipDerived(approx);
+  es.table.OfferDerived(id, approx, cell.raw_width(), type);
+}
+
+void TieredEngine::TickAll(int64_t now) {
+  for (size_t s = 0; s < regional_.size(); ++s) {
+    RegionalShard& rs = *regional_[s];
+    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    for (auto& src : rs.sources) {
+      TickSourceLocked(static_cast<int>(s), src.get(), now);
+    }
+  }
+}
+
+void TieredEngine::TickSource(int id, int64_t now) {
+  int s = ShardOf(id);
+  RegionalShard& rs = *regional_[static_cast<size_t>(s)];
+  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  auto it = rs.by_id.find(id);
+  if (it == rs.by_id.end()) {
+    counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TickSourceLocked(s, rs.sources[it->second].get(), now);
+}
+
+void TieredEngine::ApplyShardTicks(
+    int shard, const std::vector<std::pair<int, int64_t>>& updates) {
+  RegionalShard& rs = *regional_[static_cast<size_t>(shard)];
+  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  for (const auto& [id, now] : updates) {
+    auto it = rs.by_id.find(id);
+    if (it == rs.by_id.end()) {
+      counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    TickSourceLocked(shard, rs.sources[it->second].get(), now);
+  }
+}
+
+Interval TieredEngine::Read(int edge, int id, double constraint,
+                            int64_t now) {
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (edge < 0 || edge >= config_.num_edges || !Owns(id)) {
+    counters_.rejected_reads.fetch_add(1, std::memory_order_relaxed);
+    return Interval::Unbounded();
+  }
+  const int s = ShardOf(id);
+  RegionalShard& rs = *regional_[static_cast<size_t>(s)];
+  EdgeShard& es = *edges_[static_cast<size_t>(edge)][static_cast<size_t>(s)];
+
+  // Edge-local fast path — the read the protocol optimizes for. In
+  // seqlock mode this touches no lock word at all; a torn read simply
+  // escalates into the locked path below, which re-checks.
+  if (config_.read_lock_mode == ReadLockMode::kSeqlock) {
+    Interval visible;
+    if (es.table.TryVisibleInterval(id, now, &visible) ==
+            SnapshotRead::kHit &&
+        visible.Width() <= constraint) {
+      counters_.edge_hits.fetch_add(1, std::memory_order_relaxed);
+      return visible;
+    }
+  } else {
+    ReadLock lock(es.mu, config_.read_lock_mode);
+    Interval visible = es.table.VisibleInterval(id, now);
+    if (visible.Width() <= constraint) {
+      counters_.edge_hits.fetch_add(1, std::memory_order_relaxed);
+      return visible;
+    }
+  }
+
+  // Escalation. Lock order is always regional shard before edge shard;
+  // holding the regional lock (shared here) excludes fan-outs, so the
+  // regional interval read below cannot be overwritten between the read
+  // and the derived install — that is what keeps A_edge ⊇ A_regional.
+  {
+    ReadLock rlock(rs.mu, config_.read_lock_mode);
+    {
+      // Re-check the edge under its lock: a refresh (or a neighbor's
+      // escalation) may have narrowed it since the optimistic miss, in
+      // which case nothing is charged.
+      ReadLock elock(es.mu, config_.read_lock_mode);
+      Interval visible = es.table.VisibleInterval(id, now);
+      if (visible.Width() <= constraint) {
+        counters_.edge_hits.fetch_add(1, std::memory_order_relaxed);
+        return visible;
+      }
+    }
+    Interval regional = rs.table.VisibleInterval(id, now);
+    if (regional.Width() <= constraint) {
+      // One LAN Cqr (charged by the derived install) buys the regional
+      // interval; the edge receives its derived hull in the reply.
+      InstallDerived(es, id, regional, RefreshType::kQueryInitiated, now);
+      counters_.regional_hits.fetch_add(1, std::memory_order_relaxed);
+      return regional;
+    }
+  }
+
+  // The regional interval is too wide as well: take the regional lock
+  // exclusively, re-check (a racing pull may have satisfied the bound, in
+  // which case the WAN charge is saved), and pull from the source.
+  std::lock_guard<std::shared_mutex> xlock(rs.mu);
+  Interval regional = rs.table.VisibleInterval(id, now);
+  Interval answer;
+  if (regional.Width() <= constraint) {
+    counters_.regional_hits.fetch_add(1, std::memory_order_relaxed);
+    answer = regional;
+  } else {
+    Source* src = rs.sources[rs.by_id.at(id)].get();
+    rs.table.Pull(src->id(), src->cell(), src->value(), now);
+    counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);
+    regional = src->cell().last_shipped().AtTime(now);
+    // The recentered regional interval cascades to the OTHER edges as LAN
+    // pushes; the reading edge gets its derived interval in the reply it
+    // already paid for (HierarchicalSystem's skip_edge rule).
+    FanOutLocked(s, id, regional, now, /*skip_edge=*/edge);
+    answer = Interval::Exact(src->value());
+  }
+  InstallDerived(es, id, regional, RefreshType::kQueryInitiated, now);
+  return answer;
+}
+
+bool TieredEngine::StartUpdatePump() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  if (pump_running_) return true;
+  if (bus_.closed()) return false;  // a closed bus never reopens
+  pump_running_ = true;
+  pump_ = std::thread([this] { PumpLoop(); });
+  return true;
+}
+
+void TieredEngine::StopUpdatePump() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  if (!pump_running_) return;
+  bus_.Close();
+  pump_.join();
+  pump_running_ = false;
+}
+
+void TieredEngine::PumpLoop() {
+  constexpr size_t kMaxBatch = 256;
+  std::vector<UpdateEvent> batch;
+  std::vector<std::vector<std::pair<int, int64_t>>> per_shard(
+      regional_.size());
+  while (bus_.PopBatch(&batch, kMaxBatch) > 0) {
+    // Per-source updates grouped per regional shard (one lock per shard
+    // per batch); a tick-all event is a barrier so per-source ordering is
+    // preserved — the same discipline as ShardedEngine's pump.
+    auto flush = [&] {
+      for (size_t s = 0; s < per_shard.size(); ++s) {
+        if (!per_shard[s].empty()) {
+          ApplyShardTicks(static_cast<int>(s), per_shard[s]);
+          per_shard[s].clear();
+        }
+      }
+    };
+    for (const UpdateEvent& e : batch) {
+      if (e.source_id == UpdateEvent::kAllSources) {
+        flush();
+        TickAll(e.now);
+      } else if (e.source_id >= 0 && Owns(e.source_id)) {
+        per_shard[static_cast<size_t>(ShardOf(e.source_id))].push_back(
+            {e.source_id, e.now});
+      } else {
+        counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    flush();
+  }
+}
+
+void TieredEngine::BeginMeasurement(int64_t now) {
+  for (size_t s = 0; s < regional_.size(); ++s) {
+    RegionalShard& rs = *regional_[s];
+    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    rs.table.costs().BeginMeasurement(now);
+    for (auto& edge : edges_) {
+      EdgeShard& es = *edge[s];
+      std::lock_guard<std::shared_mutex> elock(es.mu);
+      es.table.costs().BeginMeasurement(now);
+    }
+  }
+}
+
+void TieredEngine::EndMeasurement(int64_t now) {
+  for (size_t s = 0; s < regional_.size(); ++s) {
+    RegionalShard& rs = *regional_[s];
+    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    rs.table.costs().EndMeasurement(now);
+    for (auto& edge : edges_) {
+      EdgeShard& es = *edge[s];
+      std::lock_guard<std::shared_mutex> elock(es.mu);
+      es.table.costs().EndMeasurement(now);
+    }
+  }
+}
+
+namespace {
+
+void Accumulate(EngineCosts* total, const CostTracker& costs) {
+  total->value_refreshes += costs.value_refreshes();
+  total->query_refreshes += costs.query_refreshes();
+  total->total_cost += costs.total_cost();
+  if (costs.measured_ticks() > total->measured_ticks) {
+    total->measured_ticks = costs.measured_ticks();
+  }
+}
+
+}  // namespace
+
+EngineCosts TieredEngine::WanCosts() const {
+  EngineCosts total;
+  for (const auto& rs : regional_) {
+    std::shared_lock<std::shared_mutex> lock(rs->mu);
+    Accumulate(&total, rs->table.costs());
+  }
+  return total;
+}
+
+EngineCosts TieredEngine::LanCosts() const {
+  EngineCosts total;
+  for (const auto& edge : edges_) {
+    for (const auto& es : edge) {
+      std::shared_lock<std::shared_mutex> lock(es->mu);
+      Accumulate(&total, es->table.costs());
+    }
+  }
+  return total;
+}
+
+double TieredEngine::TotalCostRate() const {
+  return WanCosts().CostRate() + LanCosts().CostRate();
+}
+
+int64_t TieredEngine::lost_wan_pushes() const {
+  int64_t total = 0;
+  for (const auto& rs : regional_) {
+    std::shared_lock<std::shared_mutex> lock(rs->mu);
+    total += rs->table.lost_pushes();
+  }
+  return total;
+}
+
+int64_t TieredEngine::lost_lan_pushes() const {
+  int64_t total = 0;
+  for (const auto& edge : edges_) {
+    for (const auto& es : edge) {
+      std::shared_lock<std::shared_mutex> lock(es->mu);
+      total += es->table.lost_pushes();
+    }
+  }
+  return total;
+}
+
+Interval TieredEngine::regional_interval(int id, int64_t now) const {
+  if (!Owns(id)) return Interval::Unbounded();
+  const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
+  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  return rs.table.VisibleInterval(id, now);
+}
+
+Interval TieredEngine::edge_interval(int edge, int id, int64_t now) const {
+  if (edge < 0 || edge >= config_.num_edges || !Owns(id)) {
+    return Interval::Unbounded();
+  }
+  const EdgeShard& es =
+      *edges_[static_cast<size_t>(edge)][static_cast<size_t>(ShardOf(id))];
+  std::shared_lock<std::shared_mutex> lock(es.mu);
+  return es.table.VisibleInterval(id, now);
+}
+
+double TieredEngine::regional_raw_width(int id) const {
+  if (!Owns(id)) return std::numeric_limits<double>::quiet_NaN();
+  const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
+  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  return rs.sources[rs.by_id.at(id)]->raw_width();
+}
+
+double TieredEngine::edge_raw_width(int edge, int id) const {
+  if (edge < 0 || edge >= config_.num_edges || !Owns(id)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const EdgeShard& es =
+      *edges_[static_cast<size_t>(edge)][static_cast<size_t>(ShardOf(id))];
+  std::shared_lock<std::shared_mutex> lock(es.mu);
+  return es.cells[es.by_id.at(id)].raw_width();
+}
+
+double TieredEngine::exact_value(int id) const {
+  if (!Owns(id)) return std::numeric_limits<double>::quiet_NaN();
+  const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
+  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  return rs.sources[rs.by_id.at(id)]->value();
+}
+
+bool TieredEngine::DerivedInvariantHolds(int64_t now) const {
+  for (size_t s = 0; s < regional_.size(); ++s) {
+    const RegionalShard& rs = *regional_[s];
+    // The regional shard lock freezes every mutation of this shard's
+    // (regional, edge) state — fan-outs need it exclusively, installs at
+    // least shared with the then-current parent — so the check is valid
+    // at any instant, not just at quiescence.
+    std::shared_lock<std::shared_mutex> rlock(rs.mu);
+    for (const auto& [id, idx] : rs.by_id) {
+      const ProtocolEntry* regional = rs.table.Find(id);
+      if (regional == nullptr) continue;  // evicted: nothing to compare
+      Interval parent = regional->approx.AtTime(now);
+      for (const auto& edge : edges_) {
+        const EdgeShard& es = *edge[s];
+        std::shared_lock<std::shared_mutex> elock(es.mu);
+        if (!es.table.VisibleInterval(id, now).Contains(parent)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace apc

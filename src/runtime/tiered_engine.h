@@ -1,0 +1,278 @@
+#ifndef APC_RUNTIME_TIERED_ENGINE_H_
+#define APC_RUNTIME_TIERED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/source.h"
+#include "core/adaptive_policy.h"
+#include "core/protocol_table.h"
+#include "data/update_stream.h"
+#include "runtime/shard.h"
+#include "runtime/sharded_engine.h"
+#include "runtime/update_bus.h"
+
+namespace apc {
+
+/// Configuration of the tiered (edge/regional) concurrent runtime — the
+/// concurrent realization of the hierarchy extension (paper §5, the
+/// sequential HierarchicalSystem): every value lives on one source, a
+/// single regional tier refreshes over the expensive WAN link, and
+/// `num_edges` edge tiers refresh from the regional tier over the cheap
+/// LAN link. Reads arrive at edges.
+struct TieredConfig {
+  int num_edges = 4;
+  /// Shards per tier. Ids are hash-partitioned once; edge shard s and
+  /// regional shard s own the same ids, which is what makes the
+  /// regional-before-edge lock order deadlock-free.
+  int num_shards = 1;
+  /// Costs on the source <-> regional link (WAN: expensive).
+  RefreshCosts wan{4.0, 8.0};
+  /// Costs on the regional <-> edge link (LAN: cheap).
+  RefreshCosts lan{1.0, 2.0};
+  /// Width adaptivity for the regional tier (policies live at the sources)
+  /// and the edge tiers (policies live at the regional cache). cvr/cqr
+  /// inside are overwritten from wan/lan, exactly like HierarchicalSystem.
+  AdaptivePolicyParams regional_policy;
+  AdaptivePolicyParams edge_policy;
+  /// Cache capacity χ of the regional tier / of EACH edge tier,
+  /// partitioned across shards. 0 means "one slot per source" (no
+  /// eviction) — the HierarchicalSystem topology, and the parity setting.
+  size_t regional_capacity = 0;
+  size_t edge_capacity = 0;
+  /// Failure injection per link: probability that a value-initiated push
+  /// (source->regional over WAN, regional->edge derived push over LAN) is
+  /// lost in transit after being charged. Escalated-read replies are never
+  /// dropped. 0 disables.
+  double wan_push_loss = 0.0;
+  double lan_push_loss = 0.0;
+  /// How edge-local snapshot reads acquire their shard (see ReadLockMode):
+  /// optimistic seqlock validation by default; kShared/kExclusive are the
+  /// bench baselines.
+  ReadLockMode read_lock_mode = ReadLockMode::kSeqlock;
+  /// Capacity of the update bus (backpressure bound; must be positive).
+  size_t bus_capacity = 1024;
+  uint64_t seed = 0;
+
+  bool IsValid() const;
+};
+
+/// Engine-wide tallies in atomics, observable without any shard lock.
+struct TieredCounters {
+  std::atomic<int64_t> reads{0};
+  /// Reads served from the edge interval, free of charge.
+  std::atomic<int64_t> edge_hits{0};
+  /// Escalated reads satisfied by the regional interval (one LAN Cqr).
+  std::atomic<int64_t> regional_hits{0};
+  /// Escalations that went all the way to the source (one LAN Cqr plus one
+  /// WAN Cqr); the answer is the exact value.
+  std::atomic<int64_t> source_pulls{0};
+  /// Derived LAN pushes fanned out by regional refreshes (charged,
+  /// delivered or not).
+  std::atomic<int64_t> derived_pushes{0};
+  std::atomic<int64_t> updates_applied{0};
+  /// Reads naming an edge or id the engine does not host; update events
+  /// naming an unknown id. Counted, never fatal.
+  std::atomic<int64_t> rejected_reads{0};
+  std::atomic<int64_t> rejected_updates{0};
+  /// Streams rejected at construction (null).
+  std::atomic<int64_t> rejected_sources{0};
+};
+
+/// The tiered concurrent serving runtime: N edge tiers (LAN costs) backed
+/// by one regional tier (WAN costs), every tier a set of shards driving
+/// the shared protocol core (core/protocol_table.h) — the same table the
+/// sequential engines use, which is what makes the lockstep parity with
+/// HierarchicalSystem hold by construction.
+///
+/// Reads (query-initiated): a read at an edge first validates an
+/// optimistic seqlock read of the edge interval — the hot path takes no
+/// lock at all. Only when the edge interval is wider than the constraint
+/// does it escalate: one LAN Cqr buys the regional interval (and a derived
+/// refresh of the edge entry); if the regional interval is also too wide,
+/// one WAN Cqr pulls the exact value from the source, recenters the
+/// regional interval, and fans derived refreshes out to the other edges.
+/// Per-hop charging is exactly HierarchicalSystem's.
+///
+/// Pushes (value-initiated): when a source value escapes the regional
+/// interval, the regional refresh is charged one WAN Cvr (even if failure
+/// injection then drops the push), and every edge whose last-shipped
+/// interval no longer contains the new regional interval receives a
+/// derived refresh at one LAN Cvr each. Updates arrive synchronously via
+/// TickAll/TickSource (the deterministic lockstep path) or asynchronously
+/// through the UpdateBus drained by the pump thread; the fan-out happens
+/// at delivery, under the same locks as the regional refresh.
+///
+/// Derived-precision invariant (paper §5): every edge interval is a hull
+/// of the regional interval it was derived from, so A_edge ⊇ A_regional —
+/// an edge can never be more precise than its parent. All mutations of the
+/// (regional, edge) state of an id happen while holding the id's regional
+/// shard lock (fan-out exclusively, read installs at least shared), with
+/// the edge shard lock nested inside, so the invariant is observable at
+/// any instant under the regional shard lock — not just at quiescence —
+/// whenever LAN pushes are reliable (a charged-but-lost LAN push leaves
+/// the affected edge stale by design; see DerivedInvariantHolds).
+///
+/// Determinism: a TieredEngine with any shard/edge count, driven in
+/// lockstep from one thread with lan_push_loss == wan_push_loss == 0 and
+/// default capacities, reproduces the sequential HierarchicalSystem's
+/// answers, intervals, raw widths, and WAN/LAN charges exactly (policy
+/// RNG streams are per-entity, so even the shard partition does not
+/// perturb them). The 1-edge/1-shard case is the pinned acceptance bar;
+/// tests/tiered_engine_test.cc enforces both.
+class TieredEngine {
+ public:
+  /// `streams[i]` drives source id i. Null streams are rejected and
+  /// counted in TieredCounters::rejected_sources. `config` must satisfy
+  /// TieredConfig::IsValid() — asserted in debug builds, sanitized
+  /// (clamped into valid ranges) in release per the no-exceptions
+  /// contract. Call PopulateInitial before serving.
+  TieredEngine(const TieredConfig& config,
+               std::vector<std::unique_ptr<UpdateStream>> streams);
+  ~TieredEngine();
+
+  TieredEngine(const TieredEngine&) = delete;
+  TieredEngine& operator=(const TieredEngine&) = delete;
+
+  int num_edges() const { return config_.num_edges; }
+  int num_shards() const { return static_cast<int>(regional_.size()); }
+  size_t num_sources() const { return num_sources_; }
+  int ShardOf(int id) const;
+  /// Safe without any lock: the id maps are immutable after construction.
+  bool Owns(int id) const;
+
+  /// Ships every source's initial regional approximation and every edge's
+  /// initial derived hull, free of charge (warm-up absorbs the cost).
+  void PopulateInitial(int64_t now);
+
+  /// Synchronous lockstep update of every source (deterministic path):
+  /// advances each stream one tick and performs the value-initiated
+  /// refresh cascade (WAN push + LAN fan-out) the new values trigger.
+  void TickAll(int64_t now);
+
+  /// Advances a single source; unknown ids are counted as rejected.
+  void TickSource(int id, int64_t now);
+
+  /// Precision-bounded read of `id` at `edge`: returns an interval of
+  /// width <= `constraint` that contains the exact value (when pushes are
+  /// reliable), escalating edge -> regional -> source as needed and
+  /// charging per hop. An unknown edge or id yields the unbounded
+  /// interval, charge-free, counted in rejected_reads. Thread-safe.
+  Interval Read(int edge, int id, double constraint, int64_t now);
+
+  // -- asynchronous update path --------------------------------------
+  UpdateBus& bus() { return bus_; }
+  /// Starts the pump thread draining the bus into the regional tier (the
+  /// LAN fan-out happens at delivery). Returns false once the bus has
+  /// been closed — the asynchronous path is single-use per engine.
+  bool StartUpdatePump();
+  /// Closes the bus, drains the backlog, and joins the pump.
+  void StopUpdatePump();
+
+  // -- measurement and observability ---------------------------------
+  void BeginMeasurement(int64_t now);
+  void EndMeasurement(int64_t now);
+  /// Aggregated WAN-link (regional tier) / LAN-link (all edge tiers)
+  /// costs, summed over the per-shard CostTrackers.
+  EngineCosts WanCosts() const;
+  EngineCosts LanCosts() const;
+  /// Combined WAN+LAN cost per tick over the measured period.
+  double TotalCostRate() const;
+  int64_t lost_wan_pushes() const;
+  int64_t lost_lan_pushes() const;
+  const TieredCounters& counters() const { return counters_; }
+
+  /// Observability accessors (consistent snapshots under the owning shard
+  /// locks). Unknown ids/edges yield the unbounded interval / NaN.
+  Interval regional_interval(int id, int64_t now = 0) const;
+  Interval edge_interval(int edge, int id, int64_t now = 0) const;
+  double regional_raw_width(int id) const;
+  double edge_raw_width(int edge, int id) const;
+  double exact_value(int id) const;
+
+  /// Checks A_edge ⊇ A_regional for every cached (edge, id) pair whose
+  /// regional entry is cached, under the per-id regional shard locks — a
+  /// true concurrent check, valid mid-run. Guaranteed to hold whenever
+  /// lan_push_loss == 0; a lost LAN push legitimately leaves one edge
+  /// stale until the next delivered refresh.
+  bool DerivedInvariantHolds(int64_t now = 0) const;
+
+ private:
+  /// One partition of the regional tier: the sources hashed to it (stream
+  /// + ProtocolCell with the WAN-bound policy) and their share of the
+  /// regional cache, a shared-core ProtocolTable charging WAN costs.
+  struct RegionalShard {
+    RegionalShard(const ProtocolTable::Config& table_config, uint64_t seed)
+        : table(table_config, seed) {}
+    mutable std::shared_mutex mu;
+    std::vector<std::unique_ptr<Source>> sources;
+    std::unordered_map<int, size_t> by_id;  // immutable after construction
+    ProtocolTable table;
+  };
+
+  /// One partition of one edge tier: the derived cells (per-value raw
+  /// width + last-shipped hull + LAN-bound policy — sender-side state
+  /// conceptually owned by the regional cache) and the edge cache slice, a
+  /// ProtocolTable charging LAN costs. Locked after the matching regional
+  /// shard, never before.
+  struct EdgeShard {
+    EdgeShard(const ProtocolTable::Config& table_config, uint64_t seed)
+        : table(table_config, seed) {}
+    mutable std::shared_mutex mu;
+    std::vector<ProtocolCell> cells;
+    std::unordered_map<int, size_t> by_id;  // immutable after construction
+    ProtocolTable table;
+  };
+
+  /// Builds the derived approximation for an edge: DerivedHull
+  /// (hierarchy/hierarchy.h) of the parent interval at the cell's
+  /// effective width — literally the function HierarchicalSystem ships
+  /// through, so the parity of the construction is structural.
+  static CachedApprox DerivedApprox(const ProtocolCell& cell,
+                                    const Interval& parent, int64_t now);
+
+  /// Advances one source and runs the value-initiated refresh cascade.
+  /// Requires the owning regional shard's lock held exclusively.
+  void TickSourceLocked(int shard, Source* src, int64_t now);
+
+  /// Ships derived refreshes to every edge (except `skip_edge`) whose
+  /// last-shipped interval no longer contains `parent`, charging one LAN
+  /// Cvr each. Requires the regional shard lock held exclusively; takes
+  /// each edge shard lock in turn.
+  void FanOutLocked(int shard, int id, const Interval& parent, int64_t now,
+                    int skip_edge);
+
+  /// Installs a derived hull of `parent` at (edge shard, id) as a refresh
+  /// of kind `type`, charging the edge table per OfferDerived. Requires
+  /// the matching regional shard lock held (shared suffices); takes the
+  /// edge shard lock exclusively.
+  void InstallDerived(EdgeShard& es, int id, const Interval& parent,
+                      RefreshType type, int64_t now);
+
+  void ApplyShardTicks(int shard,
+                       const std::vector<std::pair<int, int64_t>>& updates);
+  void PumpLoop();
+
+  TieredConfig config_;
+  std::vector<std::unique_ptr<RegionalShard>> regional_;
+  /// edges_[edge][shard]; edge shard s owns exactly the ids of regional
+  /// shard s.
+  std::vector<std::vector<std::unique_ptr<EdgeShard>>> edges_;
+  size_t num_sources_ = 0;
+  TieredCounters counters_;
+  UpdateBus bus_;
+  std::mutex pump_mu_;  // serializes Start/StopUpdatePump
+  std::thread pump_;
+  bool pump_running_ = false;
+};
+
+}  // namespace apc
+
+#endif  // APC_RUNTIME_TIERED_ENGINE_H_

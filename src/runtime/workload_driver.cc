@@ -40,6 +40,48 @@ std::vector<WorkloadPhase> EffectiveSchedule(const DriverConfig& config) {
   return {phase};
 }
 
+/// Pushes one updater burst of tick-all events — the closed-loop
+/// discipline both drivers share: the clock only advances past events the
+/// bus ACCEPTED, so the tick count, the EndMeasurement clock, and
+/// CostRate()'s denominator never include pushes rejected at shutdown.
+/// Returns false once the bus is closed (the updater must exit).
+bool PushTickBurst(UpdateBus& bus, std::atomic<int64_t>& clock, int burst) {
+  for (int i = 0; i < burst; ++i) {
+    int64_t t = clock.load(std::memory_order_relaxed) + 1;
+    if (!bus.Push({t, UpdateEvent::kAllSources})) return false;
+    clock.store(t, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+/// Merged latency/violation view over the per-thread results (histograms
+/// merge exactly because every thread uses the one shared layout).
+struct LatencySummary {
+  int64_t violations = 0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+LatencySummary Summarize(const std::vector<ThreadResult>& results) {
+  Histogram merged = MakeLatencyHistogram();
+  SummaryStats stats;
+  LatencySummary out;
+  for (const ThreadResult& local : results) {
+    merged.Merge(local.latency_us);
+    stats.Merge(local.stats);
+    out.violations += local.violations;
+  }
+  out.mean_us = stats.mean();
+  out.max_us = stats.max();
+  out.p50_us = merged.Quantile(0.50);
+  out.p95_us = merged.Quantile(0.95);
+  out.p99_us = merged.Quantile(0.99);
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
@@ -56,6 +98,18 @@ std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
         std::make_unique<AdaptivePolicy>(policy, policy_seed)));
   }
   return sources;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> BuildRandomWalkStreams(
+    int n, const RandomWalkParams& walk, uint64_t seed) {
+  Rng master(seed);
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.reserve(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    streams.push_back(
+        std::make_unique<RandomWalkStream>(walk, master.NextUint64()));
+  }
+  return streams;
 }
 
 DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
@@ -80,9 +134,7 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   if (updates_running) {
     // The updater streams tick-all events through the bus as fast as
     // backpressure allows; a slow pump throttles it instead of the queue
-    // growing without bound. The clock only advances past events the bus
-    // ACCEPTED: a push rejected at shutdown must not inflate the tick
-    // count, the EndMeasurement clock, or CostRate()'s denominator.
+    // growing without bound (tick discipline: see PushTickBurst).
     updater = std::thread([&] {
       while (!stop_updates.load(std::memory_order_relaxed)) {
         // Slowest worker's phase decides the regime.
@@ -98,11 +150,7 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
           std::this_thread::sleep_for(std::chrono::microseconds(50));
           continue;
         }
-        for (int i = 0; i < burst; ++i) {
-          int64_t t = clock.load(std::memory_order_relaxed) + 1;
-          if (!engine.bus().Push({t, UpdateEvent::kAllSources})) return;
-          clock.store(t, std::memory_order_relaxed);
-        }
+        if (!PushTickBurst(engine.bus(), clock, burst)) return;
         std::this_thread::yield();
       }
     });
@@ -164,13 +212,8 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   engine.EndMeasurement(final_tick);
 
   DriverReport report;
-  Histogram merged = MakeLatencyHistogram();
-  SummaryStats stats;
-  for (const ThreadResult& local : results) {
-    merged.Merge(local.latency_us);
-    stats.Merge(local.stats);
-    report.violations += local.violations;
-  }
+  LatencySummary latency = Summarize(results);
+  report.violations = latency.violations;
   int64_t queries_per_thread = 0;
   for (const WorkloadPhase& phase : schedule) {
     queries_per_thread += phase.queries_per_thread;
@@ -184,16 +227,137 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
       report.wall_seconds > 0.0
           ? static_cast<double>(report.queries) / report.wall_seconds
           : 0.0;
-  report.latency_mean_us = stats.mean();
-  report.latency_max_us = stats.max();
-  report.latency_p50_us = merged.Quantile(0.50);
-  report.latency_p95_us = merged.Quantile(0.95);
-  report.latency_p99_us = merged.Quantile(0.99);
+  report.latency_mean_us = latency.mean_us;
+  report.latency_max_us = latency.max_us;
+  report.latency_p50_us = latency.p50_us;
+  report.latency_p95_us = latency.p95_us;
+  report.latency_p99_us = latency.p99_us;
   report.costs = engine.TotalCosts();
   report.rejected_updates =
       engine.counters().rejected_updates.load(std::memory_order_relaxed);
   report.rejected_query_ids =
       engine.counters().rejected_query_ids.load(std::memory_order_relaxed);
+  return report;
+}
+
+TieredDriverReport RunTieredWorkload(TieredEngine& engine,
+                                     const TieredWorkloadConfig& config) {
+  if (!config.IsValid()) return TieredDriverReport{};
+  // A misconfigured id space is a caller error, not a protocol failure:
+  // reads of ids the engine does not own would return the unbounded
+  // interval and masquerade as precision violations — the signal the
+  // benches and tests gate on. Refuse to run instead.
+  for (int id = 0; id < config.num_sources; ++id) {
+    if (!engine.Owns(id)) return TieredDriverReport{};
+  }
+  const size_t num_threads = static_cast<size_t>(config.num_threads);
+  const int num_edges = engine.num_edges();
+  const int num_sources = config.num_sources;
+
+  engine.PopulateInitial(0);
+  engine.BeginMeasurement(0);
+
+  std::atomic<int64_t> clock{0};
+  std::atomic<bool> stop_updates{false};
+  std::thread updater;
+  bool updates_running = config.run_updates && config.update_burst > 0 &&
+                         engine.StartUpdatePump();
+  if (updates_running) {
+    updater = std::thread([&] {
+      while (!stop_updates.load(std::memory_order_relaxed)) {
+        if (!PushTickBurst(engine.bus(), clock, config.update_burst)) return;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<ThreadResult> results(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  auto wall_start = std::chrono::steady_clock::now();
+
+  for (int ti = 0; ti < config.num_threads; ++ti) {
+    workers.emplace_back([&, ti] {
+      ThreadResult& local = results[static_cast<size_t>(ti)];
+      uint64_t t = static_cast<uint64_t>(ti);
+      // A single-id "SUM" workload reuses the query generator's Zipf draw
+      // and constraint distribution for point reads: rank 0 is the
+      // hottest key before the per-edge rotation below.
+      QueryWorkloadParams workload;
+      workload.num_sources = num_sources;
+      workload.group_size = 1;
+      workload.zipf_s = config.zipf_s;
+      workload.constraints = config.constraints;
+      QueryGenerator gen(workload,
+                         config.seed ^ (0xA11CEULL + 0x9E3779B9ULL * t));
+      int64_t issued = 0;
+      for (int p = 0; p < config.num_phases; ++p) {
+        // Phase p: this thread's home edge rotates by one, so every
+        // hotspot lands on a different edge than the phase before.
+        int edge = (ti + p) % num_edges;
+        int hot_base = edge * num_sources / num_edges;
+        int64_t budget = config.queries_per_thread / config.num_phases;
+        if (p == config.num_phases - 1) {
+          budget = config.queries_per_thread - issued;
+        }
+        for (int64_t q = 0; q < budget; ++q, ++issued) {
+          Query query = gen.Next();
+          int id = (hot_base + query.source_ids.front()) % num_sources;
+          int64_t now = clock.load(std::memory_order_relaxed);
+          auto t0 = std::chrono::steady_clock::now();
+          Interval result = engine.Read(edge, id, query.constraint, now);
+          auto t1 = std::chrono::steady_clock::now();
+          double us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          local.latency_us.Add(us);
+          local.stats.Add(us);
+          if (ViolatesConstraint(result, query.constraint)) {
+            ++local.violations;
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  auto wall_end = std::chrono::steady_clock::now();
+
+  if (updates_running) {
+    stop_updates.store(true, std::memory_order_relaxed);
+    updater.join();
+    engine.StopUpdatePump();  // closes the bus and drains the backlog
+  }
+
+  int64_t final_tick = clock.load(std::memory_order_relaxed);
+  engine.EndMeasurement(final_tick);
+
+  TieredDriverReport report;
+  LatencySummary latency = Summarize(results);
+  report.violations = latency.violations;
+  report.queries = static_cast<int64_t>(config.num_threads) *
+                   config.queries_per_thread;
+  report.ticks = final_tick;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.queries_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.queries) / report.wall_seconds
+          : 0.0;
+  report.latency_mean_us = latency.mean_us;
+  report.latency_max_us = latency.max_us;
+  report.latency_p50_us = latency.p50_us;
+  report.latency_p95_us = latency.p95_us;
+  report.latency_p99_us = latency.p99_us;
+  const TieredCounters& counters = engine.counters();
+  report.edge_hits = counters.edge_hits.load(std::memory_order_relaxed);
+  report.regional_hits =
+      counters.regional_hits.load(std::memory_order_relaxed);
+  report.source_pulls = counters.source_pulls.load(std::memory_order_relaxed);
+  report.derived_pushes =
+      counters.derived_pushes.load(std::memory_order_relaxed);
+  report.lost_wan_pushes = engine.lost_wan_pushes();
+  report.lost_lan_pushes = engine.lost_lan_pushes();
+  report.wan = engine.WanCosts();
+  report.lan = engine.LanCosts();
   return report;
 }
 

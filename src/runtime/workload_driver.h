@@ -9,6 +9,7 @@
 #include "data/random_walk.h"
 #include "query/query_gen.h"
 #include "runtime/sharded_engine.h"
+#include "runtime/tiered_engine.h"
 #include "stats/histogram.h"
 #include "stats/stats.h"
 
@@ -112,11 +113,85 @@ struct DriverReport {
   EngineCosts costs;
 };
 
+/// Geo-skewed tiered workload: every query thread has a home edge and
+/// draws precision-bounded point reads Zipf-skewed over a per-edge rotated
+/// id space, so each edge has its own hotspot (edge e's hottest id is
+/// e·num_sources/num_edges). Phases rotate every thread's home edge by one
+/// (phase p: thread t reads edge (t + p) % num_edges), migrating each
+/// hotspot to a different edge mid-run — the per-(edge, value) derived
+/// widths tuned for one affinity are wrong for the next, and the adaptive
+/// δ policies must re-converge, the regime shift dynamic-precision systems
+/// are sensitive to.
+struct TieredWorkloadConfig {
+  int num_threads = 2;
+  /// Total queries each thread issues across all phases (> 0).
+  int64_t queries_per_thread = 1000;
+  /// Id space; reads target ids 0..num_sources-1, all of which the engine
+  /// must own — RunTieredWorkload refuses to run (zero report) otherwise,
+  /// so a config/engine mismatch can never masquerade as precision
+  /// violations.
+  int num_sources = 50;
+  /// Zipf exponent of the per-edge hotspot (0 = uniform, no hotspot).
+  double zipf_s = 1.1;
+  /// Distribution of read precision constraints.
+  ConstraintParams constraints{20.0, 1.0};
+  /// Streams tick-all events through the engine's UpdateBus during the
+  /// run; `update_burst` events per updater burst (0 = no updates).
+  bool run_updates = true;
+  int update_burst = 8;
+  /// Number of edge-affinity phases; each thread splits its query budget
+  /// evenly across them (remainder to the last phase).
+  int num_phases = 1;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return num_threads > 0 && queries_per_thread > 0 && num_sources > 0 &&
+           zipf_s >= 0.0 && constraints.IsValid() && update_burst >= 0 &&
+           num_phases > 0 && num_phases <= queries_per_thread;
+  }
+};
+
+/// Outcome of a tiered driver run: latency/throughput plus where reads
+/// were served (edge / regional / source) and the per-link costs.
+struct TieredDriverReport {
+  int64_t queries = 0;
+  /// Result intervals wider than their constraint (must be 0).
+  int64_t violations = 0;
+  int64_t ticks = 0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+  /// Read-path outcome tallies from TieredCounters.
+  int64_t edge_hits = 0;
+  int64_t regional_hits = 0;
+  int64_t source_pulls = 0;
+  int64_t derived_pushes = 0;
+  int64_t lost_wan_pushes = 0;
+  int64_t lost_lan_pushes = 0;
+  /// Per-link cost aggregates over the measured period.
+  EngineCosts wan;
+  EngineCosts lan;
+
+  double TotalCostRate() const { return wan.CostRate() + lan.CostRate(); }
+};
+
 /// Builds n random-walk sources with per-source forked policy/stream seeds
 /// — the standard source population for runtime benches and tests.
 std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
     int n, const RandomWalkParams& walk, const AdaptivePolicyParams& policy,
     uint64_t seed);
+
+/// Builds n bare random-walk update streams with per-stream seeds forked
+/// from `seed` — the source population for TieredEngine and
+/// HierarchicalSystem (which own the policies themselves). Deterministic:
+/// two calls with equal arguments produce identical stream sets, which is
+/// what the lockstep parity harnesses rely on.
+std::vector<std::unique_ptr<UpdateStream>> BuildRandomWalkStreams(
+    int n, const RandomWalkParams& walk, uint64_t seed);
 
 /// Runs the closed-loop workload against `engine`: populates the cache,
 /// begins measurement, fans out query threads (plus the updater when
@@ -125,6 +200,16 @@ std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
 /// the run ends, so each engine supports one updating run. An invalid
 /// config yields the zero report without touching the engine.
 DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config);
+
+/// Runs the geo-skewed tiered workload against `engine`: populates both
+/// tiers, begins measurement, fans out query threads issuing
+/// precision-bounded edge reads (plus the updater when enabled), joins
+/// everything, ends measurement, and returns the merged report. With
+/// `run_updates` set the engine's UpdateBus is closed when the run ends,
+/// so each engine supports one updating run. An invalid config yields the
+/// zero report without touching the engine.
+TieredDriverReport RunTieredWorkload(TieredEngine& engine,
+                                     const TieredWorkloadConfig& config);
 
 }  // namespace apc
 

@@ -1,4 +1,4 @@
-#include "cache/cost_model.h"
+#include "core/cost_model.h"
 
 #include <gtest/gtest.h>
 
