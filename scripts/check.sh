@@ -5,25 +5,48 @@
 #   scripts/check.sh --no-bench # tier-1 only
 #   scripts/check.sh --tsan     # rebuild with -DAPC_SANITIZE=thread and rerun
 #                               # the concurrency tests under ThreadSanitizer
+#   scripts/check.sh --asan     # rebuild with -DAPC_SANITIZE=address and rerun
+#                               # the subscribe + runtime suites under
+#                               # AddressSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A deadlocked notification test (a consumer waiting on a hub nobody closes)
+# must fail fast instead of hanging the whole run.
+CTEST_TIMEOUT=120
+
+# The suites with real thread interleavings; everything else is
+# single-threaded by construction. Shared by the tsan and asan modes.
+CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test)$'
+
 if [[ "${1:-}" == "--tsan" ]]; then
-  # The runtime/bus/driver suites are the ones with real thread
-  # interleavings; everything else is single-threaded by construction.
   cmake -B build-tsan -S . -DAPC_SANITIZE=thread -DAPCACHE_BUILD_BENCHES=OFF \
         -DAPCACHE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
-        -R '^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test)$'
+        --timeout "$CTEST_TIMEOUT" -R "$CONCURRENCY_SUITES"
   echo "check.sh: concurrency tests clean under ThreadSanitizer"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  # The same interleaving-heavy suites, instrumented for heap misuse: the
+  # subscription layer hands raw pointers across threads (sink callbacks,
+  # notifier, hub records), so lifetime bugs surface here first.
+  cmake -B build-asan -S . -DAPC_SANITIZE=address -DAPCACHE_BUILD_BENCHES=OFF \
+        -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -R "$CONCURRENCY_SUITES"
+  echo "check.sh: subscribe + runtime suites clean under AddressSanitizer"
   exit 0
 fi
 
 # --- tier-1 verify -------------------------------------------------------
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure --no-tests=error -j "$(nproc)"
+ctest --test-dir build --output-on-failure --no-tests=error \
+      --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
 
 if [[ "${1:-}" == "--no-bench" ]]; then
   echo "check.sh: tier-1 OK (bench smoke skipped)"
@@ -32,7 +55,9 @@ fi
 
 # --- Release bench smoke -------------------------------------------------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target bench_runtime_throughput
+cmake --build build-release -j --target bench_runtime_throughput \
+      --target bench_subscription_throughput
 ./build-release/bench_runtime_throughput 500 128 build-release/BENCH_runtime.json
+./build-release/bench_subscription_throughput 300 64 build-release/BENCH_subscriptions.json
 
 echo "check.sh: all checks passed"

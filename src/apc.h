@@ -21,6 +21,9 @@
 ///   hierarchy — two-level caching extension
 ///   sim       — simulation drivers and canned experiments
 ///   stats     — summaries, series, histograms
+///   subscribe — standing precision-bounded queries: SubscriptionTable,
+///               NotificationHub, SubscriptionManager over the core's
+///               change-detection hook
 ///   runtime   — sharded concurrent serving engine, the tiered
 ///               edge/regional engine, and the load drivers
 
@@ -66,6 +69,11 @@
 
 #include "stats/histogram.h"
 #include "stats/stats.h"
+
+#include "subscribe/change_sink.h"
+#include "subscribe/notification_hub.h"
+#include "subscribe/subscription_manager.h"
+#include "subscribe/subscription_table.h"
 
 #include "runtime/shard.h"
 #include "runtime/sharded_engine.h"

@@ -76,6 +76,17 @@ void ProtocolTable::WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
   slot.version.store(v + 2, std::memory_order_release);
 }
 
+void ProtocolTable::MarkDirty(int id) {
+  if (!change_tracking_) return;
+  if (dirty_set_.insert(id).second) dirty_ids_.push_back(id);
+}
+
+void ProtocolTable::DrainDirtyIds(std::vector<int>* out) {
+  out->insert(out->end(), dirty_ids_.begin(), dirty_ids_.end());
+  dirty_ids_.clear();
+  dirty_set_.clear();
+}
+
 void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
                                   double raw_width) {
   EntryStore::OfferResult result = store_.OfferEx(id, approx, raw_width);
@@ -84,10 +95,14 @@ void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
     if (evicted != slot_of_.end()) {
       WriteSlot(*evicted->second, CachedApprox{}, /*cached=*/false);
     }
+    // The evicted id's visible interval widened to unbounded — a change a
+    // standing query over it must hear about.
+    MarkDirty(result.evicted_id);
   }
   if (result.cached) {
     auto it = slot_of_.find(id);
     if (it != slot_of_.end()) WriteSlot(*it->second, approx, /*cached=*/true);
+    MarkDirty(id);
   }
 }
 

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "core/interval.h"
@@ -237,6 +239,25 @@ class ProtocolTable {
     return store_.entries();
   }
 
+  // -- change detection (the subscription hook) -------------------------
+  // The write path records which ids' cached visible state changed — an
+  // offer that was applied, or an eviction — so engines can feed standing
+  // queries (src/subscribe/) without re-deriving the protocol's decisions.
+  // Off by default: a table that nobody subscribes to pays nothing.
+
+  /// Turns dirty-id recording on. Engines enable it lazily on the first
+  /// Subscribe; requires the owner's synchronization (held exclusively),
+  /// like every other mutating method.
+  void EnableChangeTracking() { change_tracking_ = true; }
+  bool change_tracking_enabled() const { return change_tracking_; }
+
+  /// Moves the set of ids whose cached visible interval changed since the
+  /// last drain into `*out` (appended; deduplicated per drain window, in
+  /// first-dirtied order). Requires the owner's synchronization (held
+  /// exclusively). A lost push dirties nothing — the cache never saw it.
+  void DrainDirtyIds(std::vector<int>* out);
+  bool has_dirty_ids() const { return !dirty_ids_.empty(); }
+
   // -- charging and observability --------------------------------------
   // The trackers themselves are plain state: reading or mutating them
   // (Begin/EndMeasurement included) requires the owner's synchronization,
@@ -266,6 +287,7 @@ class ProtocolTable {
   void OfferMirrored(int id, const CachedApprox& approx, double raw_width);
   void WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
                  bool cached);
+  void MarkDirty(int id);
 
   Config config_;
   EntryStore store_;
@@ -274,6 +296,9 @@ class ProtocolTable {
   int64_t lost_pushes_ = 0;
   std::deque<VersionedSlot> slots_;  // deque: atomics never move
   std::unordered_map<int, VersionedSlot*> slot_of_;
+  bool change_tracking_ = false;
+  std::vector<int> dirty_ids_;           // first-dirtied order
+  std::unordered_set<int> dirty_set_;    // dedup within a drain window
 };
 
 }  // namespace apc

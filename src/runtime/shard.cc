@@ -1,5 +1,6 @@
 #include "runtime/shard.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "runtime/runtime_util.h"
@@ -29,11 +30,26 @@ Source* Shard::FindSource(int id) const {
   return it == by_id_.end() ? nullptr : sources_[it->second].get();
 }
 
+void Shard::SetChangeSink(IntervalChangeSink* sink) { sink_ = sink; }
+
+void Shard::EnableChangeTracking() {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  table_.EnableChangeTracking();
+}
+
+void Shard::PublishChangesLocked(int64_t now) {
+  if (sink_ == nullptr || !table_.has_dirty_ids()) return;
+  dirty_scratch_.clear();
+  table_.DrainDirtyIds(&dirty_scratch_);
+  sink_->OnIntervalChanges(dirty_scratch_, now);
+}
+
 void Shard::PopulateInitial(int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   for (auto& src : sources_) {
     table_.OfferInitial(src->id(), src->cell(), src->value(), now);
   }
+  PublishChangesLocked(now);
 }
 
 // TickSourceLocked/PullExactLocked drive the SAME ProtocolTable methods as
@@ -68,6 +84,7 @@ void Shard::RecordRejectedUpdateLocked() {
 void Shard::TickAll(int64_t now) {
   std::lock_guard<std::shared_mutex> lock(mu_);
   for (auto& src : sources_) TickSourceLocked(src.get(), now);
+  PublishChangesLocked(now);
 }
 
 void Shard::TickSource(int id, int64_t now) {
@@ -78,11 +95,18 @@ void Shard::TickSource(int id, int64_t now) {
     return;
   }
   TickSourceLocked(src, now);
+  PublishChangesLocked(now);
 }
 
 void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
   std::lock_guard<std::shared_mutex> lock(mu_);
+  // Batch maximum, not the last element: with multiple bus producers the
+  // batch need not be time-ordered, and publishing a change at an earlier
+  // logical time than the tick that produced it would let the notifier
+  // snapshot a stale (narrower) interval.
+  int64_t last_now = 0;
   for (const auto& [id, now] : updates) {
+    last_now = std::max(last_now, now);
     Source* src = FindSource(id);
     if (src == nullptr) {
       RecordRejectedUpdateLocked();
@@ -90,6 +114,7 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
     }
     TickSourceLocked(src, now);
   }
+  PublishChangesLocked(last_now);
 }
 
 Interval Shard::VisibleInterval(int id, int64_t now) const {
@@ -151,7 +176,9 @@ double Shard::PullExact(int id, int64_t now) {
     }
     return std::numeric_limits<double>::quiet_NaN();
   }
-  return PullExactLocked(src, now);
+  double value = PullExactLocked(src, now);
+  PublishChangesLocked(now);
+  return value;
 }
 
 void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
@@ -169,6 +196,7 @@ void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
     }
     (*items)[pos].interval = Interval::Exact(PullExactLocked(src, now));
   }
+  PublishChangesLocked(now);
 }
 
 int Shard::PullCandidateRun(AggregateKind kind, double constraint,
@@ -179,7 +207,10 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
   while (idx >= 0) {
     int id = (*items)[static_cast<size_t>(idx)].source_id;
     Source* src = FindSource(id);
-    if (src == nullptr) return idx;  // next candidate lives on another shard
+    if (src == nullptr) {
+      PublishChangesLocked(now);
+      return idx;  // next candidate lives on another shard
+    }
     Interval exact = Interval::Exact(PullExactLocked(src, now));
     // One charge per distinct id: a duplicated id inside the query becomes
     // exact in every slot, so the elimination never re-selects it.
@@ -190,6 +221,7 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
               ? NextMaxRefreshCandidate(*items, constraint)
               : NextMinRefreshCandidate(*items, constraint);
   }
+  PublishChangesLocked(now);
   return -1;
 }
 
@@ -227,7 +259,9 @@ Interval Shard::PointRead(int id, double max_width, int64_t now) {
     }
     return Interval::Unbounded();
   }
-  return Interval::Exact(PullExactLocked(src, now));
+  Interval result = Interval::Exact(PullExactLocked(src, now));
+  PublishChangesLocked(now);
+  return result;
 }
 
 void Shard::BeginMeasurement(int64_t now) {
@@ -267,6 +301,13 @@ int64_t Shard::lost_pushes() const {
 int64_t Shard::rejected_updates() const {
   ReadLock lock(mu_, read_mode_);
   return rejected_updates_;
+}
+
+double Shard::SourceValue(int id) const {
+  ReadLock lock(mu_, read_mode_);
+  Source* src = FindSource(id);
+  return src == nullptr ? std::numeric_limits<double>::quiet_NaN()
+                        : src->value();
 }
 
 }  // namespace apc

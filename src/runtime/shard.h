@@ -14,6 +14,7 @@
 #include "core/interval.h"
 #include "core/protocol_table.h"
 #include "query/aggregate.h"
+#include "subscribe/change_sink.h"
 
 namespace apc {
 
@@ -105,6 +106,20 @@ class Shard {
   /// Safe without the lock: the id map is immutable once construction ends.
   bool Owns(int id) const { return by_id_.count(id) != 0; }
 
+  /// Attaches the subscription subsystem's change sink. Once tracking is
+  /// also enabled (EnableChangeTracking), every mutating method hands the
+  /// ids whose cached visible interval changed to the sink WHILE still
+  /// holding the shard lock (the sink only enqueues), so a change is
+  /// always in flight before the mutation is observable — the ordering the
+  /// no-missed-violation checker relies on. Not thread-safe; call during
+  /// engine construction, before any concurrent access.
+  void SetChangeSink(IntervalChangeSink* sink);
+
+  /// Turns on the protocol table's dirty-id recording, under the shard
+  /// lock — called on the first Subscribe (SubscriptionActivate), so
+  /// subscription-free engines never pay for change tracking. Thread-safe.
+  void EnableChangeTracking();
+
   /// Ships every owned source's initial approximation (free of charge).
   void PopulateInitial(int64_t now);
 
@@ -179,12 +194,20 @@ class Shard {
   int64_t lost_pushes() const;
   int64_t rejected_updates() const;
 
+  /// Current exact value of an owned source (consistent under the shard
+  /// lock), or NaN for an unowned id. Charge-free observability — the
+  /// no-missed-violation checker reads truth through this.
+  double SourceValue(int id) const;
+
  private:
   /// Owned source for `id`, or nullptr (never throws — pump hardening).
   Source* FindSource(int id) const;
   void TickSourceLocked(Source* src, int64_t now);
   void RecordRejectedUpdateLocked();
   double PullExactLocked(Source* src, int64_t now);
+  /// Drains the table's dirty ids to the change sink; requires the shard
+  /// lock held exclusively. No-op without a sink.
+  void PublishChangesLocked(int64_t now);
 
   const int index_;
   RuntimeCounters* const counters_;
@@ -195,6 +218,8 @@ class Shard {
   std::unordered_map<int, size_t> by_id_;
   ProtocolTable table_;
   int64_t rejected_updates_ = 0;
+  IntervalChangeSink* sink_ = nullptr;
+  std::vector<int> dirty_scratch_;  // reused under the exclusive lock
 };
 
 }  // namespace apc

@@ -11,7 +11,8 @@ using runtime_internal::MixId;
 ShardedEngine::ShardedEngine(const EngineConfig& config,
                              std::vector<std::unique_ptr<Source>> sources)
     : config_(config),
-      bus_(config.bus_capacity < 1 ? 1 : config.bus_capacity) {
+      bus_(config.bus_capacity < 1 ? 1 : config.bus_capacity),
+      subscriptions_(this, config.subscription_hub_capacity) {
   assert(config.IsValid());
   // Release builds clamp rather than crash (no-exceptions contract): at
   // least one shard, and no more shards than cache capacity so every
@@ -53,9 +54,17 @@ ShardedEngine::ShardedEngine(const EngineConfig& config,
       counters_.rejected_sources.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // Wire the write path into the subscription layer: every shard hands the
+  // ids whose cached interval changed to the manager (enqueue-only, under
+  // the shard lock), and the manager's notifier does the rest.
+  for (auto& shard : shards_) shard->SetChangeSink(&subscriptions_);
 }
 
-ShardedEngine::~ShardedEngine() { StopUpdatePump(); }
+ShardedEngine::~ShardedEngine() {
+  StopUpdatePump();
+  // Join the notifier before members die; shards stay alive until after.
+  subscriptions_.Shutdown();
+}
 
 int ShardedEngine::ShardOf(int id) const {
   return static_cast<int>(MixId(static_cast<uint64_t>(id)) %
@@ -268,6 +277,33 @@ std::vector<size_t> ShardedEngine::ShardSourceCounts() const {
   counts.reserve(shards_.size());
   for (const auto& shard : shards_) counts.push_back(shard->num_sources());
   return counts;
+}
+
+double ShardedEngine::ExactValue(int id) const {
+  return shards_[static_cast<size_t>(ShardOf(id))]->SourceValue(id);
+}
+
+Interval ShardedEngine::SubscriptionSnapshot(int id, int64_t now) const {
+  const Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+  if (!shard.Owns(id)) return Interval::Unbounded();
+  return shard.VisibleInterval(id, now);
+}
+
+Interval ShardedEngine::SubscriptionPull(int id, int64_t now) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+  // One query-initiated refresh (Cqr) that re-offers the fresh interval;
+  // the post-refresh GUARANTEED interval is the subscription answer
+  // material — never the bare exact value, which would go stale silently.
+  shard.PullExact(id, now);
+  return shard.VisibleInterval(id, now);
+}
+
+bool ShardedEngine::SubscriptionOwns(int id) const {
+  return shards_[static_cast<size_t>(ShardOf(id))]->Owns(id);
+}
+
+void ShardedEngine::SubscriptionActivate() {
+  for (auto& shard : shards_) shard->EnableChangeTracking();
 }
 
 }  // namespace apc

@@ -11,6 +11,7 @@
 #include "query/aggregate.h"
 #include "runtime/shard.h"
 #include "runtime/update_bus.h"
+#include "subscribe/subscription_manager.h"
 
 namespace apc {
 
@@ -28,6 +29,9 @@ struct EngineConfig {
   /// per-entry seqlock validation by default; kShared and kExclusive are
   /// the bench baselines the seqlock path is measured against.
   ReadLockMode read_lock_mode = ReadLockMode::kSeqlock;
+  /// Capacity of the subscription NotificationHub (backpressure bound for
+  /// the notifier; must be positive).
+  size_t subscription_hub_capacity = 1024;
 
   /// Full validation, checked at engine construction so a bad
   /// configuration is rejected up front instead of failing later
@@ -37,7 +41,8 @@ struct EngineConfig {
   bool IsValid() const {
     return num_shards > 0 &&
            static_cast<size_t>(num_shards) <= system.cache_capacity &&
-           bus_capacity > 0 && system.costs.IsValid() &&
+           bus_capacity > 0 && subscription_hub_capacity > 0 &&
+           system.costs.IsValid() &&
            system.push_loss_probability >= 0.0 &&
            system.push_loss_probability <= 1.0;
   }
@@ -87,7 +92,14 @@ struct EngineCosts {
 /// engine driven this way reproduces CacheSystem costs exactly) or
 /// asynchronously through the UpdateBus, drained by the pump thread started
 /// with StartUpdatePump().
-class ShardedEngine {
+///
+/// Standing queries: Subscribe registers a precision-bounded continuous
+/// query (point read or aggregate) whose fresh answers are pushed through
+/// notifications() whenever the guaranteed interval moves or widens past
+/// the subscription's bound — the write path feeds the subscription layer
+/// through the protocol core's change-detection hook, so one refresh is
+/// amortized across every subscriber of a value (src/subscribe/).
+class ShardedEngine : private SubscriptionHost {
  public:
   /// Takes ownership of `sources`; each is routed to its shard by id hash.
   /// `config` must satisfy EngineConfig::IsValid() — asserted in debug
@@ -124,6 +136,33 @@ class ShardedEngine {
   /// value only when the cached interval is wider than `max_width`.
   Interval PointRead(int id, double max_width, int64_t now);
 
+  // -- standing queries (the subscription subsystem) -------------------
+
+  /// Registers a standing precision-bounded query with bound `delta`; the
+  /// initial answer is queued immediately at epoch 1. Returns the positive
+  /// sub_id, or -1 when the query is empty, the bound invalid, or any id
+  /// unowned. Thread-safe.
+  int64_t Subscribe(const Query& query, double delta, int64_t now) {
+    return subscriptions_.Subscribe(query, delta, now);
+  }
+  /// Drops a standing query. Returns false when unknown. Thread-safe.
+  bool Unsubscribe(int64_t sub_id) {
+    return subscriptions_.Unsubscribe(sub_id);
+  }
+  /// Live re-precisioning of a standing query (no re-registration): a
+  /// tightened bound re-evaluates immediately and pushes once it is met.
+  bool Reprecision(int64_t sub_id, double delta, int64_t now) {
+    return subscriptions_.Reprecision(sub_id, delta, now);
+  }
+  /// The hub subscriber threads drain.
+  NotificationHub& notifications() { return subscriptions_.hub(); }
+  SubscriptionManager& subscriptions() { return subscriptions_; }
+  const SubscriptionManager& subscriptions() const { return subscriptions_; }
+
+  /// Current exact value of `id` (NaN when unowned) — checker/test
+  /// observability, charge-free.
+  double ExactValue(int id) const;
+
   // -- asynchronous update path --------------------------------------
   UpdateBus& bus() { return bus_; }
 
@@ -152,6 +191,12 @@ class ShardedEngine {
  private:
   void PumpLoop();
 
+  // SubscriptionHost: the engine surface the subscription manager drives.
+  Interval SubscriptionSnapshot(int id, int64_t now) const override;
+  Interval SubscriptionPull(int id, int64_t now) override;
+  bool SubscriptionOwns(int id) const override;
+  void SubscriptionActivate() override;
+
   EngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t num_sources_ = 0;
@@ -160,6 +205,9 @@ class ShardedEngine {
   std::mutex pump_mu_;  // serializes Start/StopUpdatePump
   std::thread pump_;
   bool pump_running_ = false;
+  /// Declared last: destroyed first, so the notifier thread is joined
+  /// while the shards it reads through are still alive.
+  SubscriptionManager subscriptions_;
 };
 
 }  // namespace apc

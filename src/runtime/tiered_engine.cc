@@ -23,6 +23,9 @@ TieredConfig Sanitize(TieredConfig config) {
   if (config.num_edges < 1) config.num_edges = 1;
   if (config.num_shards < 1) config.num_shards = 1;
   if (config.bus_capacity < 1) config.bus_capacity = 1;
+  if (config.subscription_hub_capacity < 1) {
+    config.subscription_hub_capacity = 1;
+  }
   if (!config.wan.IsValid()) config.wan = TieredConfig{}.wan;
   if (!config.lan.IsValid()) config.lan = TieredConfig{}.lan;
   config.wan_push_loss = std::clamp(config.wan_push_loss, 0.0, 1.0);
@@ -40,6 +43,7 @@ TieredConfig Sanitize(TieredConfig config) {
 
 bool TieredConfig::IsValid() const {
   return num_edges > 0 && num_shards > 0 && bus_capacity > 0 &&
+         subscription_hub_capacity > 0 &&
          wan.IsValid() && lan.IsValid() && wan_push_loss >= 0.0 &&
          wan_push_loss <= 1.0 && lan_push_loss >= 0.0 &&
          lan_push_loss <= 1.0 &&
@@ -50,7 +54,8 @@ bool TieredConfig::IsValid() const {
 TieredEngine::TieredEngine(const TieredConfig& config,
                            std::vector<std::unique_ptr<UpdateStream>> streams)
     : config_(Sanitize(config)),
-      bus_(config_.bus_capacity) {
+      bus_(config_.bus_capacity),
+      subscriptions_(this, config_.subscription_hub_capacity) {
   assert(config.IsValid());
   const int n = static_cast<int>(streams.size());
   // Every shard must own at least one id, or its χ slice would be dead
@@ -148,7 +153,29 @@ TieredEngine::TieredEngine(const TieredConfig& config,
   }
 }
 
-TieredEngine::~TieredEngine() { StopUpdatePump(); }
+TieredEngine::~TieredEngine() {
+  StopUpdatePump();
+  // Join the notifier before members die; the tiers stay alive until after.
+  subscriptions_.Shutdown();
+}
+
+void TieredEngine::SubscriptionActivate() {
+  // Subscriptions attach at the regional tier: its tables feed the
+  // change-detection hook (edge tables stay untracked). Enabled lazily on
+  // the first Subscribe so subscription-free engines pay nothing.
+  for (auto& rs : regional_) {
+    std::lock_guard<std::shared_mutex> lock(rs->mu);
+    rs->table.EnableChangeTracking();
+  }
+}
+
+void TieredEngine::PublishRegionalChangesLocked(RegionalShard& rs,
+                                                int64_t now) {
+  if (!rs.table.has_dirty_ids()) return;
+  rs.dirty_scratch.clear();
+  rs.table.DrainDirtyIds(&rs.dirty_scratch);
+  subscriptions_.OnIntervalChanges(rs.dirty_scratch, now);
+}
 
 int TieredEngine::ShardOf(int id) const {
   return static_cast<int>(MixId(static_cast<uint64_t>(id)) %
@@ -176,6 +203,7 @@ void TieredEngine::PopulateInitial(int64_t now) {
     for (auto& src : rs.sources) {
       rs.table.OfferInitial(src->id(), src->cell(), src->value(), now);
     }
+    PublishRegionalChangesLocked(rs, now);
     for (auto& edge : edges_) {
       EdgeShard& es = *edge[s];
       std::lock_guard<std::shared_mutex> elock(es.mu);
@@ -248,6 +276,7 @@ void TieredEngine::TickAll(int64_t now) {
     for (auto& src : rs.sources) {
       TickSourceLocked(static_cast<int>(s), src.get(), now);
     }
+    PublishRegionalChangesLocked(rs, now);
   }
 }
 
@@ -261,13 +290,18 @@ void TieredEngine::TickSource(int id, int64_t now) {
     return;
   }
   TickSourceLocked(s, rs.sources[it->second].get(), now);
+  PublishRegionalChangesLocked(rs, now);
 }
 
 void TieredEngine::ApplyShardTicks(
     int shard, const std::vector<std::pair<int, int64_t>>& updates) {
   RegionalShard& rs = *regional_[static_cast<size_t>(shard)];
   std::lock_guard<std::shared_mutex> lock(rs.mu);
+  // Batch maximum, not the last element (see Shard::TickSources): the bus
+  // batch need not be time-ordered.
+  int64_t last_now = 0;
   for (const auto& [id, now] : updates) {
+    last_now = std::max(last_now, now);
     auto it = rs.by_id.find(id);
     if (it == rs.by_id.end()) {
       counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
@@ -275,6 +309,7 @@ void TieredEngine::ApplyShardTicks(
     }
     TickSourceLocked(shard, rs.sources[it->second].get(), now);
   }
+  PublishRegionalChangesLocked(rs, last_now);
 }
 
 Interval TieredEngine::Read(int edge, int id, double constraint,
@@ -354,9 +389,31 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
     // already paid for (HierarchicalSystem's skip_edge rule).
     FanOutLocked(s, id, regional, now, /*skip_edge=*/edge);
     answer = Interval::Exact(src->value());
+    PublishRegionalChangesLocked(rs, now);
   }
   InstallDerived(es, id, regional, RefreshType::kQueryInitiated, now);
   return answer;
+}
+
+Interval TieredEngine::SubscriptionSnapshot(int id, int64_t now) const {
+  return regional_interval(id, now);
+}
+
+Interval TieredEngine::SubscriptionPull(int id, int64_t now) {
+  if (!Owns(id)) return Interval::Unbounded();
+  const int s = ShardOf(id);
+  RegionalShard& rs = *regional_[static_cast<size_t>(s)];
+  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  // One WAN Cqr recenters the regional interval; the fan-out ships the
+  // news to every edge that fell out of containment — a subscription
+  // escalation is charged exactly like an escalated read's source pull.
+  Source* src = rs.sources[rs.by_id.at(id)].get();
+  rs.table.Pull(src->id(), src->cell(), src->value(), now);
+  counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);
+  Interval regional = src->cell().last_shipped().AtTime(now);
+  FanOutLocked(s, id, regional, now, /*skip_edge=*/-1);
+  PublishRegionalChangesLocked(rs, now);
+  return rs.table.VisibleInterval(id, now);
 }
 
 bool TieredEngine::StartUpdatePump() {

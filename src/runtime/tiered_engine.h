@@ -18,6 +18,7 @@
 #include "runtime/shard.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/update_bus.h"
+#include "subscribe/subscription_manager.h"
 
 namespace apc {
 
@@ -59,6 +60,8 @@ struct TieredConfig {
   ReadLockMode read_lock_mode = ReadLockMode::kSeqlock;
   /// Capacity of the update bus (backpressure bound; must be positive).
   size_t bus_capacity = 1024;
+  /// Capacity of the subscription NotificationHub (must be positive).
+  size_t subscription_hub_capacity = 1024;
   uint64_t seed = 0;
 
   bool IsValid() const;
@@ -127,7 +130,14 @@ struct TieredCounters {
 /// RNG streams are per-entity, so even the shard partition does not
 /// perturb them). The 1-edge/1-shard case is the pinned acceptance bar;
 /// tests/tiered_engine_test.cc enforces both.
-class TieredEngine {
+///
+/// Standing queries: subscriptions attach at the REGIONAL tier — the push
+/// gateway of the topology. A subscription answer is built from regional
+/// guaranteed intervals; an escalation costs one WAN Cqr (the
+/// query-initiated regional refresh) and fans the recentered interval out
+/// to the edges, exactly like a source pull on the read path, so the
+/// subscription layer pays per-hop costs identical to an escalated read.
+class TieredEngine : private SubscriptionHost {
  public:
   /// `streams[i]` drives source id i. Null streams are rejected and
   /// counted in TieredCounters::rejected_sources. `config` must satisfy
@@ -166,6 +176,27 @@ class TieredEngine {
   /// charging per hop. An unknown edge or id yields the unbounded
   /// interval, charge-free, counted in rejected_reads. Thread-safe.
   Interval Read(int edge, int id, double constraint, int64_t now);
+
+  // -- standing queries (the subscription subsystem) -------------------
+
+  /// Registers a standing precision-bounded query over the regional tier;
+  /// the initial answer is queued immediately at epoch 1. Returns the
+  /// positive sub_id, or -1 when the query is empty, the bound invalid,
+  /// or any id unowned. Thread-safe.
+  int64_t Subscribe(const Query& query, double delta, int64_t now) {
+    return subscriptions_.Subscribe(query, delta, now);
+  }
+  /// Drops a standing query. Returns false when unknown. Thread-safe.
+  bool Unsubscribe(int64_t sub_id) {
+    return subscriptions_.Unsubscribe(sub_id);
+  }
+  /// Live re-precisioning of a standing query without re-registration.
+  bool Reprecision(int64_t sub_id, double delta, int64_t now) {
+    return subscriptions_.Reprecision(sub_id, delta, now);
+  }
+  NotificationHub& notifications() { return subscriptions_.hub(); }
+  SubscriptionManager& subscriptions() { return subscriptions_; }
+  const SubscriptionManager& subscriptions() const { return subscriptions_; }
 
   // -- asynchronous update path --------------------------------------
   UpdateBus& bus() { return bus_; }
@@ -215,6 +246,7 @@ class TieredEngine {
     std::vector<std::unique_ptr<Source>> sources;
     std::unordered_map<int, size_t> by_id;  // immutable after construction
     ProtocolTable table;
+    std::vector<int> dirty_scratch;  // reused under the exclusive lock
   };
 
   /// One partition of one edge tier: the derived cells (per-value raw
@@ -260,6 +292,16 @@ class TieredEngine {
                        const std::vector<std::pair<int, int64_t>>& updates);
   void PumpLoop();
 
+  // SubscriptionHost: the regional tier is the subscription surface.
+  Interval SubscriptionSnapshot(int id, int64_t now) const override;
+  Interval SubscriptionPull(int id, int64_t now) override;
+  bool SubscriptionOwns(int id) const override { return Owns(id); }
+  void SubscriptionActivate() override;
+
+  /// Hands the regional table's dirty ids to the subscription manager
+  /// (enqueue-only). Requires the regional shard lock held exclusively.
+  void PublishRegionalChangesLocked(RegionalShard& rs, int64_t now);
+
   TieredConfig config_;
   std::vector<std::unique_ptr<RegionalShard>> regional_;
   /// edges_[edge][shard]; edge shard s owns exactly the ids of regional
@@ -271,6 +313,9 @@ class TieredEngine {
   std::mutex pump_mu_;  // serializes Start/StopUpdatePump
   std::thread pump_;
   bool pump_running_ = false;
+  /// Declared last: destroyed first, so the notifier thread is joined
+  /// while the tiers it reads through are still alive.
+  SubscriptionManager subscriptions_;
 };
 
 }  // namespace apc

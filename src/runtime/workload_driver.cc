@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace apc {
 
@@ -358,6 +360,317 @@ TieredDriverReport RunTieredWorkload(TieredEngine& engine,
   report.lost_lan_pushes = engine.lost_lan_pushes();
   report.wan = engine.WanCosts();
   report.lan = engine.LanCosts();
+  return report;
+}
+
+namespace {
+
+/// One standing-query specification of the subscription workload.
+struct SubSpec {
+  Query query;
+  double delta = 0.0;
+};
+
+/// Draws the `index`-th standing query: a point subscription with
+/// probability `point_fraction`, otherwise a group_size-id aggregate
+/// rotating through SUM/MAX/MIN/AVG. Deterministic given the generators.
+SubSpec DrawSubSpec(int index, const SubscriptionWorkloadConfig& config,
+                    Rng& rng, ConstraintGenerator& deltas) {
+  SubSpec spec;
+  spec.delta = deltas.Next();
+  spec.query.constraint = spec.delta;
+  if (rng.Bernoulli(config.point_fraction)) {
+    spec.query.kind = AggregateKind::kSum;  // a 1-id SUM is a point read
+    spec.query.source_ids = {static_cast<int>(
+        rng.UniformInt(0, config.num_sources - 1))};
+    return spec;
+  }
+  constexpr AggregateKind kKinds[] = {AggregateKind::kSum,
+                                      AggregateKind::kMax,
+                                      AggregateKind::kMin,
+                                      AggregateKind::kAvg};
+  spec.query.kind = kKinds[index % 4];
+  std::unordered_set<int> chosen;
+  while (static_cast<int>(chosen.size()) < config.group_size) {
+    chosen.insert(static_cast<int>(rng.UniformInt(0, config.num_sources - 1)));
+  }
+  spec.query.source_ids.assign(chosen.begin(), chosen.end());
+  std::sort(spec.query.source_ids.begin(), spec.query.source_ids.end());
+  return spec;
+}
+
+/// Counter snapshot used to confine the report to the measured period.
+struct SubCounterSnapshot {
+  int64_t notifications = 0;
+  int64_t escalations = 0;
+  int64_t evaluations = 0;
+  int64_t suppressed = 0;
+};
+
+SubCounterSnapshot SnapshotSubCounters(const SubscriptionManager& subs) {
+  const SubscriptionCounters& c = subs.counters();
+  SubCounterSnapshot snap;
+  snap.notifications = c.notifications.load(std::memory_order_relaxed);
+  snap.escalations = c.escalations.load(std::memory_order_relaxed);
+  snap.evaluations = c.evaluations.load(std::memory_order_relaxed);
+  snap.suppressed = c.suppressed.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace
+
+SubscriptionDriverReport RunSubscriptionWorkload(
+    const SubscriptionWorkloadConfig& config) {
+  if (!config.IsValid()) return SubscriptionDriverReport{};
+
+  ShardedEngine engine(
+      config.engine,
+      BuildRandomWalkSources(config.num_sources, config.walk, config.policy,
+                             config.seed));
+  engine.PopulateInitial(0);
+
+  // Register the standing-query population; the registration answers
+  // (epoch 1) are queued — and their escalations charged — before
+  // measurement begins, the usual warm-up discipline.
+  Rng spec_rng(config.seed ^ 0x5ABB0ULL);
+  ConstraintGenerator delta_gen(config.deltas, config.seed ^ 0xDE17A);
+  std::vector<SubSpec> specs;
+  std::vector<int64_t> sub_ids;
+  specs.reserve(static_cast<size_t>(config.num_subscribers));
+  for (int i = 0; i < config.num_subscribers; ++i) {
+    specs.push_back(DrawSubSpec(i, config, spec_rng, delta_gen));
+    sub_ids.push_back(
+        engine.Subscribe(specs.back().query, specs.back().delta, 0));
+  }
+  // The point subscriptions the concurrent checker probes: (sub_id,
+  // source_id) value pairs, so the checker thread shares nothing mutable.
+  std::vector<std::pair<int64_t, int>> probes;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].query.source_ids.size() == 1 && sub_ids[i] > 0) {
+      probes.push_back({sub_ids[i], specs[i].query.source_ids.front()});
+    }
+  }
+
+  SubCounterSnapshot warmup = SnapshotSubCounters(engine.subscriptions());
+  engine.BeginMeasurement(0);
+
+  std::atomic<int64_t> clock{0};
+  std::atomic<bool> stop_control{false};
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> order_regressions{0};
+  std::atomic<int64_t> checker_probes{0};
+  std::atomic<int64_t> missed_violations{0};
+  std::atomic<int64_t> churn_done{0};
+  std::atomic<int64_t> reprecision_done{0};
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  // Subscriber threads drain the hub for the whole run; they exit when the
+  // hub closes at shutdown. Delivery lag histograms are per-thread and
+  // merged at the end; registration answers (epoch 1) are not change
+  // deliveries and stay out of the lag statistics.
+  const size_t num_consumers = static_cast<size_t>(config.subscriber_threads);
+  std::vector<Histogram> lag(num_consumers, Histogram(0.0, 4096.0, 256));
+  std::vector<SummaryStats> lag_stats(num_consumers);
+  std::vector<std::thread> consumers;
+  for (size_t ci = 0; ci < num_consumers; ++ci) {
+    consumers.emplace_back([&, ci] {
+      std::vector<Notification> batch;
+      // Per-subscription epoch ordering is only observable with a single
+      // consumer (two consumers race on processing order by design).
+      std::unordered_map<int64_t, int64_t> last_epoch;
+      while (engine.notifications().PopBatch(&batch, 64) > 0) {
+        delivered.fetch_add(static_cast<int64_t>(batch.size()),
+                            std::memory_order_relaxed);
+        for (const Notification& record : batch) {
+          if (num_consumers == 1) {
+            int64_t& prev = last_epoch[record.sub_id];
+            if (record.epoch <= prev) {
+              order_regressions.fetch_add(1, std::memory_order_relaxed);
+            }
+            prev = record.epoch;
+          }
+          if (record.epoch > 1) {
+            double ticks_late = static_cast<double>(
+                clock.load(std::memory_order_relaxed) - record.now);
+            if (ticks_late < 0.0) ticks_late = 0.0;
+            lag[ci].Add(ticks_late);
+            lag_stats[ci].Add(ticks_late);
+          }
+        }
+      }
+    });
+  }
+
+  // The updater streams exactly `ticks` tick-all events, then stops; the
+  // pump applies them, each application publishing its interval changes to
+  // the subscription layer.
+  bool updates_running = engine.StartUpdatePump();
+  std::thread updater([&] {
+    if (!updates_running) return;
+    int64_t pushed = 0;
+    while (pushed < config.ticks) {
+      int burst = static_cast<int>(
+          std::min<int64_t>(config.update_burst, config.ticks - pushed));
+      if (!PushTickBurst(engine.bus(), clock, burst)) return;
+      pushed += burst;
+      std::this_thread::yield();
+    }
+  });
+
+  // Control thread: churn (unsubscribe + fresh registration) and live
+  // Reprecision, interleaved, until the quotas are spent or the run ends.
+  std::thread control;
+  if (config.churn_ops > 0 || config.reprecision_ops > 0) {
+    control = std::thread([&] {
+      Rng churn_rng(config.seed ^ 0xC0117);
+      ConstraintGenerator churn_deltas(config.deltas, config.seed ^ 0x11F2);
+      std::vector<int64_t> live = sub_ids;
+      int spec_index = config.num_subscribers;
+      while (!stop_control.load(std::memory_order_relaxed)) {
+        bool more = false;
+        if (churn_done.load(std::memory_order_relaxed) < config.churn_ops) {
+          size_t i = static_cast<size_t>(
+              churn_rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+          engine.Unsubscribe(live[i]);
+          SubSpec spec =
+              DrawSubSpec(spec_index++, config, churn_rng, churn_deltas);
+          live[i] = engine.Subscribe(
+              spec.query, spec.delta, clock.load(std::memory_order_relaxed));
+          churn_done.fetch_add(1, std::memory_order_relaxed);
+          more = true;
+        }
+        if (reprecision_done.load(std::memory_order_relaxed) <
+            config.reprecision_ops) {
+          size_t i = static_cast<size_t>(
+              churn_rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+          engine.Reprecision(live[i], churn_deltas.Next(),
+                             clock.load(std::memory_order_relaxed));
+          reprecision_done.fetch_add(1, std::memory_order_relaxed);
+          more = true;
+        }
+        if (!more) break;  // both quotas spent
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // The concurrent no-missed-violation checker. A probe is judged only
+  // when no change is in flight before AND after reading the true value,
+  // and the latest-queued epoch did not move — any interleaving that could
+  // explain a mismatch benignly is skipped, so a counted violation is a
+  // real missed notification.
+  std::thread checker;
+  if (config.run_violation_checker && !probes.empty()) {
+    checker = std::thread([&] {
+      Rng probe_rng(config.seed ^ 0xCCCC7);
+      const SubscriptionManager& subs = engine.subscriptions();
+      while (!stop_control.load(std::memory_order_relaxed)) {
+        const auto& [sid, source_id] = probes[static_cast<size_t>(
+            probe_rng.UniformInt(0, static_cast<int64_t>(probes.size()) - 1))];
+        Interval answer;
+        int64_t epoch = 0;
+        if (!subs.LatestAnswer(sid, &answer, &epoch)) continue;
+        if (subs.in_flight() != 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        double truth = engine.ExactValue(source_id);
+        Interval answer_after;
+        int64_t epoch_after = 0;
+        if (!subs.LatestAnswer(sid, &answer_after, &epoch_after) ||
+            epoch_after != epoch || subs.in_flight() != 0) {
+          continue;
+        }
+        checker_probes.fetch_add(1, std::memory_order_relaxed);
+        if (!answer.Contains(truth)) {
+          missed_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  updater.join();
+  if (updates_running) engine.StopUpdatePump();  // drains the backlog
+  engine.subscriptions().WaitQuiescent();  // every change fully evaluated
+  stop_control.store(true, std::memory_order_relaxed);
+  if (control.joinable()) control.join();
+  if (checker.joinable()) checker.join();
+
+  int64_t final_tick = clock.load(std::memory_order_relaxed);
+  engine.EndMeasurement(final_tick);
+  auto wall_end = std::chrono::steady_clock::now();
+  SubCounterSnapshot measured = SnapshotSubCounters(engine.subscriptions());
+
+  // Close the hub so subscriber threads drain the tail and exit.
+  engine.subscriptions().Shutdown();
+  for (auto& consumer : consumers) consumer.join();
+
+  SubscriptionDriverReport report;
+  report.subscriptions = config.num_subscribers;
+  report.notifications = measured.notifications - warmup.notifications;
+  report.delivered = delivered.load(std::memory_order_relaxed);
+  report.escalations = measured.escalations - warmup.escalations;
+  report.evaluations = measured.evaluations - warmup.evaluations;
+  report.suppressed = measured.suppressed - warmup.suppressed;
+  report.churn_ops = churn_done.load(std::memory_order_relaxed);
+  report.reprecision_ops = reprecision_done.load(std::memory_order_relaxed);
+  report.checker_probes = checker_probes.load(std::memory_order_relaxed);
+  report.missed_violations = missed_violations.load(std::memory_order_relaxed);
+  report.order_regressions = order_regressions.load(std::memory_order_relaxed);
+  report.ticks = final_tick;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.notifications_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.notifications) / report.wall_seconds
+          : 0.0;
+  Histogram merged_lag(0.0, 4096.0, 256);
+  SummaryStats merged_stats;
+  for (size_t ci = 0; ci < num_consumers; ++ci) {
+    merged_lag.Merge(lag[ci]);
+    merged_stats.Merge(lag_stats[ci]);
+  }
+  report.delivery_lag_ticks_mean = merged_stats.mean();
+  report.delivery_lag_ticks_p99 = merged_lag.Quantile(0.99);
+  report.costs = engine.TotalCosts();
+  const RefreshCosts& link = config.engine.system.costs;
+  report.client_push_cost =
+      static_cast<double>(report.notifications) * link.cvr;
+  report.subscription_total_cost =
+      report.costs.total_cost + report.client_push_cost;
+
+  // The measured polling equivalent: the registration-time standing set,
+  // polled once per subscription per tick in lockstep against a
+  // seed-identical fresh engine (identical walks, identical policies). One
+  // warm-up poll round mirrors the Subscribe-time evaluations, then the
+  // measured period covers the same `ticks` updates the subscription run
+  // streamed. Churn/Reprecision are not replayed: the baseline is the
+  // polling cost of the standing set as registered.
+  if (config.run_polling_equivalent) {
+    ShardedEngine poll_engine(
+        config.engine,
+        BuildRandomWalkSources(config.num_sources, config.walk,
+                               config.policy, config.seed));
+    poll_engine.PopulateInitial(0);
+    for (const SubSpec& spec : specs) {
+      poll_engine.ExecuteQuery(spec.query, 0);
+    }
+    poll_engine.BeginMeasurement(0);
+    for (int64_t t = 1; t <= config.ticks; ++t) {
+      poll_engine.TickAll(t);
+      for (const SubSpec& spec : specs) {
+        poll_engine.ExecuteQuery(spec.query, t);
+        ++report.polls;
+      }
+    }
+    poll_engine.EndMeasurement(config.ticks);
+    report.polling_costs = poll_engine.TotalCosts();
+    report.polling_client_cost =
+        static_cast<double>(report.polls) * link.cqr;
+    report.polling_equivalent_cost =
+        report.polling_costs.total_cost + report.polling_client_cost;
+  }
   return report;
 }
 

@@ -179,6 +179,104 @@ struct TieredDriverReport {
   double TotalCostRate() const { return wan.CostRate() + lan.CostRate(); }
 };
 
+/// Configuration of the subscription workload: a population of standing
+/// precision-bounded queries (subscriber count × churn × δ_sub
+/// distribution) registered against a ShardedEngine the driver builds in
+/// place, with subscriber threads draining the NotificationHub while the
+/// updater streams ticks through the UpdateBus — the push-side mirror of
+/// the polling workloads above.
+struct SubscriptionWorkloadConfig {
+  /// Engine shape; `system.cache_capacity` etc. apply as usual. The driver
+  /// builds the engine itself (it must also build the seed-identical twin
+  /// for the polling-equivalent replay).
+  EngineConfig engine;
+  int num_sources = 64;
+  RandomWalkParams walk;
+  AdaptivePolicyParams policy;
+  /// Standing queries registered before measurement begins.
+  int num_subscribers = 64;
+  /// Threads draining the hub (the "clients").
+  int subscriber_threads = 2;
+  /// Fraction of single-source subscriptions; the rest are group_size-id
+  /// aggregates rotating through SUM/MAX/MIN/AVG.
+  double point_fraction = 1.0;
+  int group_size = 8;
+  /// Distribution of per-subscription bounds δ_sub.
+  ConstraintParams deltas{20.0, 1.0};
+  /// Update ticks streamed through the bus during measurement.
+  int64_t ticks = 2000;
+  int update_burst = 8;
+  /// Subscription churn: unsubscribe-a-random-standing-query-and-register-
+  /// a-fresh-one operations performed by a control thread during the run.
+  int churn_ops = 0;
+  /// Live Reprecision operations (random subscription, fresh δ_sub draw)
+  /// interleaved with the churn.
+  int reprecision_ops = 0;
+  /// Runs the lockstep polling-equivalent replay and fills the polling_*
+  /// report fields — the savings claim is computed here, in one place.
+  bool run_polling_equivalent = true;
+  /// Runs the concurrent no-missed-violation checker during the run.
+  bool run_violation_checker = true;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return engine.IsValid() && num_sources > 0 && num_subscribers > 0 &&
+           subscriber_threads > 0 && point_fraction >= 0.0 &&
+           point_fraction <= 1.0 && group_size > 0 &&
+           group_size <= num_sources && deltas.IsValid() && ticks > 0 &&
+           update_burst > 0 && churn_ops >= 0 && reprecision_ops >= 0;
+  }
+};
+
+/// Outcome of a subscription driver run. The polling_* fields hold the
+/// measured polling-equivalent workload (same standing set, one poll per
+/// subscription per tick against a seed-identical fresh engine), so every
+/// bench's savings claim divides numbers computed by this one function.
+/// Client-link charging uses the engine's own cost model: one Cvr per
+/// pushed notification, one Cqr per poll round trip.
+struct SubscriptionDriverReport {
+  int64_t subscriptions = 0;
+  /// Notifications queued during measurement (registration answers are
+  /// pre-measurement and excluded).
+  int64_t notifications = 0;
+  /// Notifications actually drained by subscriber threads (whole run).
+  int64_t delivered = 0;
+  int64_t escalations = 0;
+  int64_t evaluations = 0;
+  int64_t suppressed = 0;
+  int64_t churn_ops = 0;
+  int64_t reprecision_ops = 0;
+  /// Concurrent no-missed-violation probes and failures (must be 0): a
+  /// probe fails when a subscriber-held answer no longer contains the true
+  /// value and no fresher notification is queued or in flight.
+  int64_t checker_probes = 0;
+  int64_t missed_violations = 0;
+  /// Per-subscription epoch regressions observed at drain time (only
+  /// checkable — and guaranteed 0 — with one subscriber thread).
+  int64_t order_regressions = 0;
+  int64_t ticks = 0;
+  double wall_seconds = 0.0;
+  double notifications_per_second = 0.0;
+  /// Delivery lag in logical ticks (drain-time clock − answer compute
+  /// tick) over change-driven notifications.
+  double delivery_lag_ticks_mean = 0.0;
+  double delivery_lag_ticks_p99 = 0.0;
+  /// Engine-side Cvr/Cqr over the measured period (subscription run).
+  EngineCosts costs;
+  /// notifications × Cvr: the client-link push traffic.
+  double client_push_cost = 0.0;
+  /// costs.total_cost + client_push_cost.
+  double subscription_total_cost = 0.0;
+  // -- the measured polling equivalent (0 when disabled) ----------------
+  int64_t polls = 0;
+  EngineCosts polling_costs;
+  /// polls × Cqr: the client-link poll traffic.
+  double polling_client_cost = 0.0;
+  /// polling_costs.total_cost + polling_client_cost — the number the
+  /// subscription_total_cost savings claim is measured against.
+  double polling_equivalent_cost = 0.0;
+};
+
 /// Builds n random-walk sources with per-source forked policy/stream seeds
 /// — the standard source population for runtime benches and tests.
 std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
@@ -210,6 +308,14 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config);
 /// zero report without touching the engine.
 TieredDriverReport RunTieredWorkload(TieredEngine& engine,
                                      const TieredWorkloadConfig& config);
+
+/// Runs the subscription workload: builds the engine, registers the
+/// standing-query population, fans out subscriber/updater/churn/checker
+/// threads, joins everything, then (when enabled) replays the measured
+/// polling equivalent against a seed-identical fresh engine. An invalid
+/// config yields the zero report.
+SubscriptionDriverReport RunSubscriptionWorkload(
+    const SubscriptionWorkloadConfig& config);
 
 }  // namespace apc
 

@@ -1,0 +1,73 @@
+#include "subscribe/notification_hub.h"
+
+namespace apc {
+
+NotificationHub::NotificationHub(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool NotificationHub::Push(const Notification& record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(record);
+  ++total_pushed_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool NotificationHub::TryPush(const Notification& record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(record);
+    ++total_pushed_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+size_t NotificationHub::PopBatch(std::vector<Notification>* out,
+                                 size_t max_batch) {
+  out->clear();
+  if (max_batch == 0) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Multi-consumer: a woken consumer may find the queue already drained by
+  // a sibling and simply waits again — the predicate re-checks.
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  size_t n = queue_.size() < max_batch ? queue_.size() : max_batch;
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+  }
+  lock.unlock();
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+void NotificationHub::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool NotificationHub::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t NotificationHub::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int64_t NotificationHub::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+}  // namespace apc

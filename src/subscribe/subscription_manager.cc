@@ -1,0 +1,281 @@
+#include "subscribe/subscription_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apc {
+
+SubscriptionManager::SubscriptionManager(SubscriptionHost* host,
+                                         size_t hub_capacity)
+    : host_(host), hub_(hub_capacity) {
+  notifier_ = std::thread([this] { NotifierLoop(); });
+}
+
+SubscriptionManager::~SubscriptionManager() { Shutdown(); }
+
+int64_t SubscriptionManager::Subscribe(const Query& query, double delta,
+                                       int64_t now) {
+  if (query.source_ids.empty() || !(delta >= 0.0)) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  for (int id : query.source_ids) {
+    if (!host_->SubscriptionOwns(id)) {
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return -1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // First subscriber ever: have the engine enable dirty-id tracking (its
+  // tables were constructed with tracking off so subscription-free
+  // engines pay nothing). Changes predating this instant are irrelevant —
+  // the registration evaluation below snapshots fresh state.
+  if (!has_subs_.load(std::memory_order_relaxed)) {
+    host_->SubscriptionActivate();
+  }
+  int64_t sub_id = table_.Add(query, delta);
+  has_subs_.store(true, std::memory_order_release);
+  // The registration answer ships immediately at epoch 1, so a subscriber
+  // always holds an answer (and the lockstep harness has a fixed point to
+  // compare from).
+  EvaluateLocked(*table_.Find(sub_id), now);
+  return sub_id;
+}
+
+bool SubscriptionManager::Unsubscribe(int64_t sub_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.Remove(sub_id);
+}
+
+bool SubscriptionManager::Reprecision(int64_t sub_id, double delta,
+                                      int64_t now) {
+  if (!(delta >= 0.0)) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Subscription* sub = table_.Find(sub_id);
+  if (sub == nullptr) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool tightened = delta < sub->delta;
+  sub->delta = delta;
+  sub->query.constraint = delta;
+  // Loosening never notifies: the held answer satisfies the looser bound
+  // a fortiori. Tightening re-evaluates now — the "regained" shipping rule
+  // pushes a fresh answer once the tightened bound is met.
+  if (tightened) EvaluateLocked(*sub, now);
+  return true;
+}
+
+void SubscriptionManager::OnIntervalChanges(const std::vector<int>& ids,
+                                            int64_t now) {
+  // Hot-path early-out: a table nobody ever subscribed to costs one
+  // relaxed load per engine mutation batch.
+  if (!has_subs_.load(std::memory_order_acquire)) return;
+  bool added = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (stop_) return;
+    for (int id : ids) {
+      if (pending_set_.insert(id).second) {
+        pending_ids_.push_back(id);
+        // Release pairs with the checker's acquire: once an engine
+        // mutation is observable (its shard lock was released), its
+        // change is already counted in flight.
+        in_flight_.fetch_add(1, std::memory_order_release);
+        added = true;
+      }
+    }
+    if (now > pending_now_) pending_now_ = now;
+  }
+  if (added) pending_cv_.notify_one();
+}
+
+void SubscriptionManager::NotifierLoop() {
+  std::vector<int> batch;
+  while (true) {
+    int64_t now;
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock,
+                       [this] { return stop_ || !pending_ids_.empty(); });
+      if (pending_ids_.empty()) break;  // stopped and drained
+      batch.clear();
+      batch.swap(pending_ids_);
+      pending_set_.clear();
+      now = pending_now_;
+      notifier_busy_ = true;
+    }
+    ProcessBatch(batch, now);
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      notifier_busy_ = false;
+      in_flight_.fetch_sub(static_cast<int64_t>(batch.size()),
+                           std::memory_order_release);
+    }
+    quiescent_cv_.notify_all();
+  }
+  quiescent_cv_.notify_all();
+}
+
+void SubscriptionManager::ProcessBatch(const std::vector<int>& ids,
+                                       int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_.empty()) return;
+  // Affected subscriptions, deduplicated across the batch and evaluated in
+  // sub_id order — one evaluation per subscription per batch no matter how
+  // many of its sources changed, and a deterministic order for the
+  // lockstep harness.
+  std::vector<int64_t> affected;
+  for (int id : ids) table_.AppendSubsOf(id, &affected);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (int64_t sub_id : affected) {
+    Subscription* sub = table_.Find(sub_id);
+    if (sub != nullptr) EvaluateLocked(*sub, now);
+  }
+}
+
+Interval SubscriptionManager::Answer(AggregateKind kind,
+                                     const std::vector<QueryItem>& items) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return SumInterval(items);
+    case AggregateKind::kAvg:
+      return AvgInterval(items);
+    case AggregateKind::kMax:
+      return MaxInterval(items);
+    case AggregateKind::kMin:
+      return MinInterval(items);
+  }
+  return Interval(0.0, 0.0);
+}
+
+void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
+  counters_.evaluations.fetch_add(1, std::memory_order_relaxed);
+
+  // The answer is built from guaranteed intervals, so it stays valid
+  // passively until the next change event (see the class contract).
+  std::vector<QueryItem> items;
+  items.reserve(sub.query.source_ids.size());
+  for (int id : sub.query.source_ids) {
+    QueryItem item;
+    item.source_id = id;
+    item.interval = host_->SubscriptionSnapshot(id, now);
+    items.push_back(item);
+  }
+  Interval answer = Answer(sub.query.kind, items);
+
+  // Escalate while too wide: pick the item currently determining the
+  // width, refresh it once (globally at most once per value per tick —
+  // the shared-refresh cap), and recompute. The refreshed interval is
+  // re-offered to the cache, so every other subscriber of the value gets
+  // the narrower snapshot for free.
+  while (answer.Width() > sub.delta) {
+    int victim = -1;
+    double victim_key = 0.0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Interval& iv = items[i].interval;
+      if (iv.Width() <= 0.0) continue;  // already exact: nothing to gain
+      auto it = last_escalation_tick_.find(items[i].source_id);
+      if (it != last_escalation_tick_.end() && it->second == now) {
+        continue;  // per-value-per-tick escalation cap
+      }
+      double key;
+      switch (sub.query.kind) {
+        case AggregateKind::kMax:
+          key = iv.hi();  // the item holding the result's upper bound
+          break;
+        case AggregateKind::kMin:
+          key = -iv.lo();  // the item holding the result's lower bound
+          break;
+        default:
+          key = iv.Width();  // widest-first, the SUM/AVG covering rule
+          break;
+      }
+      if (victim < 0 || key > victim_key) {
+        victim = static_cast<int>(i);
+        victim_key = key;
+      }
+    }
+    if (victim < 0) break;  // every useful escalation already spent
+    int id = items[static_cast<size_t>(victim)].source_id;
+    last_escalation_tick_[id] = now;
+    counters_.escalations.fetch_add(1, std::memory_order_relaxed);
+    Interval fresh = host_->SubscriptionPull(id, now);
+    for (auto& item : items) {
+      if (item.source_id == id) item.interval = fresh;
+    }
+    answer = Answer(sub.query.kind, items);
+  }
+
+  // Shipping rule: push when the fresh answer escapes the shipped one
+  // (the held answer may no longer contain the truth), or when δ_sub is
+  // newly met again after a too-wide spell; the very first evaluation
+  // always ships. A contained answer is suppressed — the subscriber's
+  // held answer is still valid and already within its bound.
+  bool first = sub.epoch == 0;
+  bool moved = !sub.last_answer.Contains(answer);
+  bool regained =
+      sub.last_answer.Width() > sub.delta && answer.Width() <= sub.delta;
+  if (!first && !moved && !regained) {
+    counters_.suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++sub.epoch;
+  sub.last_answer = answer;
+  sub.last_now = now;
+  Notification record;
+  record.sub_id = sub.sub_id;
+  record.answer = answer;
+  record.epoch = sub.epoch;
+  record.now = now;
+  // Pushed under mu_, so hub order == epoch order per subscription. A full
+  // hub blocks here — backpressure onto the notifier and the APIs, the
+  // UpdateBus discipline. A closed hub (shutdown) drops the record.
+  if (hub_.Push(record)) {
+    counters_.notifications.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t SubscriptionManager::num_subscriptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+bool SubscriptionManager::LatestAnswer(int64_t sub_id, Interval* answer,
+                                       int64_t* epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Subscription* sub = table_.Find(sub_id);
+  if (sub == nullptr) return false;
+  *answer = sub->last_answer;
+  *epoch = sub->epoch;
+  return true;
+}
+
+void SubscriptionManager::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  quiescent_cv_.wait(
+      lock, [this] { return pending_ids_.empty() && !notifier_busy_; });
+}
+
+void SubscriptionManager::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Close the hub FIRST: a notifier blocked in Push on a full hub nobody
+  // drains must fail fast (the record is dropped — acceptable at
+  // shutdown) or the join below would wait forever.
+  hub_.Close();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  notifier_.join();  // evaluates pending changes before exiting
+}
+
+}  // namespace apc

@@ -1,0 +1,219 @@
+#ifndef APC_SUBSCRIBE_SUBSCRIPTION_MANAGER_H_
+#define APC_SUBSCRIBE_SUBSCRIPTION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "subscribe/change_sink.h"
+#include "subscribe/notification_hub.h"
+#include "subscribe/subscription_table.h"
+
+namespace apc {
+
+/// The engine surface the subscription manager drives — implemented by
+/// ShardedEngine (over its shards) and TieredEngine (over its regional
+/// tier), which is how both engines get subscriptions from one manager.
+class SubscriptionHost {
+ public:
+  virtual ~SubscriptionHost() = default;
+
+  /// Charge-free snapshot of the guaranteed (cached) interval of `id` at
+  /// `now` — the unbounded interval when not cached. Thread-safe.
+  virtual Interval SubscriptionSnapshot(int id, int64_t now) const = 0;
+
+  /// Escalation: performs one query-initiated refresh of `id` (charged per
+  /// the engine's semantics — Cqr on the sharded engine, a WAN Cqr plus
+  /// LAN fan-out on the tiered engine) and returns the POST-refresh
+  /// guaranteed interval. Thread-safe; never called with the manager's
+  /// host-side locks held.
+  virtual Interval SubscriptionPull(int id, int64_t now) = 0;
+
+  /// True when the engine hosts `id` (Subscribe-time validation).
+  virtual bool SubscriptionOwns(int id) const = 0;
+
+  /// Called once, on the first successful Subscribe, so the engine can
+  /// turn on the write path's dirty-id tracking lazily — an engine nobody
+  /// ever subscribes to pays nothing for the change-detection hook. Takes
+  /// the engine's shard locks; called with the manager mutex held (lock
+  /// order: manager mutex → shard locks, same as SubscriptionPull).
+  virtual void SubscriptionActivate() = 0;
+};
+
+/// Tallies observable without the manager's mutex.
+struct SubscriptionCounters {
+  /// Notifications queued into the hub (including registration answers).
+  std::atomic<int64_t> notifications{0};
+  /// Subscription re-evaluations triggered by interval changes or API
+  /// calls (each recomputes one standing query's answer from snapshots).
+  std::atomic<int64_t> evaluations{0};
+  /// Escalations: query-initiated refreshes the manager charged to narrow
+  /// a too-wide answer. Capped at one per value per tick — the shared-
+  /// refresh amortization bound.
+  std::atomic<int64_t> escalations{0};
+  /// Evaluations whose fresh answer was contained in the already-shipped
+  /// one: the subscriber's held answer is still valid, nothing is pushed.
+  std::atomic<int64_t> suppressed{0};
+  /// Subscribe/Reprecision requests rejected up front (unknown id, empty
+  /// query, invalid bound).
+  std::atomic<int64_t> rejected{0};
+};
+
+/// The continuous-query layer over the refresh protocol: standing
+/// precision-bounded queries evaluated push-style from the core's
+/// change-detection hook, with one NotificationHub fanning fresh answers
+/// out to subscriber threads.
+///
+/// Semantics. Every shipped answer is the aggregate of the GUARANTEED
+/// (cached) intervals of the subscription's sources — never a bare exact
+/// value — so an answer stays valid passively: as long as no interval
+/// change fires, the protocol's validity guarantee (value ∈ cached
+/// interval, under reliable delivery) keeps the true answer inside the
+/// shipped interval. A notification is queued exactly when the fresh
+/// answer escapes the shipped one (the subscriber's held answer may have
+/// gone stale) or when the subscription's bound δ_sub is newly met again
+/// (precision recovered after a too-wide spell). This is what makes the
+/// no-missed-violation guarantee hold: "a subscriber never holds an
+/// answer whose true value has exited the shipped interval without a
+/// queued notification" — qualified, like the protocol itself, by
+/// reliable delivery (push loss breaks validity upstream of this layer).
+///
+/// Shared-refresh amortization. A change is evaluated once per affected
+/// subscription, but refreshes are shared: one escalation (query-initiated
+/// refresh) re-offers a fresh interval that every subscriber of the value
+/// snapshots, and a per-value-per-tick cap guarantees remaining too-wide
+/// subscribers trigger at most ONE escalation per value per tick — the
+/// repeated δ_sub-driven escalations then shrink the value's width through
+/// the normal adaptive-policy feedback until pushes alone satisfy the
+/// tightest subscriber, exactly the workload-driven width adaptation the
+/// paper runs on, amortized across all subscribers instead of re-derived
+/// per polling client.
+///
+/// Threading. OnIntervalChanges (the IntervalChangeSink side) only
+/// enqueues — it is called under engine shard locks; a dedicated notifier
+/// thread drains the pending ids, re-evaluates affected subscriptions in
+/// sub_id order, and pushes notifications in per-subscription epoch order
+/// (all hub pushes happen under the manager mutex). A full hub therefore
+/// backpressures the notifier and the Subscribe/Reprecision APIs — the
+/// UpdateBus discipline on the push half. Lock order: manager mutex →
+/// engine shard locks; engines call the sink with shard locks held and the
+/// sink takes only the (leaf) pending-queue mutex.
+class SubscriptionManager : public IntervalChangeSink {
+ public:
+  /// `host` must outlive the manager. `hub_capacity` bounds the hub
+  /// (clamped to >= 1).
+  SubscriptionManager(SubscriptionHost* host, size_t hub_capacity);
+  ~SubscriptionManager() override;
+
+  SubscriptionManager(const SubscriptionManager&) = delete;
+  SubscriptionManager& operator=(const SubscriptionManager&) = delete;
+
+  // -- the standing-query API ------------------------------------------
+
+  /// Registers a standing query with bound `delta` (`query.constraint` is
+  /// ignored; `delta` is the subscription's bound). Evaluates it
+  /// immediately — escalating if the current answer is too wide — and
+  /// queues the initial answer at epoch 1. Returns the positive sub_id, or
+  /// -1 when the query is empty, `delta` is negative/NaN, or any source id
+  /// is not hosted by the engine (counted in counters().rejected).
+  int64_t Subscribe(const Query& query, double delta, int64_t now);
+
+  /// Drops the subscription. Returns false when unknown. Already-queued
+  /// notifications stay in the hub.
+  bool Unsubscribe(int64_t sub_id);
+
+  /// Live re-precisioning without re-registration: replaces the bound.
+  /// Tightening re-evaluates immediately (escalating if eligible under
+  /// the per-value-per-tick cap) and notifies when the tightened bound is
+  /// met by a fresh answer; if the cap was already spent this tick, the
+  /// bound is pursued on the subscription's next change-driven
+  /// evaluation — re-evaluation is change-driven throughout, so a source
+  /// whose interval never changes again leaves the held (still valid)
+  /// answer at its old width. Loosening never notifies (the held answer
+  /// satisfies the looser bound a fortiori). Returns false when the
+  /// sub_id is unknown or `delta` invalid.
+  bool Reprecision(int64_t sub_id, double delta, int64_t now);
+
+  // -- the engine-facing hook ------------------------------------------
+
+  /// IntervalChangeSink: enqueue-only, called under engine shard locks.
+  void OnIntervalChanges(const std::vector<int>& ids, int64_t now) override;
+
+  // -- delivery and observability --------------------------------------
+
+  NotificationHub& hub() { return hub_; }
+  const SubscriptionCounters& counters() const { return counters_; }
+  size_t num_subscriptions() const;
+
+  /// Changes enqueued or mid-evaluation. 0 means every change handed to
+  /// OnIntervalChanges has been fully evaluated (its notifications are in
+  /// the hub). The no-missed-violation checker gates on this.
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Latest QUEUED answer and epoch of `sub_id` (what the subscriber
+  /// holds, or will once it drains the hub). False when unknown.
+  bool LatestAnswer(int64_t sub_id, Interval* answer, int64_t* epoch) const;
+
+  /// Blocks until every pending change has been evaluated (in_flight()
+  /// transitions to 0). The lockstep determinism harness calls this after
+  /// each synchronous tick before draining the hub.
+  void WaitQuiescent();
+
+  /// Closes the hub (consumers drain the backlog, then PopBatch returns
+  /// 0; records evaluated from here on are dropped), then stops the
+  /// notifier after it evaluates the pending changes. Closing first keeps
+  /// shutdown non-blocking even when the hub is full and nobody drains.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  void NotifierLoop();
+  /// Drains `ids` into affected subscriptions and evaluates each.
+  void ProcessBatch(const std::vector<int>& ids, int64_t now);
+  /// Recomputes `sub`'s answer from guaranteed-interval snapshots,
+  /// escalating (at most once per value per tick, globally) while the
+  /// answer is too wide, and queues a notification per the shipping rule.
+  /// Requires mu_ held.
+  void EvaluateLocked(Subscription& sub, int64_t now);
+  /// The aggregate of `items` for `kind`.
+  static Interval Answer(AggregateKind kind,
+                         const std::vector<QueryItem>& items);
+
+  SubscriptionHost* const host_;
+  NotificationHub hub_;
+  SubscriptionCounters counters_;
+
+  mutable std::mutex mu_;  // subscriptions, epochs, escalation ledger
+  SubscriptionTable table_;
+  /// Last tick each value was escalated at — the per-value-per-tick cap.
+  std::unordered_map<int, int64_t> last_escalation_tick_;
+  /// True once any subscription was ever added; lets the hot sink path
+  /// skip enqueueing when nobody is listening.
+  std::atomic<bool> has_subs_{false};
+
+  std::mutex pending_mu_;  // leaf lock: the sink only ever takes this
+  std::condition_variable pending_cv_;
+  std::condition_variable quiescent_cv_;
+  std::vector<int> pending_ids_;
+  std::unordered_set<int> pending_set_;
+  int64_t pending_now_ = 0;
+  bool stop_ = false;
+  bool notifier_busy_ = false;
+  std::atomic<int64_t> in_flight_{0};
+
+  std::thread notifier_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace apc
+
+#endif  // APC_SUBSCRIBE_SUBSCRIPTION_MANAGER_H_

@@ -1,0 +1,147 @@
+// NotificationHub semantics — the push-half twin of update_bus_test.cc:
+// FIFO delivery, bounded backpressure, and close/drain shutdown must
+// mirror the UpdateBus discipline exactly.
+#include "subscribe/notification_hub.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace apc {
+namespace {
+
+Notification Rec(int64_t sub_id, int64_t epoch, int64_t now = 0) {
+  Notification record;
+  record.sub_id = sub_id;
+  record.answer = Interval(static_cast<double>(epoch),
+                           static_cast<double>(epoch) + 1.0);
+  record.epoch = epoch;
+  record.now = now;
+  return record;
+}
+
+TEST(NotificationHubTest, PopDeliversInFifoOrder) {
+  NotificationHub hub(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(hub.Push(Rec(i, i + 1)));
+  EXPECT_EQ(hub.size(), 5u);
+  std::vector<Notification> batch;
+  EXPECT_EQ(hub.PopBatch(&batch, 16), 5u);
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[static_cast<size_t>(i)].sub_id, i);
+    EXPECT_EQ(batch[static_cast<size_t>(i)].epoch, i + 1);
+    EXPECT_EQ(batch[static_cast<size_t>(i)].answer,
+              Interval(static_cast<double>(i + 1),
+                       static_cast<double>(i + 2)));
+  }
+}
+
+TEST(NotificationHubTest, PopBatchRespectsMaxBatch) {
+  NotificationHub hub(16);
+  for (int i = 0; i < 10; ++i) hub.Push(Rec(i, 1));
+  std::vector<Notification> batch;
+  EXPECT_EQ(hub.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch.front().sub_id, 0);
+  EXPECT_EQ(hub.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch.front().sub_id, 4);
+  EXPECT_EQ(hub.PopBatch(&batch, 4), 2u);
+}
+
+TEST(NotificationHubTest, TryPushFailsWhenFull) {
+  NotificationHub hub(2);
+  EXPECT_TRUE(hub.TryPush(Rec(1, 1)));
+  EXPECT_TRUE(hub.TryPush(Rec(2, 1)));
+  EXPECT_FALSE(hub.TryPush(Rec(3, 1)));
+  std::vector<Notification> batch;
+  hub.PopBatch(&batch, 1);
+  EXPECT_TRUE(hub.TryPush(Rec(3, 1)));
+}
+
+TEST(NotificationHubTest, CloseDrainsBacklogThenReturnsZero) {
+  NotificationHub hub(8);
+  hub.Push(Rec(1, 1));
+  hub.Push(Rec(2, 1));
+  hub.Close();
+  EXPECT_FALSE(hub.Push(Rec(3, 1)));
+  EXPECT_FALSE(hub.TryPush(Rec(3, 1)));
+  std::vector<Notification> batch;
+  EXPECT_EQ(hub.PopBatch(&batch, 16), 2u);
+  EXPECT_EQ(hub.PopBatch(&batch, 16), 0u);
+  EXPECT_TRUE(hub.closed());
+}
+
+TEST(NotificationHubTest, BlockedProducerUnblocksOnClose) {
+  NotificationHub hub(1);
+  EXPECT_TRUE(hub.Push(Rec(1, 1)));
+  std::thread producer([&] {
+    // Full: this push blocks until Close() wakes it, then fails.
+    EXPECT_FALSE(hub.Push(Rec(2, 1)));
+  });
+  hub.Close();
+  producer.join();
+}
+
+TEST(NotificationHubTest, MultipleProducersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  NotificationHub hub(32);  // smaller than the total: backpressure exercised
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&hub, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(hub.Push(Rec(p, i + 1)));
+      }
+    });
+  }
+  std::vector<int64_t> per_producer(kProducers, 0);
+  int received = 0;
+  std::vector<Notification> batch;
+  while (received < kProducers * kPerProducer) {
+    size_t n = hub.PopBatch(&batch, 64);
+    ASSERT_GT(n, 0u);
+    for (const Notification& record : batch) {
+      // Per-producer FIFO: each producer's records arrive in epoch order.
+      EXPECT_EQ(record.epoch,
+                ++per_producer[static_cast<size_t>(record.sub_id)]);
+    }
+    received += static_cast<int>(n);
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(hub.total_pushed(), kProducers * kPerProducer);
+  EXPECT_EQ(hub.size(), 0u);
+}
+
+// Multi-consumer drain: every record is delivered to exactly one consumer
+// and nothing is lost or duplicated — the shape subscriber-thread pools
+// rely on (UpdateBus is single-consumer; the hub is not).
+TEST(NotificationHubTest, MultipleConsumersPartitionTheStream) {
+  constexpr int kRecords = 2000;
+  NotificationHub hub(64);
+  std::vector<std::thread> consumers;
+  std::atomic<int64_t> drained{0};
+  std::vector<std::atomic<int>> seen(kRecords);
+  for (auto& s : seen) s.store(0);
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<Notification> batch;
+      while (hub.PopBatch(&batch, 16) > 0) {
+        for (const Notification& record : batch) {
+          seen[static_cast<size_t>(record.sub_id)].fetch_add(1);
+          drained.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kRecords; ++i) ASSERT_TRUE(hub.Push(Rec(i, 1)));
+  hub.Close();
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(drained.load(), kRecords);
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)].load(), 1) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace apc

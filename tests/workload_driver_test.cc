@@ -173,5 +173,54 @@ TEST(WorkloadDriverTest, ZipfSkewedRunKeepsPrecisionGuarantee) {
   EXPECT_EQ(engine.counters().queries_executed.load(), report.queries);
 }
 
+TEST(WorkloadDriverTest, InvalidSubscriptionConfigYieldsZeroReport) {
+  SubscriptionWorkloadConfig config;
+  config.num_subscribers = 0;  // invalid
+  SubscriptionDriverReport report = RunSubscriptionWorkload(config);
+  EXPECT_EQ(report.subscriptions, 0);
+  EXPECT_EQ(report.notifications, 0);
+  EXPECT_EQ(report.polls, 0);
+}
+
+// The subscription phase end to end: subscriber count × churn × δ_sub
+// distribution, with the mid-run no-missed-violation checker and the
+// polling-equivalent replay — the savings inequality the benches gate on
+// is asserted here, at the source of the numbers.
+TEST(WorkloadDriverTest, SubscriptionWorkloadBeatsPollingEquivalent) {
+  SubscriptionWorkloadConfig config;
+  config.engine.num_shards = 2;
+  config.engine.system.cache_capacity = 24;
+  config.engine.seed = kSeed;
+  config.engine.subscription_hub_capacity = 1 << 14;
+  config.num_sources = 24;
+  config.num_subscribers = 16;
+  config.subscriber_threads = 1;  // ordering checkable
+  config.point_fraction = 0.75;
+  config.group_size = 6;
+  config.deltas = {6.0, 0.5};
+  config.ticks = 200;
+  config.churn_ops = 4;
+  config.reprecision_ops = 4;
+  config.seed = kSeed;
+
+  SubscriptionDriverReport report = RunSubscriptionWorkload(config);
+  EXPECT_EQ(report.subscriptions, 16);
+  EXPECT_EQ(report.ticks, 200);
+  EXPECT_GT(report.notifications, 0);
+  EXPECT_GE(report.delivered, report.notifications);
+  EXPECT_EQ(report.order_regressions, 0);
+  EXPECT_EQ(report.missed_violations, 0);
+  EXPECT_EQ(report.churn_ops, 4);
+  EXPECT_EQ(report.reprecision_ops, 4);
+  // The measured polling equivalent: one poll per subscription per tick.
+  EXPECT_EQ(report.polls, 200 * 16);
+  EXPECT_GT(report.polling_equivalent_cost, 0.0);
+  // The headline inequality: standing queries never cost more than the
+  // polling workload they replace.
+  EXPECT_LE(report.subscription_total_cost, report.polling_equivalent_cost);
+  // And the push traffic is far below one message per poll.
+  EXPECT_LT(report.notifications, report.polls);
+}
+
 }  // namespace
 }  // namespace apc
