@@ -220,6 +220,8 @@ void AddRow(apc::bench::BenchReport& report, const std::string& scenario,
       .Int("delivered", r.delivered)
       .Num("notifications_per_second", r.notifications_per_second)
       .Num("delivery_lag_ticks_mean", r.delivery_lag_ticks_mean)
+      .Num("delivery_lag_ticks_p50", r.delivery_lag_ticks_p50)
+      .Num("delivery_lag_ticks_p90", r.delivery_lag_ticks_p90)
       .Num("delivery_lag_ticks_p99", r.delivery_lag_ticks_p99)
       .Int("evaluations", r.evaluations)
       .Int("escalations", r.escalations)
@@ -285,8 +287,10 @@ int main(int argc, char** argv) {
            "notified from the change hook; polling equivalent = one poll "
            "per subscription per tick on a seed-identical engine")
       .Str("units",
-           "lag in logical ticks (drain-time clock - compute tick), costs "
-           "in protocol cost units over the measured period");
+           "lag in logical ticks (drain-time clock - compute tick; "
+           "p50/p90/p99 from the obs registry's subs.delivery_lag_ticks "
+           "histogram when compiled in), costs in protocol cost units over "
+           "the measured period");
 
   bench::Banner("SUBS-1",
                 "lockstep: notifications == CacheSystem interval changes");

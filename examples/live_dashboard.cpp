@@ -13,11 +13,14 @@
 // re-registration.
 //
 // Build & run:  ./build/examples/live_dashboard
+#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <unordered_map>
 
 #include "core/adaptive_policy.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/workload_driver.h"
 
@@ -68,13 +71,20 @@ int main() {
   engine.BeginMeasurement(0);  // registration answers are warm-up
 
   // 3. The dashboard thread: drains the hub until it closes. No polling —
-  //    every record it sees is an answer that actually changed.
+  //    every record it sees is an answer that actually changed. Each drain
+  //    feeds the registry's delivery-lag histogram (wall tick at drain
+  //    minus the answer's compute tick), so the ops sidebar's lag
+  //    quantiles are live numbers, not placeholders.
+  std::atomic<int64_t> wall_tick{0};
   std::thread dashboard([&] {
     std::vector<Notification> batch;
     std::unordered_map<int64_t, int64_t> updates_of;
     while (engine.notifications().PopBatch(&batch, 32) > 0) {
       for (const Notification& record : batch) {
         ++updates_of[record.sub_id];
+        int64_t lag = wall_tick.load(std::memory_order_relaxed) - record.now;
+        engine.subscriptions().RecordDeliveryLag(
+            lag > 0 ? static_cast<double>(lag) : 0.0);
         // Print the interesting feeds; per-sensor watches just count.
         if (record.sub_id == sum_sub || record.sub_id == max_sub) {
           std::printf("  t=%3lld  %-11s epoch %3lld  answer %s (width %.3g)\n",
@@ -98,9 +108,29 @@ int main() {
   //    next (WaitQuiescent — the lockstep discipline, so the demo's output
   //    is deterministic). Notifications flow only when a guaranteed
   //    interval escapes a held answer or a bound is re-met.
+  //    Every 10 ticks the ops sidebar of the dashboard renders a metrics
+  //    snapshot straight from the engine's registry — the same consistent
+  //    view the JSON exporter serializes, read here without touching any
+  //    engine lock.
+  auto ops_sidebar = [&](int64_t t) {
+    obs::MetricsRegistry::Snapshot snap = engine.metrics().TakeSnapshot();
+    std::printf(
+        "  t=%3lld  [ops] evals %lld  escalations %lld  suppressed %lld  "
+        "hub depth %lld  lag p50/p99 %.1f/%.1f ticks\n",
+        static_cast<long long>(t),
+        static_cast<long long>(snap.CounterValue("subs.evaluations")),
+        static_cast<long long>(snap.CounterValue("subs.escalations")),
+        static_cast<long long>(snap.CounterValue("subs.suppressed")),
+        static_cast<long long>(snap.GaugeValue("subs.hub.queue_depth")),
+        snap.HistogramQuantile("subs.delivery_lag_ticks", 0.50),
+        snap.HistogramQuantile("subs.delivery_lag_ticks", 0.99));
+  };
+
   for (int64_t t = 1; t <= 40; ++t) {
+    wall_tick.store(t, std::memory_order_relaxed);
     engine.TickAll(t);
     engine.subscriptions().WaitQuiescent();
+    if (t % 10 == 0) ops_sidebar(t);
     if (t == 20) {
       // Mid-run re-precisioning: the dashboard zooms in on the hottest
       // sensor — same subscription, a much tighter bound, effective
@@ -126,6 +156,13 @@ int main() {
               static_cast<long long>(engine.TotalCosts().value_refreshes),
               static_cast<long long>(engine.TotalCosts().query_refreshes),
               engine.TotalCosts().total_cost);
+
+  // 6. The run's full registry snapshot, serialized the way a scrape
+  //    endpoint would hand it out (under -DAPC_OBS=0 this prints a stub
+  //    document and the sidebar above reads all zeros — the dashboard
+  //    itself is unchanged).
+  obs::SnapshotExporter exporter(&engine.metrics());
+  std::printf("\nfinal metrics export:\n%s\n", exporter.ToJson().c_str());
 
   engine.subscriptions().Shutdown();  // closes the hub; dashboard drains out
   dashboard.join();

@@ -8,6 +8,12 @@
 #   scripts/check.sh --asan     # rebuild with -DAPC_SANITIZE=address and rerun
 #                               # the subscribe + runtime suites under
 #                               # AddressSanitizer
+#   scripts/check.sh --obs      # build Release trees with APC_OBS on and off,
+#                               # verify tier-1 passes with the obs layer
+#                               # compiled out, measure the obs overhead on
+#                               # the seqlock 8-shard/8-thread row, and
+#                               # assemble BENCH_obs.json (fails if obs-on
+#                               # qps drops below 95% of obs-off)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +23,7 @@ CTEST_TIMEOUT=120
 
 # The suites with real thread interleavings; everything else is
 # single-threaded by construction. Shared by the tsan and asan modes.
-CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test)$'
+CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test|obs_test)$'
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DAPC_SANITIZE=thread -DAPCACHE_BUILD_BENCHES=OFF \
@@ -39,6 +45,69 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -R "$CONCURRENCY_SUITES"
   echo "check.sh: subscribe + runtime suites clean under AddressSanitizer"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+  # Smoke-sized by default; override for a committed-quality measurement:
+  #   OBS_QPT=20000 OBS_SOURCES=256 scripts/check.sh --obs
+  OBS_QPT="${OBS_QPT:-2000}"
+  OBS_SOURCES="${OBS_SOURCES:-128}"
+
+  # Both trees are Release so the comparison isolates the obs layer itself,
+  # not optimizer settings.
+  cmake -B build-obs-on -S . -DCMAKE_BUILD_TYPE=Release -DAPC_OBS=ON
+  cmake --build build-obs-on -j
+  cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release -DAPC_OBS=OFF
+  cmake --build build-obs-off -j
+
+  # The whole suite must hold with the layer compiled OUT — in particular
+  # the lockstep parity tests, which assert the engines' protocol answers
+  # and tallies bit-for-bit with no instruments present.
+  ctest --test-dir build-obs-off --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
+
+  ./build-obs-on/bench_obs_overhead "$OBS_QPT" "$OBS_SOURCES" \
+      build-obs-on/BENCH_obs_row.json
+  ./build-obs-off/bench_obs_overhead "$OBS_QPT" "$OBS_SOURCES" \
+      build-obs-off/BENCH_obs_row.json
+
+  # Each BenchReport run row is one line; lift them verbatim into the
+  # combined trajectory. The obs-on file carries two rows — "steady"
+  # (metrics live, recorder off: the always-on config, which the 5% bound
+  # gates) and "steady_traced" (full per-event tracing, informational) —
+  # the obs-off baseline contributes its steady row.
+  mapfile -t on_rows < <(grep '^    {' build-obs-on/BENCH_obs_row.json \
+                         | sed 's/,$//')
+  off_row=$(grep -m1 '^    {' build-obs-off/BENCH_obs_row.json \
+            | sed 's/,$//')
+  on_qps=$(sed -n 's/.*"qps": \([0-9.eE+-]*\).*/\1/p' <<<"${on_rows[0]}")
+  off_qps=$(sed -n 's/.*"qps": \([0-9.eE+-]*\).*/\1/p' <<<"$off_row")
+  overhead_pct=$(awk -v on="$on_qps" -v off="$off_qps" \
+      'BEGIN { printf "%.2f", (off > 0 ? 100.0 * (off - on) / off : 0.0) }')
+  {
+    printf '{\n'
+    printf '  "bench": "obs_overhead",\n'
+    printf '  "schema": "apcache-bench-v1",\n'
+    printf '  "meta": {"queries_per_thread": %s, "num_sources": %s, ' \
+        "$OBS_QPT" "$OBS_SOURCES"
+    printf '"row": "seqlock 8 shards x 8 threads, point_read_fraction 0.95", '
+    printf '"acceptance": "obs-on steady qps >= 0.95 x obs-off steady qps", '
+    printf '"overhead_pct": %s},\n' "$overhead_pct"
+    printf '  "runs": [\n'
+    printf '%s,\n' "${on_rows[0]}"
+    printf '%s,\n' "${on_rows[1]}"
+    printf '%s\n' "$off_row"
+    printf '  ]\n}\n'
+  } > BENCH_obs.json
+  echo "check.sh: obs-on ${on_qps} q/s vs obs-off ${off_qps} q/s" \
+       "(overhead ${overhead_pct}%) -> BENCH_obs.json"
+  if ! awk -v on="$on_qps" -v off="$off_qps" \
+      'BEGIN { exit on >= 0.95 * off ? 0 : 1 }'; then
+    echo "check.sh: FAIL - obs overhead exceeds 5% on the seqlock hot row"
+    exit 1
+  fi
+  echo "check.sh: obs overhead within bound, obs-off tier-1 clean"
   exit 0
 fi
 

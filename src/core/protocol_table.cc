@@ -1,5 +1,7 @@
 #include "core/protocol_table.h"
 
+#include "obs/trace.h"
+
 namespace apc {
 
 const ProtocolEntry* EntryStore::Find(int id) const {
@@ -100,6 +102,8 @@ void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
     MarkDirty(result.evicted_id);
   }
   if (result.cached) {
+    obs::TraceRecorder::Record(obs::TraceEvent::kOfferApplied, id,
+                               approx.refresh_time);
     auto it = slot_of_.find(id);
     if (it != slot_of_.end()) WriteSlot(*it->second, approx, /*cached=*/true);
     MarkDirty(id);
@@ -128,6 +132,7 @@ ValueTickOutcome ProtocolTable::OnValueTick(int id, ProtocolCell& cell,
     // the shipped interval (and paid Cvr), but the cache never sees it.
     ++lost_pushes_;
     outcome.lost = true;
+    obs::TraceRecorder::Record(obs::TraceEvent::kOfferChargedLost, id, now);
     return outcome;
   }
   OfferMirrored(id, approx, cell.raw_width());
@@ -162,6 +167,8 @@ ValueTickOutcome ProtocolTable::OfferDerived(int id, const CachedApprox& approx,
         rng_.Bernoulli(config_.push_loss_probability)) {
       ++lost_pushes_;
       outcome.lost = true;
+      obs::TraceRecorder::Record(obs::TraceEvent::kOfferChargedLost, id,
+                                 approx.refresh_time);
       return outcome;
     }
   } else {

@@ -1,0 +1,164 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace apc {
+namespace obs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderNum(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+SnapshotExporter::SnapshotExporter(const MetricsRegistry* registry)
+    : registry_(registry) {}
+
+SnapshotExporter::~SnapshotExporter() { Stop(); }
+
+std::string SnapshotExporter::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"apcache-obs-v1\",\n";
+  out += std::string("  \"obs_enabled\": ") + (APC_OBS ? "1" : "0");
+  MetricsRegistry::Snapshot snap = registry_->TakeSnapshot();
+  out += ",\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    \"" + EscapeJson(snap.counters[i].first) +
+           "\": " + std::to_string(snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    \"" + EscapeJson(snap.gauges[i].first) +
+           "\": " + std::to_string(snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& entry = snap.histograms[i];
+    if (i > 0) out += ",";
+    out += "\n    \"" + EscapeJson(entry.name) + "\": {";
+    out += "\"count\": " + std::to_string(entry.data.total);
+    out += ", \"p50\": " + RenderNum(entry.data.Quantile(0.50));
+    out += ", \"p90\": " + RenderNum(entry.data.Quantile(0.90));
+    out += ", \"p99\": " + RenderNum(entry.data.Quantile(0.99));
+    // Only occupied bins are listed; their counts sum to "count" (the
+    // snapshot's consistency invariant).
+    out += ", \"bins\": [";
+    bool first = true;
+    for (size_t b = 0; b < entry.data.counts.size(); ++b) {
+      if (entry.data.counts[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + RenderNum(entry.data.edges[b]) + ", " +
+             RenderNum(entry.data.edges[b + 1]) + ", " +
+             std::to_string(entry.data.counts[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += snap.histograms.empty() ? "}" : "\n  }";
+  out += "\n}";
+  return out;
+}
+
+bool SnapshotExporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void SnapshotExporter::StartBackground(const std::string& path,
+                                       int64_t interval_ms) {
+#if APC_OBS
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  path_ = path;
+  interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
+  stop_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { BackgroundLoop(); });
+#else
+  (void)path;
+  (void)interval_ms;
+#endif
+}
+
+void SnapshotExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+int64_t SnapshotExporter::exports_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exports_written_;
+}
+
+void SnapshotExporter::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    std::string path = path_;
+    int64_t interval = interval_ms_;
+    lock.unlock();
+    bool wrote = WriteFile(path);
+    lock.lock();
+    if (wrote) ++exports_written_;
+    cv_.wait_for(lock, std::chrono::milliseconds(interval),
+                 [this] { return stop_; });
+  }
+}
+
+}  // namespace obs
+}  // namespace apc

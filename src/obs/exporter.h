@@ -1,0 +1,71 @@
+#ifndef APC_OBS_EXPORTER_H_
+#define APC_OBS_EXPORTER_H_
+
+// Snapshot exporter: serializes one consistent MetricsRegistry snapshot to
+// JSON — on demand (ToJson/WriteFile) or on a background interval
+// (StartBackground) — following the bench/bench_report conventions
+// (escaped keys, %.10g numbers, a schema tag) so the same tooling that
+// reads the BENCH_*.json trajectories can read live engine snapshots.
+//
+// Consistency contract: every serialized histogram's "count" equals the
+// sum of its serialized bins (the snapshot derives one from the other), and
+// all values in one document come from a single TakeSnapshot pass.
+//
+// Under APC_OBS=0 the document is a stub ("obs_enabled": 0, no metrics)
+// and the background thread never starts.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace apc {
+namespace obs {
+
+class SnapshotExporter {
+ public:
+  /// `registry` must outlive the exporter (and its background thread).
+  explicit SnapshotExporter(const MetricsRegistry* registry);
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// One consistent snapshot as a JSON document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() (plus a trailing newline) to `path`.
+  bool WriteFile(const std::string& path) const;
+
+  /// Starts a background thread rewriting `path` every `interval_ms`
+  /// (clamped to >= 1). No-op if already running or under APC_OBS=0.
+  void StartBackground(const std::string& path, int64_t interval_ms);
+
+  /// Stops the background thread (idempotent; called by the destructor).
+  void Stop();
+
+  /// Background snapshots written so far (for tests).
+  int64_t exports_written() const;
+
+ private:
+  void BackgroundLoop();
+
+  const MetricsRegistry* const registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string path_;
+  int64_t interval_ms_ = 0;
+  int64_t exports_written_ = 0;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace obs
+}  // namespace apc
+
+#endif  // APC_OBS_EXPORTER_H_

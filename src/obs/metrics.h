@@ -1,0 +1,290 @@
+#ifndef APC_OBS_METRICS_H_
+#define APC_OBS_METRICS_H_
+
+// The metrics half of the observability layer (src/obs/): named counters,
+// gauges, and log-spaced histograms with striped relaxed-atomic storage —
+// hot-path increments touch one cache line private to a stripe and are
+// merged on read — plus a registry that hands out consistent named
+// snapshots for the exporter and the benches.
+//
+// Compile-time gate (MAGPIE-style): `cmake -DAPC_OBS=0` compiles gauges,
+// histograms, and the registry down to no-ops. Counter is the one
+// deliberate exception — it backs the engines' protocol-semantic tallies
+// (RuntimeCounters, TieredCounters, SubscriptionCounters), whose accessor
+// values tier-1 tests assert, so under APC_OBS=0 it degrades to a single
+// plain relaxed atomic instead of vanishing. ObsCounter is the
+// observability-only variant that does vanish.
+#ifndef APC_OBS
+#define APC_OBS 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apc {
+namespace obs {
+
+#if APC_OBS
+
+namespace internal {
+/// Slow path of ThreadStripeIndex: allocates the next dense index. Called
+/// once per thread; indices are never reused (threads are few and
+/// long-lived here).
+size_t AllocateStripeIndex();
+
+/// Biased by +1 so 0 means "unassigned": constant initialization keeps the
+/// TLS access guard-free, which keeps Counter::fetch_add inlineable down
+/// to a TLS load, a branch, and one relaxed RMW.
+inline thread_local size_t t_stripe_plus_one = 0;
+
+/// Small dense per-thread index used to pick a counter stripe; assigned on
+/// first use.
+inline size_t ThreadStripeIndex() {
+  size_t biased = t_stripe_plus_one;
+  if (biased == 0) {
+    biased = AllocateStripeIndex() + 1;
+    t_stripe_plus_one = biased;
+  }
+  return biased - 1;
+}
+}  // namespace internal
+
+/// Monotonic counter with per-thread striped storage: fetch_add lands on
+/// the calling thread's stripe (a relaxed RMW on an uncontended cache
+/// line), load sums the stripes. The interface deliberately mirrors the
+/// std::atomic<int64_t> subset the engine tallies always used — load and
+/// fetch_add with an explicit memory order — so converting a tally struct
+/// field is a type change, not a call-site change.
+///
+/// The merged value is exact at any quiescent point (all increments
+/// happen-before the read); a load racing increments may miss in-flight
+/// stripe bumps but never double-counts and never goes backwards.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void fetch_add(int64_t n,
+                 std::memory_order order = std::memory_order_relaxed) {
+    stripes_[internal::ThreadStripeIndex() & (kStripes - 1)].v.fetch_add(
+        n, order);
+  }
+
+  int64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    int64_t total = 0;
+    for (const Stripe& s : stripes_) total += s.v.load(order);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 16;  // power of two
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// Observability-only counter: same surface as Counter, but compiled to a
+/// true no-op under APC_OBS=0 (loads read 0). Use for rates nothing in the
+/// protocol semantics depends on — seqlock retry tallies, bus traffic,
+/// per-link loss breakdowns.
+using ObsCounter = Counter;
+
+/// Point-in-time level (queue depth, in-flight batch size). Last writer
+/// wins; no striping — gauges are set under the owner's existing locks.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-spaced histogram with relaxed-atomic bins: Record is one relaxed
+/// RMW on the sample's bin. Layout: an explicit [0, lo) underflow bin,
+/// `bins` log-spaced bins over [lo, hi), and a clamped overflow bin — so a
+/// snapshot's total is the sum of its bins by construction, the
+/// consistency invariant the exporter test leans on. Quantiles interpolate
+/// linearly inside the containing bin (the stats/Histogram convention).
+class HistogramMetric {
+ public:
+  /// Requires 0 < lo < hi, bins >= 1 (clamped defensively otherwise).
+  HistogramMetric(double lo, double hi, int bins);
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  void Record(double x) {
+    counts_[static_cast<size_t>(BinOf(x))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Consistent copy of the bins: `total` equals the sum of `counts`.
+  struct Snapshot {
+    std::vector<double> edges;    // counts.size() + 1 ascending edges
+    std::vector<int64_t> counts;  // underflow, log bins, overflow
+    int64_t total = 0;
+    /// Approximate q-quantile (q in [0, 1]); 0 when empty.
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  int64_t Count() const;
+  double Quantile(double q) const { return TakeSnapshot().Quantile(q); }
+
+ private:
+  /// Bin index of x in [0, counts_ size): 0 below lo, last at/above hi.
+  int BinOf(double x) const;
+
+  std::vector<double> edges_;  // counts + 1 edges: 0, lo, ..., hi, 2*hi
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  size_t num_counts_ = 0;
+};
+
+/// Name → metric directory. Registration is non-owning — the engines own
+/// their tally structs and register the fields; registered metrics must
+/// outlive the registry (engines declare the registry first so it is
+/// destroyed last). TakeSnapshot reads every registered metric once and
+/// returns the values sorted by name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void RegisterCounter(const std::string& name, const Counter* counter);
+  void RegisterGauge(const std::string& name, const Gauge* gauge);
+  void RegisterHistogram(const std::string& name,
+                         const HistogramMetric* histogram);
+
+  struct HistogramEntry {
+    std::string name;
+    HistogramMetric::Snapshot data;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramEntry> histograms;
+
+    /// Value of the named counter/gauge, or 0 when unregistered.
+    int64_t CounterValue(const std::string& name) const;
+    int64_t GaugeValue(const std::string& name) const;
+    /// q-quantile of the named histogram, or 0 when unregistered/empty.
+    double HistogramQuantile(const std::string& name, double q) const;
+    int64_t HistogramCount(const std::string& name) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const Counter*>> counters_;
+  std::vector<std::pair<std::string, const Gauge*>> gauges_;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms_;
+};
+
+#else  // !APC_OBS ------------------------------------------------------
+
+/// APC_OBS=0: the protocol-semantic counter stays functional as one plain
+/// relaxed atomic (tier-1 asserts its accessor values), everything else
+/// compiles to empty bodies the optimizer erases.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void fetch_add(int64_t n,
+                 std::memory_order order = std::memory_order_relaxed) {
+    v_.fetch_add(n, order);
+  }
+  int64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    return v_.load(order);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class ObsCounter {
+ public:
+  ObsCounter() = default;
+  ObsCounter(const ObsCounter&) = delete;
+  ObsCounter& operator=(const ObsCounter&) = delete;
+  void fetch_add(int64_t, std::memory_order = std::memory_order_relaxed) {}
+  int64_t load(std::memory_order = std::memory_order_relaxed) const {
+    return 0;
+  }
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class HistogramMetric {
+ public:
+  HistogramMetric(double, double, int) {}
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+  void Record(double) {}
+  struct Snapshot {
+    std::vector<double> edges;
+    std::vector<int64_t> counts;
+    int64_t total = 0;
+    double Quantile(double) const { return 0.0; }
+  };
+  Snapshot TakeSnapshot() const { return Snapshot{}; }
+  int64_t Count() const { return 0; }
+  double Quantile(double) const { return 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  void RegisterCounter(const std::string&, const Counter*) {}
+  void RegisterCounter(const std::string&, const ObsCounter*) {}
+  void RegisterGauge(const std::string&, const Gauge*) {}
+  void RegisterHistogram(const std::string&, const HistogramMetric*) {}
+
+  struct HistogramEntry {
+    std::string name;
+    HistogramMetric::Snapshot data;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramEntry> histograms;
+    int64_t CounterValue(const std::string&) const { return 0; }
+    int64_t GaugeValue(const std::string&) const { return 0; }
+    double HistogramQuantile(const std::string&, double) const {
+      return 0.0;
+    }
+    int64_t HistogramCount(const std::string&) const { return 0; }
+  };
+  Snapshot TakeSnapshot() const { return Snapshot{}; }
+};
+
+#endif  // APC_OBS
+
+}  // namespace obs
+}  // namespace apc
+
+#endif  // APC_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace apc {
+namespace obs {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kReadStart:
+      return "read_start";
+    case TraceEvent::kSeqlockRetry:
+      return "seqlock_retry";
+    case TraceEvent::kSharedFallback:
+      return "shared_fallback";
+    case TraceEvent::kEscalateRegional:
+      return "escalate_regional";
+    case TraceEvent::kEscalateSource:
+      return "escalate_source";
+    case TraceEvent::kBusEnqueue:
+      return "bus_enqueue";
+    case TraceEvent::kBusDrainBatch:
+      return "bus_drain_batch";
+    case TraceEvent::kOfferApplied:
+      return "offer_applied";
+    case TraceEvent::kOfferChargedLost:
+      return "offer_charged_lost";
+    case TraceEvent::kNotifyEvaluate:
+      return "notify_evaluate";
+    case TraceEvent::kNotifyShip:
+      return "notify_ship";
+  }
+  return "unknown";
+}
+
+#if APC_OBS
+
+namespace {
+
+/// One thread's ring: written by its owner only (no synchronization — the
+/// quiesced-only dump contract), retained in the global registry past the
+/// thread's exit so DumpTrace still sees its tail.
+struct Ring {
+  explicit Ring(size_t capacity) : slots(capacity) {}
+  std::vector<TraceRecord> slots;
+  size_t head = 0;       // next write position
+  uint64_t written = 0;  // lifetime total (>= slots.size() once wrapped)
+  uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  size_t ring_capacity = 4096;
+  uint32_t next_tid = 0;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+std::atomic<uint64_t> g_seq{0};
+/// Bumped by Enable/Reset so cached thread_local ring pointers from a
+/// previous generation are re-registered instead of dangling.
+std::atomic<uint64_t> g_generation{0};
+
+Ring* ThisThreadRing() {
+  thread_local Ring* ring = nullptr;
+  thread_local uint64_t ring_generation = ~uint64_t{0};
+  uint64_t generation = g_generation.load(std::memory_order_acquire);
+  if (ring == nullptr || ring_generation != generation) {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto owned = std::make_unique<Ring>(registry.ring_capacity);
+    owned->tid = registry.next_tid++;
+    ring = owned.get();
+    registry.rings.push_back(std::move(owned));
+    ring_generation = generation;
+  }
+  return ring;
+}
+
+}  // namespace
+
+void TraceRecorder::Enable(size_t ring_capacity) {
+  Registry& registry = GlobalRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.clear();
+    registry.ring_capacity = ring_capacity < 1 ? 1 : ring_capacity;
+    registry.next_tid = 0;
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::RecordImpl(TraceEvent event, int32_t id, int64_t now,
+                               int64_t arg) {
+  Ring* ring = ThisThreadRing();
+  TraceRecord& slot = ring->slots[ring->head];
+  slot.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  slot.now = now;
+  slot.arg = arg;
+  slot.id = id;
+  slot.tid = ring->tid;
+  slot.event = event;
+  ring->head = (ring->head + 1) % ring->slots.size();
+  ++ring->written;
+}
+
+std::vector<TraceRecord> TraceRecorder::DumpTrace() {
+  Registry& registry = GlobalRegistry();
+  std::vector<TraceRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& ring : registry.rings) {
+      size_t capacity = ring->slots.size();
+      size_t retained = ring->written < capacity
+                            ? static_cast<size_t>(ring->written)
+                            : capacity;
+      // Oldest retained slot: head when wrapped, 0 otherwise.
+      size_t start = ring->written < capacity ? 0 : ring->head;
+      for (size_t i = 0; i < retained; ++i) {
+        out.push_back(ring->slots[(start + i) % capacity]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void TraceRecorder::Reset() {
+  Registry& registry = GlobalRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.clear();
+    registry.next_tid = 0;
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+#endif  // APC_OBS
+
+}  // namespace obs
+}  // namespace apc

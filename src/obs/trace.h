@@ -1,0 +1,111 @@
+#ifndef APC_OBS_TRACE_H_
+#define APC_OBS_TRACE_H_
+
+// Query-lifecycle trace recorder: a process-wide, off-by-default stream of
+// typed events covering one request's path through the runtime — the read
+// fast path and its seqlock fallbacks, tier escalation hops, bus traffic,
+// the core's offer outcomes, and notification evaluation/shipping.
+//
+// Recording is per-thread: each recording thread owns a fixed-size ring of
+// the newest events (oldest overwritten on wrap), stamped from one global
+// sequence counter; DumpTrace stitches the rings into a single
+// seq-ordered stream. Cost discipline: with tracing disabled (the
+// default) Record is one relaxed bool load; under APC_OBS=0 it is nothing
+// at all.
+//
+// DumpTrace/Reset are QUIESCED-ONLY: callers must ensure no thread is
+// concurrently recording (join or otherwise synchronize with the workload
+// first) — rings are written without synchronization by design.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"  // the APC_OBS default
+
+namespace apc {
+namespace obs {
+
+enum class TraceEvent : uint8_t {
+  kReadStart,         // id = source, arg = read-lock mode
+  kSeqlockRetry,      // id = source whose optimistic read tore
+  kSharedFallback,    // id = source (or -1 for a batch), arg = torn count
+  kEscalateRegional,  // id = source escalating edge -> regional
+  kEscalateSource,    // id = source escalating regional -> source pull
+  kBusEnqueue,        // id = source, arg = queue depth after enqueue
+  kBusDrainBatch,     // id = -1, arg = batch size
+  kOfferApplied,      // id = source whose cached interval was refreshed
+  kOfferChargedLost,  // id = source charged for a push lost in transit
+  kNotifyEvaluate,    // id = -1, arg = sub id being re-evaluated
+  kNotifyShip,        // id = -1, arg = sub id, now = compute tick
+};
+
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  uint64_t seq = 0;  // global order across all threads
+  int64_t now = 0;   // logical tick at the event
+  int64_t arg = 0;   // event-specific payload (see TraceEvent)
+  int32_t id = -1;   // source id, or -1
+  uint32_t tid = 0;  // recorder-assigned thread index
+  TraceEvent event = TraceEvent::kReadStart;
+};
+
+#if APC_OBS
+
+namespace internal {
+/// The process-wide recording gate. Lives in the header as a C++17 inline
+/// variable so Record's disabled fast path — one relaxed load and a
+/// branch — inlines into every call site instead of paying a function
+/// call on hot paths that are almost never traced.
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+class TraceRecorder {
+ public:
+  /// Turns recording on; each thread's ring holds the newest
+  /// `ring_capacity` of its events. Quiesced-only (drops prior rings).
+  static void Enable(size_t ring_capacity = 4096);
+  static void Disable();
+  static bool enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's ring. One inlined relaxed
+  /// load and return when disabled.
+  static void Record(TraceEvent event, int32_t id, int64_t now,
+                     int64_t arg = 0) {
+    if (!internal::g_trace_enabled.load(std::memory_order_relaxed)) return;
+    RecordImpl(event, id, now, arg);
+  }
+
+  /// All retained events across all rings, sorted by seq (oldest first).
+  /// Quiesced-only.
+  static std::vector<TraceRecord> DumpTrace();
+
+  /// Drops every ring and restarts the sequence counter. Quiesced-only.
+  static void Reset();
+
+ private:
+  static void RecordImpl(TraceEvent event, int32_t id, int64_t now,
+                         int64_t arg);
+};
+
+#else  // !APC_OBS
+
+class TraceRecorder {
+ public:
+  static void Enable(size_t = 4096) {}
+  static void Disable() {}
+  static bool enabled() { return false; }
+  static void Record(TraceEvent, int32_t, int64_t, int64_t = 0) {}
+  static std::vector<TraceRecord> DumpTrace() { return {}; }
+  static void Reset() {}
+};
+
+#endif  // APC_OBS
+
+}  // namespace obs
+}  // namespace apc
+
+#endif  // APC_OBS_TRACE_H_

@@ -3,11 +3,27 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "runtime/runtime_util.h"
 
 namespace apc {
 
 using runtime_internal::ReadLock;
+
+void RuntimeCounters::RegisterWith(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->RegisterCounter(prefix + ".value_refreshes", &value_refreshes);
+  registry->RegisterCounter(prefix + ".query_refreshes", &query_refreshes);
+  registry->RegisterCounter(prefix + ".lost_pushes", &lost_pushes);
+  registry->RegisterCounter(prefix + ".queries_executed", &queries_executed);
+  registry->RegisterCounter(prefix + ".updates_applied", &updates_applied);
+  registry->RegisterCounter(prefix + ".rejected_updates", &rejected_updates);
+  registry->RegisterCounter(prefix + ".rejected_query_ids",
+                            &rejected_query_ids);
+  registry->RegisterCounter(prefix + ".rejected_sources", &rejected_sources);
+  registry->RegisterCounter("read.seqlock_retries", &seqlock_retries);
+  registry->RegisterCounter("read.shared_fallbacks", &shared_fallbacks);
+}
 
 Shard::Shard(int index, const SystemConfig& config, size_t capacity,
              uint64_t seed, RuntimeCounters* counters, ReadLockMode read_mode)
@@ -74,6 +90,22 @@ void Shard::TickSourceLocked(Source* src, int64_t now) {
   }
 }
 
+void Shard::RecordSeqlockRetry(int id, int64_t now) const {
+  if (counters_ != nullptr) {
+    counters_->seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::TraceRecorder::Record(obs::TraceEvent::kSeqlockRetry, id, now);
+}
+
+void Shard::RecordSharedFallback(int id, int64_t now,
+                                 int64_t torn_count) const {
+  if (counters_ != nullptr) {
+    counters_->shared_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::TraceRecorder::Record(obs::TraceEvent::kSharedFallback, id, now,
+                             torn_count);
+}
+
 void Shard::RecordRejectedUpdateLocked() {
   ++rejected_updates_;
   if (counters_ != nullptr) {
@@ -124,6 +156,8 @@ Interval Shard::VisibleInterval(int id, int64_t now) const {
       return out;
     }
     // Torn by a racing refresh: settle it under the shared lock.
+    RecordSeqlockRetry(id, now);
+    RecordSharedFallback(id, now, 1);
   }
   ReadLock lock(mu_, read_mode_);
   return table_.VisibleInterval(id, now);
@@ -141,12 +175,14 @@ void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
       const auto& [pos, id] = slots[i];
       Interval out;
       if (table_.TryVisibleInterval(id, now, &out) == SnapshotRead::kTorn) {
+        RecordSeqlockRetry(id, now);
         torn.push_back(i);
       } else {
         (*items)[pos].interval = out;
       }
     }
     if (torn.empty()) return;
+    RecordSharedFallback(/*id=*/-1, now, static_cast<int64_t>(torn.size()));
     ReadLock lock(mu_, read_mode_);
     for (size_t i : torn) {
       const auto& [pos, id] = slots[i];
@@ -226,15 +262,18 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
 }
 
 Interval Shard::PointRead(int id, double max_width, int64_t now) {
+  obs::TraceRecorder::Record(obs::TraceEvent::kReadStart, id, now,
+                             static_cast<int64_t>(read_mode_));
   // Fast path per mode; the exclusive baseline does the whole read under
   // its one exclusive acquisition, exactly like the original runtime — a
   // second acquisition there would bias the bench comparison.
   if (read_mode_ == ReadLockMode::kSeqlock) {
     Interval visible;
-    if (table_.TryVisibleInterval(id, now, &visible) == SnapshotRead::kHit &&
-        visible.Width() <= max_width) {
+    SnapshotRead read = table_.TryVisibleInterval(id, now, &visible);
+    if (read == SnapshotRead::kHit && visible.Width() <= max_width) {
       return visible;
     }
+    if (read == SnapshotRead::kTorn) RecordSeqlockRetry(id, now);
   } else if (read_mode_ == ReadLockMode::kShared) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     const ProtocolEntry* entry = table_.Find(id);

@@ -1,10 +1,10 @@
 #ifndef APC_RUNTIME_SHARD_H_
 #define APC_RUNTIME_SHARD_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,6 +13,7 @@
 #include "cache/system.h"
 #include "core/interval.h"
 #include "core/protocol_table.h"
+#include "obs/metrics.h"
 #include "query/aggregate.h"
 #include "subscribe/change_sink.h"
 
@@ -40,26 +41,41 @@ enum class ReadLockMode {
   kExclusive,
 };
 
-/// Engine-wide tallies kept in atomics so monitoring threads can observe
-/// totals without taking any shard lock. Shards bump these alongside their
-/// own (mutex-guarded) CostTracker; after a quiescent point the two views
-/// agree exactly.
+/// Engine-wide tallies kept in lock-free counters so monitoring threads can
+/// observe totals without taking any shard lock. Shards bump these
+/// alongside their own (mutex-guarded) CostTracker; after a quiescent point
+/// the two views agree exactly. The fields are obs::Counter — striped under
+/// APC_OBS=1, a single plain atomic under APC_OBS=0 — so the .load() /
+/// .fetch_add() accessor surface (and the exact-total guarantee) is
+/// identical in both builds.
 struct RuntimeCounters {
-  std::atomic<int64_t> value_refreshes{0};
-  std::atomic<int64_t> query_refreshes{0};
-  std::atomic<int64_t> lost_pushes{0};
-  std::atomic<int64_t> queries_executed{0};
-  std::atomic<int64_t> updates_applied{0};
+  obs::Counter value_refreshes;
+  obs::Counter query_refreshes;
+  obs::Counter lost_pushes;
+  obs::Counter queries_executed;
+  obs::Counter updates_applied;
   /// Update events naming a source id no shard owns: skipped and counted
   /// rather than crashing the pump thread.
-  std::atomic<int64_t> rejected_updates{0};
+  obs::Counter rejected_updates;
   /// Query/point-read source ids no shard owns: dropped from the request
   /// and counted (the malformed id contributes nothing to the result).
-  std::atomic<int64_t> rejected_query_ids{0};
+  obs::Counter rejected_query_ids;
   /// Sources rejected at engine construction: null, duplicate id, or a
   /// precision policy whose configuration is invalid (see
   /// PrecisionPolicy::IsValidConfig).
-  std::atomic<int64_t> rejected_sources{0};
+  obs::Counter rejected_sources;
+
+  /// Observability-only tallies for the seqlock read path (no-ops under
+  /// APC_OBS=0): optimistic reads that tore against a racing refresh, and
+  /// shared-lock acquisitions taken to settle them.
+  obs::ObsCounter seqlock_retries;
+  obs::ObsCounter shared_fallbacks;
+
+  /// Registers every field with `registry` under "<prefix>." names (the
+  /// seqlock pair under "read."). Non-owning; this struct must outlive the
+  /// registry's snapshots.
+  void RegisterWith(obs::MetricsRegistry* registry,
+                    const std::string& prefix) const;
 };
 
 /// A slot to fill in (or pull for) a query's item vector: the index into the
@@ -208,6 +224,10 @@ class Shard {
   /// Drains the table's dirty ids to the change sink; requires the shard
   /// lock held exclusively. No-op without a sink.
   void PublishChangesLocked(int64_t now);
+  /// Observability taps for the seqlock read path: counter bump (skipped
+  /// when the shard is engine-less) plus a trace event when recording.
+  void RecordSeqlockRetry(int id, int64_t now) const;
+  void RecordSharedFallback(int id, int64_t now, int64_t torn_count) const;
 
   const int index_;
   RuntimeCounters* const counters_;

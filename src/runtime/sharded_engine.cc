@@ -58,6 +58,11 @@ ShardedEngine::ShardedEngine(const EngineConfig& config,
   // ids whose cached interval changed to the manager (enqueue-only, under
   // the shard lock), and the manager's notifier does the rest.
   for (auto& shard : shards_) shard->SetChangeSink(&subscriptions_);
+  // Observability: one registry per engine, fed by the components' own
+  // lock-free tallies (non-owning registration; all members of this).
+  counters_.RegisterWith(&metrics_, "engine");
+  bus_.RegisterMetrics(&metrics_, "bus");
+  subscriptions_.RegisterMetrics(&metrics_);
 }
 
 ShardedEngine::~ShardedEngine() {

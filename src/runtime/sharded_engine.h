@@ -182,6 +182,13 @@ class ShardedEngine : private SubscriptionHost {
   const RuntimeCounters& counters() const { return counters_; }
   int64_t lost_pushes() const;
 
+  /// The engine's metrics registry: every RuntimeCounters tally (under
+  /// "engine." / "read."), the update bus ("bus."), and the subscription
+  /// layer ("subs.") registered at construction. Snapshot it directly or
+  /// through an obs::SnapshotExporter. Under APC_OBS=0 snapshots are empty.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Mean retained raw width across all sources (convergence observable).
   double MeanRawWidth() const;
 
@@ -197,6 +204,11 @@ class ShardedEngine : private SubscriptionHost {
   bool SubscriptionOwns(int id) const override;
   void SubscriptionActivate() override;
 
+  /// Declared first: destroyed last, after every component whose metrics
+  /// it references has unregistered by simply going away — snapshots are
+  /// only taken while the engine is alive, so the non-owning registration
+  /// never dangles.
+  obs::MetricsRegistry metrics_;
   EngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t num_sources_ = 0;

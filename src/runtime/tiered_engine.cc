@@ -6,12 +6,28 @@
 #include <limits>
 
 #include "hierarchy/hierarchy.h"
+#include "obs/trace.h"
 #include "runtime/runtime_util.h"
 
 namespace apc {
 
 using runtime_internal::MixId;
 using runtime_internal::ReadLock;
+
+void TieredCounters::RegisterWith(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  registry->RegisterCounter(prefix + ".reads", &reads);
+  registry->RegisterCounter(prefix + ".edge_hits", &edge_hits);
+  registry->RegisterCounter(prefix + ".regional_hits", &regional_hits);
+  registry->RegisterCounter(prefix + ".source_pulls", &source_pulls);
+  registry->RegisterCounter(prefix + ".derived_pushes", &derived_pushes);
+  registry->RegisterCounter(prefix + ".updates_applied", &updates_applied);
+  registry->RegisterCounter(prefix + ".rejected_reads", &rejected_reads);
+  registry->RegisterCounter(prefix + ".rejected_updates", &rejected_updates);
+  registry->RegisterCounter(prefix + ".rejected_sources", &rejected_sources);
+  registry->RegisterCounter(prefix + ".lost_wan_pushes", &lost_wan_pushes);
+  registry->RegisterCounter(prefix + ".lost_lan_pushes", &lost_lan_pushes);
+}
 
 namespace {
 
@@ -151,6 +167,11 @@ TieredEngine::TieredEngine(const TieredConfig& config,
   if (rejected > 0) {
     counters_.rejected_sources.fetch_add(rejected, std::memory_order_relaxed);
   }
+  // Observability: one registry per engine, fed by the components' own
+  // lock-free tallies (non-owning registration; all members of this).
+  counters_.RegisterWith(&metrics_, "tiered");
+  bus_.RegisterMetrics(&metrics_, "tiered.bus");
+  subscriptions_.RegisterMetrics(&metrics_);
 }
 
 TieredEngine::~TieredEngine() {
@@ -225,6 +246,9 @@ void TieredEngine::TickSourceLocked(int shard, Source* src, int64_t now) {
   ValueTickOutcome outcome =
       regional_[static_cast<size_t>(shard)]->table.OnValueTick(
           src->id(), src->cell(), src->value(), now);
+  if (outcome.lost) {
+    counters_.lost_wan_pushes.fetch_add(1, std::memory_order_relaxed);
+  }
   // A lost WAN push never reached the regional cache, so no edge can have
   // fallen out of containment — nothing to fan out (and charging a LAN
   // push for an undelivered regional interval would be wrong).
@@ -252,8 +276,11 @@ void TieredEngine::FanOutLocked(int shard, int id, const Interval& parent,
                       now);
     CachedApprox approx = DerivedApprox(cell, parent, now);
     cell.ShipDerived(approx);
-    es.table.OfferDerived(id, approx, cell.raw_width(),
-                          RefreshType::kValueInitiated);
+    ValueTickOutcome shipped = es.table.OfferDerived(
+        id, approx, cell.raw_width(), RefreshType::kValueInitiated);
+    if (shipped.lost) {
+      counters_.lost_lan_pushes.fetch_add(1, std::memory_order_relaxed);
+    }
     counters_.derived_pushes.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -347,6 +374,8 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
   // holding the regional lock (shared here) excludes fan-outs, so the
   // regional interval read below cannot be overwritten between the read
   // and the derived install — that is what keeps A_edge ⊇ A_regional.
+  obs::TraceRecorder::Record(obs::TraceEvent::kEscalateRegional, id, now,
+                             edge);
   {
     ReadLock rlock(rs.mu, config_.read_lock_mode);
     {
@@ -380,6 +409,8 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
     counters_.regional_hits.fetch_add(1, std::memory_order_relaxed);
     answer = regional;
   } else {
+    obs::TraceRecorder::Record(obs::TraceEvent::kEscalateSource, id, now,
+                               edge);
     Source* src = rs.sources[rs.by_id.at(id)].get();
     rs.table.Pull(src->id(), src->cell(), src->value(), now);
     counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);

@@ -1,11 +1,11 @@
 #ifndef APC_RUNTIME_TIERED_ENGINE_H_
 #define APC_RUNTIME_TIERED_ENGINE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +15,7 @@
 #include "core/adaptive_policy.h"
 #include "core/protocol_table.h"
 #include "data/update_stream.h"
+#include "obs/metrics.h"
 #include "runtime/shard.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/update_bus.h"
@@ -67,26 +68,41 @@ struct TieredConfig {
   bool IsValid() const;
 };
 
-/// Engine-wide tallies in atomics, observable without any shard lock.
+/// Engine-wide tallies in lock-free counters, observable without any shard
+/// lock. The fields are obs::Counter — striped under APC_OBS=1, a single
+/// plain atomic under APC_OBS=0 — so the .load()/.fetch_add() surface and
+/// the exact-total guarantee are identical in both builds.
 struct TieredCounters {
-  std::atomic<int64_t> reads{0};
+  obs::Counter reads;
   /// Reads served from the edge interval, free of charge.
-  std::atomic<int64_t> edge_hits{0};
+  obs::Counter edge_hits;
   /// Escalated reads satisfied by the regional interval (one LAN Cqr).
-  std::atomic<int64_t> regional_hits{0};
+  obs::Counter regional_hits;
   /// Escalations that went all the way to the source (one LAN Cqr plus one
   /// WAN Cqr); the answer is the exact value.
-  std::atomic<int64_t> source_pulls{0};
+  obs::Counter source_pulls;
   /// Derived LAN pushes fanned out by regional refreshes (charged,
   /// delivered or not).
-  std::atomic<int64_t> derived_pushes{0};
-  std::atomic<int64_t> updates_applied{0};
+  obs::Counter derived_pushes;
+  obs::Counter updates_applied;
   /// Reads naming an edge or id the engine does not host; update events
   /// naming an unknown id. Counted, never fatal.
-  std::atomic<int64_t> rejected_reads{0};
-  std::atomic<int64_t> rejected_updates{0};
+  obs::Counter rejected_reads;
+  obs::Counter rejected_updates;
   /// Streams rejected at construction (null).
-  std::atomic<int64_t> rejected_sources{0};
+  obs::Counter rejected_sources;
+
+  /// Observability-only per-link loss tallies (no-ops under APC_OBS=0):
+  /// charged-but-lost WAN pushes (source -> regional) and LAN derived
+  /// pushes (regional -> edge). At quiescence they equal the exact
+  /// lock-summed lost_wan_pushes()/lost_lan_pushes() accessors.
+  obs::ObsCounter lost_wan_pushes;
+  obs::ObsCounter lost_lan_pushes;
+
+  /// Registers every field with `registry` under "<prefix>." names.
+  /// Non-owning; this struct must outlive the registry's snapshots.
+  void RegisterWith(obs::MetricsRegistry* registry,
+                    const std::string& prefix) const;
 };
 
 /// The tiered concurrent serving runtime: N edge tiers (LAN costs) backed
@@ -220,6 +236,13 @@ class TieredEngine : private SubscriptionHost {
   int64_t lost_lan_pushes() const;
   const TieredCounters& counters() const { return counters_; }
 
+  /// The engine's metrics registry: every TieredCounters tally (under
+  /// "tiered."), the update bus ("tiered.bus."), and the subscription
+  /// layer ("subs.") registered at construction. Under APC_OBS=0
+  /// snapshots are empty.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Observability accessors (consistent snapshots under the owning shard
   /// locks). Unknown ids/edges yield the unbounded interval / NaN.
   Interval regional_interval(int id, int64_t now = 0) const;
@@ -302,6 +325,9 @@ class TieredEngine : private SubscriptionHost {
   /// (enqueue-only). Requires the regional shard lock held exclusively.
   void PublishRegionalChangesLocked(RegionalShard& rs, int64_t now);
 
+  /// Declared first: destroyed last, so the non-owning registrations of
+  /// member-owned metrics never dangle while snapshots can be taken.
+  obs::MetricsRegistry metrics_;
   TieredConfig config_;
   std::vector<std::unique_ptr<RegionalShard>> regional_;
   /// edges_[edge][shard]; edge shard s owns exactly the ids of regional

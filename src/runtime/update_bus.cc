@@ -1,9 +1,21 @@
 #include "runtime/update_bus.h"
 
+#include "obs/trace.h"
+
 namespace apc {
 
 UpdateBus::UpdateBus(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void UpdateBus::RegisterMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  registry->RegisterCounter(prefix + ".enqueued", &enqueued_);
+  registry->RegisterCounter(prefix + ".drained", &drained_);
+  registry->RegisterCounter(prefix + ".drain_batches", &drain_batches_);
+  registry->RegisterGauge(prefix + ".queue_depth", &queue_depth_);
+  registry->RegisterHistogram(prefix + ".drain_batch_size",
+                              &drain_batch_size_);
+}
 
 bool UpdateBus::Push(const UpdateEvent& event) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -12,18 +24,29 @@ bool UpdateBus::Push(const UpdateEvent& event) {
   if (closed_) return false;
   queue_.push_back(event);
   ++total_pushed_;
+  size_t depth = queue_.size();
   lock.unlock();
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.Set(static_cast<int64_t>(depth));
+  obs::TraceRecorder::Record(obs::TraceEvent::kBusEnqueue, event.source_id,
+                             event.now, static_cast<int64_t>(depth));
   not_empty_.notify_one();
   return true;
 }
 
 bool UpdateBus::TryPush(const UpdateEvent& event) {
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(event);
     ++total_pushed_;
+    depth = queue_.size();
   }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.Set(static_cast<int64_t>(depth));
+  obs::TraceRecorder::Record(obs::TraceEvent::kBusEnqueue, event.source_id,
+                             event.now, static_cast<int64_t>(depth));
   not_empty_.notify_one();
   return true;
 }
@@ -38,8 +61,17 @@ size_t UpdateBus::PopBatch(std::vector<UpdateEvent>* out, size_t max_batch) {
     out->push_back(queue_.front());
     queue_.pop_front();
   }
+  size_t depth = queue_.size();
   lock.unlock();
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    drained_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+    drain_batches_.fetch_add(1, std::memory_order_relaxed);
+    drain_batch_size_.Record(static_cast<double>(n));
+    queue_depth_.Set(static_cast<int64_t>(depth));
+    obs::TraceRecorder::Record(obs::TraceEvent::kBusDrainBatch, /*id=*/-1,
+                               out->back().now, static_cast<int64_t>(n));
+    not_full_.notify_all();
+  }
   return n;
 }
 

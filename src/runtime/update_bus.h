@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace apc {
 
@@ -56,6 +59,14 @@ class UpdateBus {
   /// Total events ever accepted (monotonic; for progress reporting).
   int64_t total_pushed() const;
 
+  /// Registers this bus's traffic metrics with `registry` under
+  /// "<prefix>." names: enqueued/drained/drain_batches counters, a
+  /// queue_depth gauge, and a drain_batch_size histogram. Non-owning; call
+  /// during engine construction, before concurrent use. All no-ops under
+  /// APC_OBS=0.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix);
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -64,6 +75,13 @@ class UpdateBus {
   std::deque<UpdateEvent> queue_;
   bool closed_ = false;
   int64_t total_pushed_ = 0;
+
+  // Observability (updated under mu_, read lock-free by snapshots).
+  obs::ObsCounter enqueued_;
+  obs::ObsCounter drained_;
+  obs::ObsCounter drain_batches_;
+  obs::Gauge queue_depth_;
+  obs::HistogramMetric drain_batch_size_{1.0, 4096.0, 24};
 };
 
 }  // namespace apc

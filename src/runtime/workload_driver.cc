@@ -496,6 +496,7 @@ SubscriptionDriverReport RunSubscriptionWorkload(
             if (ticks_late < 0.0) ticks_late = 0.0;
             lag[ci].Add(ticks_late);
             lag_stats[ci].Add(ticks_late);
+            engine.subscriptions().RecordDeliveryLag(ticks_late);
           }
         }
       }
@@ -633,6 +634,21 @@ SubscriptionDriverReport RunSubscriptionWorkload(
   }
   report.delivery_lag_ticks_mean = merged_stats.mean();
   report.delivery_lag_ticks_p99 = merged_lag.Quantile(0.99);
+  // Percentiles come from the registry's delivery-lag histogram (fed by
+  // the consumer threads above) when the obs layer is compiled in; under
+  // APC_OBS=0 the histogram is a no-op and the driver's own merged
+  // histogram fills them instead.
+  const obs::HistogramMetric& reg_lag =
+      engine.subscriptions().delivery_lag_histogram();
+  if (reg_lag.Count() > 0) {
+    obs::HistogramMetric::Snapshot reg_snap = reg_lag.TakeSnapshot();
+    report.delivery_lag_ticks_p50 = reg_snap.Quantile(0.50);
+    report.delivery_lag_ticks_p90 = reg_snap.Quantile(0.90);
+    report.delivery_lag_ticks_p99 = reg_snap.Quantile(0.99);
+  } else {
+    report.delivery_lag_ticks_p50 = merged_lag.Quantile(0.50);
+    report.delivery_lag_ticks_p90 = merged_lag.Quantile(0.90);
+  }
   report.costs = engine.TotalCosts();
   const RefreshCosts& link = config.engine.system.costs;
   report.client_push_cost =

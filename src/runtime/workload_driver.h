@@ -261,6 +261,13 @@ struct SubscriptionDriverReport {
   /// tick) over change-driven notifications.
   double delivery_lag_ticks_mean = 0.0;
   double delivery_lag_ticks_p99 = 0.0;
+  /// Lag percentiles from the engine's metrics registry histogram
+  /// ("subs.delivery_lag_ticks", fed by the subscriber threads through
+  /// SubscriptionManager::RecordDeliveryLag). Falls back to the driver's
+  /// own merged histogram under APC_OBS=0, so the fields are populated in
+  /// both builds.
+  double delivery_lag_ticks_p50 = 0.0;
+  double delivery_lag_ticks_p90 = 0.0;
   /// Engine-side Cvr/Cqr over the measured period (subscription run).
   EngineCosts costs;
   /// notifications × Cvr: the client-link push traffic.

@@ -5,6 +5,13 @@ namespace apc {
 NotificationHub::NotificationHub(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void NotificationHub::RegisterMetrics(obs::MetricsRegistry* registry,
+                                      const std::string& prefix) {
+  registry->RegisterCounter(prefix + ".enqueued", &enqueued_);
+  registry->RegisterCounter(prefix + ".drained", &drained_);
+  registry->RegisterGauge(prefix + ".queue_depth", &queue_depth_);
+}
+
 bool NotificationHub::Push(const Notification& record) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock,
@@ -12,18 +19,25 @@ bool NotificationHub::Push(const Notification& record) {
   if (closed_) return false;
   queue_.push_back(record);
   ++total_pushed_;
+  size_t depth = queue_.size();
   lock.unlock();
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.Set(static_cast<int64_t>(depth));
   not_empty_.notify_one();
   return true;
 }
 
 bool NotificationHub::TryPush(const Notification& record) {
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(record);
     ++total_pushed_;
+    depth = queue_.size();
   }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.Set(static_cast<int64_t>(depth));
   not_empty_.notify_one();
   return true;
 }
@@ -41,8 +55,13 @@ size_t NotificationHub::PopBatch(std::vector<Notification>* out,
     out->push_back(queue_.front());
     queue_.pop_front();
   }
+  size_t depth = queue_.size();
   lock.unlock();
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    drained_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+    queue_depth_.Set(static_cast<int64_t>(depth));
+    not_full_.notify_all();
+  }
   return n;
 }
 

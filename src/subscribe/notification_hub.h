@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/interval.h"
+#include "obs/metrics.h"
 
 namespace apc {
 
@@ -64,6 +66,12 @@ class NotificationHub {
   /// Total records ever accepted (monotonic; for progress reporting).
   int64_t total_pushed() const;
 
+  /// Registers this hub's traffic metrics with `registry` under
+  /// "<prefix>." names: enqueued/drained counters and a queue_depth gauge.
+  /// Non-owning; call before concurrent use. No-ops under APC_OBS=0.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix);
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -72,6 +80,11 @@ class NotificationHub {
   std::deque<Notification> queue_;
   bool closed_ = false;
   int64_t total_pushed_ = 0;
+
+  // Observability (updated under mu_, read lock-free by snapshots).
+  obs::ObsCounter enqueued_;
+  obs::ObsCounter drained_;
+  obs::Gauge queue_depth_;
 };
 
 }  // namespace apc

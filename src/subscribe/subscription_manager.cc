@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace apc {
+
+void SubscriptionCounters::RegisterWith(obs::MetricsRegistry* registry,
+                                        const std::string& prefix) const {
+  registry->RegisterCounter(prefix + ".notifications", &notifications);
+  registry->RegisterCounter(prefix + ".evaluations", &evaluations);
+  registry->RegisterCounter(prefix + ".escalations", &escalations);
+  registry->RegisterCounter(prefix + ".suppressed", &suppressed);
+  registry->RegisterCounter(prefix + ".rejected", &rejected);
+}
 
 SubscriptionManager::SubscriptionManager(SubscriptionHost* host,
                                          size_t hub_capacity)
     : host_(host), hub_(hub_capacity) {
   notifier_ = std::thread([this] { NotifierLoop(); });
+}
+
+void SubscriptionManager::RegisterMetrics(obs::MetricsRegistry* registry) {
+  counters_.RegisterWith(registry, "subs");
+  registry->RegisterHistogram("subs.delivery_lag_ticks",
+                              &delivery_lag_ticks_);
+  hub_.RegisterMetrics(registry, "subs.hub");
 }
 
 SubscriptionManager::~SubscriptionManager() { Shutdown(); }
@@ -156,6 +174,8 @@ Interval SubscriptionManager::Answer(AggregateKind kind,
 
 void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
   counters_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder::Record(obs::TraceEvent::kNotifyEvaluate, /*id=*/-1,
+                             now, sub.sub_id);
 
   // The answer is built from guaranteed intervals, so it stays valid
   // passively until the next change event (see the class contract).
@@ -238,6 +258,8 @@ void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
   // UpdateBus discipline. A closed hub (shutdown) drops the record.
   if (hub_.Push(record)) {
     counters_.notifications.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceRecorder::Record(obs::TraceEvent::kNotifyShip, /*id=*/-1, now,
+                               sub.sub_id);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/aggregate.h"
 #include "subscribe/change_sink.h"
 #include "subscribe/notification_hub.h"
@@ -46,23 +47,31 @@ class SubscriptionHost {
   virtual void SubscriptionActivate() = 0;
 };
 
-/// Tallies observable without the manager's mutex.
+/// Tallies observable without the manager's mutex. The fields are
+/// obs::Counter — striped under APC_OBS=1, a single plain atomic under
+/// APC_OBS=0 — so the .load()/.fetch_add() surface and the exact-total
+/// guarantee are identical in both builds.
 struct SubscriptionCounters {
   /// Notifications queued into the hub (including registration answers).
-  std::atomic<int64_t> notifications{0};
+  obs::Counter notifications;
   /// Subscription re-evaluations triggered by interval changes or API
   /// calls (each recomputes one standing query's answer from snapshots).
-  std::atomic<int64_t> evaluations{0};
+  obs::Counter evaluations;
   /// Escalations: query-initiated refreshes the manager charged to narrow
   /// a too-wide answer. Capped at one per value per tick — the shared-
   /// refresh amortization bound.
-  std::atomic<int64_t> escalations{0};
+  obs::Counter escalations;
   /// Evaluations whose fresh answer was contained in the already-shipped
   /// one: the subscriber's held answer is still valid, nothing is pushed.
-  std::atomic<int64_t> suppressed{0};
+  obs::Counter suppressed;
   /// Subscribe/Reprecision requests rejected up front (unknown id, empty
   /// query, invalid bound).
-  std::atomic<int64_t> rejected{0};
+  obs::Counter rejected;
+
+  /// Registers every field with `registry` under "<prefix>." names.
+  /// Non-owning; this struct must outlive the registry's snapshots.
+  void RegisterWith(obs::MetricsRegistry* registry,
+                    const std::string& prefix) const;
 };
 
 /// The continuous-query layer over the refresh protocol: standing
@@ -151,6 +160,20 @@ class SubscriptionManager : public IntervalChangeSink {
   const SubscriptionCounters& counters() const { return counters_; }
   size_t num_subscriptions() const;
 
+  /// Registers the subscription tallies (under "subs."), the delivery-lag
+  /// histogram ("subs.delivery_lag_ticks"), and the hub's traffic metrics
+  /// ("subs.hub.") with `registry`. Non-owning; call during engine
+  /// construction. No-ops under APC_OBS=0.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// Records one delivered notification's lag (drain-time tick minus the
+  /// record's compute tick) into the delivery-lag histogram. Called by
+  /// subscriber/drainer threads; lock-free, no-op under APC_OBS=0.
+  void RecordDeliveryLag(double ticks) { delivery_lag_ticks_.Record(ticks); }
+  const obs::HistogramMetric& delivery_lag_histogram() const {
+    return delivery_lag_ticks_;
+  }
+
   /// Changes enqueued or mid-evaluation. 0 means every change handed to
   /// OnIntervalChanges has been fully evaluated (its notifications are in
   /// the hub). The no-missed-violation checker gates on this.
@@ -190,6 +213,10 @@ class SubscriptionManager : public IntervalChangeSink {
   SubscriptionHost* const host_;
   NotificationHub hub_;
   SubscriptionCounters counters_;
+  /// Ticks between an answer's compute tick and its drain from the hub,
+  /// recorded by consumers via RecordDeliveryLag. Log-spaced with a [0, 1)
+  /// underflow bin, so same-tick deliveries participate in quantiles.
+  obs::HistogramMetric delivery_lag_ticks_{1.0, 4096.0, 48};
 
   mutable std::mutex mu_;  // subscriptions, epochs, escalation ledger
   SubscriptionTable table_;
