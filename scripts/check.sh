@@ -1,21 +1,39 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a Release bench smoke run.
 #
-#   scripts/check.sh            # full: configure, build, ctest, bench smoke
+#   scripts/check.sh            # full: configure, build, ctest, Release
+#                               # validator pass-through, bench smoke
 #   scripts/check.sh --no-bench # tier-1 only
 #   scripts/check.sh --tsan     # rebuild with -DAPC_SANITIZE=thread and rerun
 #                               # the concurrency tests under ThreadSanitizer
 #   scripts/check.sh --asan     # rebuild with -DAPC_SANITIZE=address and rerun
 #                               # the subscribe + runtime suites under
 #                               # AddressSanitizer
+#   scripts/check.sh --ubsan    # rebuild with -DAPC_SANITIZE=undefined
+#                               # (no-recover) and run the FULL suite under
+#                               # UndefinedBehaviorSanitizer
 #   scripts/check.sh --obs      # build Release trees with APC_OBS on and off,
 #                               # verify tier-1 passes with the obs layer
 #                               # compiled out, measure the obs overhead on
 #                               # the seqlock 8-shard/8-thread row, and
 #                               # assemble BENCH_obs.json (fails if obs-on
 #                               # qps drops below 95% of obs-off)
+#   scripts/check.sh --analyze  # clang thread-safety analysis: build the
+#                               # whole tree with clang and
+#                               # -Werror=thread-safety(-beta) over the APC_*
+#                               # annotations (requires clang installed)
+#   scripts/check.sh --tidy     # clang-tidy over src/ with the repo
+#                               # .clang-tidy (requires clang-tidy installed)
+#
+# Every mode ends with one `check.sh[<mode>]: PASS` line; any failure
+# prints `check.sh[<mode>]: FAIL` and exits nonzero at that mode (set -e).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+MODE="${MODE#--}"
+trap 'st=$?; if [[ $st -ne 0 ]]; then echo "check.sh[$MODE]: FAIL" >&2; fi' EXIT
+pass() { echo "check.sh[$MODE]: PASS - $1"; trap - EXIT; exit 0; }
 
 # A deadlocked notification test (a consumer waiting on a hub nobody closes)
 # must fail fast instead of hanging the whole run.
@@ -23,7 +41,23 @@ CTEST_TIMEOUT=120
 
 # The suites with real thread interleavings; everything else is
 # single-threaded by construction. Shared by the tsan and asan modes.
-CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test|obs_test)$'
+# lock_order_test rides along: its death tests fork, which both sanitizers
+# support, and the validator's thread_local stacks deserve instrumented
+# coverage.
+CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test|obs_test|lock_order_test)$'
+
+# Locates a clang-family tool by its plain then versioned names (CI images
+# often ship clang-NN only). Prints the tool or fails with guidance.
+find_tool() {
+  local base="$1" v
+  if command -v "$base" >/dev/null 2>&1; then echo "$base"; return 0; fi
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" >/dev/null 2>&1; then echo "$base-$v"; return 0; fi
+  done
+  echo "check.sh[$MODE]: $base not found - install clang (the gcc default" \
+       "toolchain cannot run this mode; annotations are inert under gcc)" >&2
+  return 1
+}
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DAPC_SANITIZE=thread -DAPCACHE_BUILD_BENCHES=OFF \
@@ -31,8 +65,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -R "$CONCURRENCY_SUITES"
-  echo "check.sh: concurrency tests clean under ThreadSanitizer"
-  exit 0
+  pass "concurrency tests clean under ThreadSanitizer"
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then
@@ -44,8 +77,50 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -R "$CONCURRENCY_SUITES"
-  echo "check.sh: subscribe + runtime suites clean under AddressSanitizer"
-  exit 0
+  pass "subscribe + runtime suites clean under AddressSanitizer"
+fi
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+  # The FULL suite, not just the concurrency slice: UB (overflow, bad
+  # shifts, misaligned access) hides in the single-threaded math paths too.
+  # -fno-sanitize-recover (set by CMake for APC_SANITIZE=undefined) plus
+  # halt_on_error turns any finding into a test failure.
+  cmake -B build-ubsan -S . -DAPC_SANITIZE=undefined \
+        -DAPCACHE_BUILD_BENCHES=OFF -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-ubsan -j
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-ubsan --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
+  pass "full suite clean under UndefinedBehaviorSanitizer"
+fi
+
+if [[ "${1:-}" == "--analyze" ]]; then
+  # Clang's -Wthread-safety over the APC_* annotations, as errors, for the
+  # whole tree (library + tests + benches + examples): every GUARDED_BY /
+  # REQUIRES contract in src/ is checked at compile time. Build only — the
+  # binaries are byte-for-byte gcc-independent checks, tier-1 already ran
+  # them.
+  CXX_TOOL=$(find_tool clang++)
+  cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER="$CXX_TOOL" \
+        -DAPCACHE_THREAD_SAFETY=ON
+  cmake --build build-analyze -j
+  pass "clang thread-safety analysis clean (-Werror=thread-safety)"
+fi
+
+if [[ "${1:-}" == "--tidy" ]]; then
+  # clang-tidy with the repo .clang-tidy (bugprone/concurrency/performance)
+  # over every first-party translation unit, using the compile commands of
+  # a clang-configured tree so the annotation attributes parse.
+  TIDY_TOOL=$(find_tool clang-tidy)
+  CXX_TOOL=$(find_tool clang++)
+  cmake -B build-tidy -S . -DCMAKE_CXX_COMPILER="$CXX_TOOL"
+  # Tidy exactly the library TUs the build compiles (from the compile
+  # database, so flags and the APC_* attribute macros parse as clang sees
+  # them); headers are pulled in via HeaderFilterRegex.
+  mapfile -t tus < <(grep -o '"file": *"[^"]*"' build-tidy/compile_commands.json \
+                     | sed 's/.*"file": *"//; s/"$//' | grep '/src/' | sort -u)
+  "$TIDY_TOOL" -p build-tidy --warnings-as-errors='*' --quiet "${tus[@]}"
+  pass "clang-tidy clean over src/"
 fi
 
 if [[ "${1:-}" == "--obs" ]]; then
@@ -107,8 +182,7 @@ if [[ "${1:-}" == "--obs" ]]; then
     echo "check.sh: FAIL - obs overhead exceeds 5% on the seqlock hot row"
     exit 1
   fi
-  echo "check.sh: obs overhead within bound, obs-off tier-1 clean"
-  exit 0
+  pass "obs overhead within bound, obs-off tier-1 clean"
 fi
 
 # --- tier-1 verify -------------------------------------------------------
@@ -118,15 +192,18 @@ ctest --test-dir build --output-on-failure --no-tests=error \
       --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
 
 if [[ "${1:-}" == "--no-bench" ]]; then
-  echo "check.sh: tier-1 OK (bench smoke skipped)"
-  exit 0
+  pass "tier-1 OK (bench smoke skipped)"
 fi
 
-# --- Release bench smoke -------------------------------------------------
+# --- Release: validator compiled out + bench smoke -----------------------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_runtime_throughput \
-      --target bench_subscription_throughput
+      --target bench_subscription_throughput --target lock_order_test
+# APC_LOCK_ORDER=AUTO turns the validator OFF in Release; the test's
+# release branch proves inverted acquisitions pass through untouched.
+ctest --test-dir build-release --output-on-failure --no-tests=error \
+      --timeout "$CTEST_TIMEOUT" -R '^lock_order_test$'
 ./build-release/bench_runtime_throughput 500 128 build-release/BENCH_runtime.json
 ./build-release/bench_subscription_throughput 300 64 build-release/BENCH_subscriptions.json
 
-echo "check.sh: all checks passed"
+pass "tier-1, Release validator pass-through, and bench smoke OK"

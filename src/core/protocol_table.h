@@ -137,6 +137,15 @@ enum class SnapshotRead {
 /// yields SnapshotRead::kTorn, never a mixed interval. All slot fields are
 /// atomics, so the optimistic path is data-race-free (and TSan-clean) by
 /// construction.
+///
+/// Clang's thread-safety analysis enforces this contract AT THE OWNER:
+/// every engine declares its table member APC_GUARDED_BY its shard mutex,
+/// so all table method calls require that mutex held. The requirement is
+/// not spelled APC_REQUIRES here because the analysis matches capability
+/// expressions structurally and cannot name "whichever mutex my owner
+/// guards me with" (see docs/STATIC_ANALYSIS.md, "where contracts live").
+/// The owners' TryVisibleInterval call sites are the sanctioned
+/// APC_NO_THREAD_SAFETY_ANALYSIS carve-outs.
 class ProtocolTable {
  public:
   struct Config {
@@ -272,6 +281,9 @@ class ProtocolTable {
   /// store the payload with relaxed atomics, then publish an even version;
   /// readers validate the version around a relaxed copy. Plain fields
   /// would be a data race; atomics make the optimistic path well-defined.
+  // contracts-lint: allow(raw-atomic) -- seqlock slot payload: the atomics
+  // ARE the synchronization protocol (version-validated optimistic reads),
+  // not a tally; a mutex here would defeat the lock-free read path.
   struct VersionedSlot {
     std::atomic<uint32_t> version{0};
     std::atomic<bool> cached{false};

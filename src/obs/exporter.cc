@@ -1,6 +1,5 @@
 #include "obs/exporter.h"
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -116,7 +115,7 @@ bool SnapshotExporter::WriteFile(const std::string& path) const {
 void SnapshotExporter::StartBackground(const std::string& path,
                                        int64_t interval_ms) {
 #if APC_OBS
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   path_ = path;
   interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
@@ -131,32 +130,43 @@ void SnapshotExporter::StartBackground(const std::string& path,
 
 void SnapshotExporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 int64_t SnapshotExporter::exports_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return exports_written_;
 }
 
 void SnapshotExporter::BackgroundLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    std::string path = path_;
-    int64_t interval = interval_ms_;
-    lock.unlock();
+  // Two scoped critical sections per cycle with the file write between
+  // them, unlocked. WaitFor carries no predicate (predicate lambdas defeat
+  // clang's analysis — see util/mutex.h); a spurious wake just runs one
+  // extra export, which is harmless, and stop_ is re-checked under mu_ at
+  // both the top and the bottom of the cycle.
+  while (true) {
+    std::string path;
+    int64_t interval = 0;
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      path = path_;
+      interval = interval_ms_;
+    }
     bool wrote = WriteFile(path);
-    lock.lock();
-    if (wrote) ++exports_written_;
-    cv_.wait_for(lock, std::chrono::milliseconds(interval),
-                 [this] { return stop_; });
+    {
+      MutexLock lock(mu_);
+      if (wrote) ++exports_written_;
+      if (stop_) return;
+      cv_.WaitFor(mu_, interval);
+    }
   }
 }
 

@@ -14,13 +14,13 @@
 // Under APC_OBS=0 the document is a stub ("obs_enabled": 0, no metrics)
 // and the background thread never starts.
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 namespace obs {
@@ -55,13 +55,18 @@ class SnapshotExporter {
 
   const MetricsRegistry* const registry_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::string path_;
-  int64_t interval_ms_ = 0;
-  int64_t exports_written_ = 0;
-  bool running_ = false;
-  bool stop_ = false;
+  /// Ranked below the registry: the exporter never snapshots while holding
+  /// mu_ (WriteFile runs unlocked), but a control thread may configure the
+  /// exporter and then register metrics, so kObsExporter < kObsRegistry.
+  mutable Mutex mu_{LockRank::kObsExporter, "obs.exporter.mu"};
+  CondVar cv_;
+  std::string path_ APC_GUARDED_BY(mu_);
+  int64_t interval_ms_ APC_GUARDED_BY(mu_) = 0;
+  int64_t exports_written_ APC_GUARDED_BY(mu_) = 0;
+  bool running_ APC_GUARDED_BY(mu_) = false;
+  bool stop_ APC_GUARDED_BY(mu_) = false;
+  /// Managed by StartBackground/Stop only; Stop joins after observing
+  /// running_ under mu_, so the handle itself needs no guard.
   std::thread worker_;
 };
 

@@ -88,26 +88,26 @@ double HistogramMetric::Snapshot::Quantile(double q) const {
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.emplace_back(name, counter);
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     const Gauge* gauge) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.emplace_back(name, gauge);
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const HistogramMetric* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_.emplace_back(name, histogram);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
       snap.counters.emplace_back(name, counter->load());

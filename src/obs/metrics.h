@@ -21,10 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 namespace obs {
@@ -187,10 +189,17 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, const Counter*>> counters_;
-  std::vector<std::pair<std::string, const Gauge*>> gauges_;
-  std::vector<std::pair<std::string, const HistogramMetric*>> histograms_;
+  /// Near the top of the obs rank band: TakeSnapshot may run while engine
+  /// or exporter locks are held by their owners elsewhere, but this thread
+  /// holds none of them — registration and snapshots are leaf operations,
+  /// so kObsRegistry sits above every engine class and the exporter.
+  mutable Mutex mu_{LockRank::kObsRegistry, "obs.registry.mu"};
+  std::vector<std::pair<std::string, const Counter*>> counters_
+      APC_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> gauges_
+      APC_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms_
+      APC_GUARDED_BY(mu_);
 };
 
 #else  // !APC_OBS ------------------------------------------------------

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 namespace obs {
@@ -52,10 +54,13 @@ struct Ring {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Ring>> rings;
-  size_t ring_capacity = 4096;
-  uint32_t next_tid = 0;
+  /// Top of the rank order: ring registration is a leaf (first trace event
+  /// on a thread, Enable/Reset/Dump from quiesced tests) and never takes
+  /// another lock while held.
+  Mutex mu{LockRank::kObsTrace, "obs.trace.mu"};
+  std::vector<std::unique_ptr<Ring>> rings APC_GUARDED_BY(mu);
+  size_t ring_capacity APC_GUARDED_BY(mu) = 4096;
+  uint32_t next_tid APC_GUARDED_BY(mu) = 0;
 };
 
 Registry& GlobalRegistry() {
@@ -74,7 +79,7 @@ Ring* ThisThreadRing() {
   uint64_t generation = g_generation.load(std::memory_order_acquire);
   if (ring == nullptr || ring_generation != generation) {
     Registry& registry = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     auto owned = std::make_unique<Ring>(registry.ring_capacity);
     owned->tid = registry.next_tid++;
     ring = owned.get();
@@ -89,7 +94,7 @@ Ring* ThisThreadRing() {
 void TraceRecorder::Enable(size_t ring_capacity) {
   Registry& registry = GlobalRegistry();
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     registry.rings.clear();
     registry.ring_capacity = ring_capacity < 1 ? 1 : ring_capacity;
     registry.next_tid = 0;
@@ -121,7 +126,7 @@ std::vector<TraceRecord> TraceRecorder::DumpTrace() {
   Registry& registry = GlobalRegistry();
   std::vector<TraceRecord> out;
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     for (const auto& ring : registry.rings) {
       size_t capacity = ring->slots.size();
       size_t retained = ring->written < capacity
@@ -144,7 +149,7 @@ std::vector<TraceRecord> TraceRecorder::DumpTrace() {
 void TraceRecorder::Reset() {
   Registry& registry = GlobalRegistry();
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     registry.rings.clear();
     registry.next_tid = 0;
   }

@@ -2,9 +2,10 @@
 #define APC_RUNTIME_RUNTIME_UTIL_H_
 
 #include <cstdint>
-#include <shared_mutex>
 
 #include "runtime/shard.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 namespace runtime_internal {
@@ -25,9 +26,18 @@ inline uint64_t MixId(uint64_t x) {
 /// non-seqlock snapshot paths and observability reads (seqlock-mode
 /// observability also lands here — those reads are rare and want a
 /// consistent locked view, not an optimistic one).
-class ReadLock {
+///
+/// To clang's analysis this is a scoped SHARED capability in both modes:
+/// the kExclusive branch over-holds (exclusive where shared is claimed),
+/// which is safe — read paths never write guarded state under a ReadLock.
+class APC_SCOPED_CAPABILITY ReadLock {
  public:
-  ReadLock(std::shared_mutex& mu, ReadLockMode mode)
+  // The bodies are exempt from analysis (NO_THREAD_SAFETY_ANALYSIS): the
+  // kExclusive branch acquires exclusively under a shared-acquire
+  // declaration, a mode mix clang cannot type. Callers see the shared
+  // contract; the lock-order validator still checks both branches.
+  ReadLock(SharedMutex& mu, ReadLockMode mode)
+      APC_ACQUIRE_SHARED(mu) APC_NO_THREAD_SAFETY_ANALYSIS
       : mu_(mu), exclusive_(mode == ReadLockMode::kExclusive) {
     if (exclusive_) {
       mu_.lock();
@@ -35,7 +45,7 @@ class ReadLock {
       mu_.lock_shared();
     }
   }
-  ~ReadLock() {
+  ~ReadLock() APC_RELEASE_GENERIC() APC_NO_THREAD_SAFETY_ANALYSIS {
     if (exclusive_) {
       mu_.unlock();
     } else {
@@ -46,7 +56,7 @@ class ReadLock {
   ReadLock& operator=(const ReadLock&) = delete;
 
  private:
-  std::shared_mutex& mu_;
+  SharedMutex& mu_;
   const bool exclusive_;
 };
 

@@ -34,11 +34,24 @@ Shard::Shard(int index, const SystemConfig& config, size_t capacity,
 
 bool Shard::AddSource(std::unique_ptr<Source> source) {
   if (source == nullptr) return false;
+  // Construction-time only, but the lock keeps the guarded-member
+  // contract unconditional (and is charged exactly once per source).
+  WriterMutexLock lock(mu_);
   bool inserted = by_id_.emplace(source->id(), sources_.size()).second;
   if (!inserted) return false;  // duplicate id: rejected, caller decides
   table_.Register(source->id());
   sources_.push_back(std::move(source));
   return true;
+}
+
+size_t Shard::num_sources() const {
+  ReaderMutexLock lock(mu_);
+  return sources_.size();
+}
+
+SnapshotRead Shard::TryVisibleIntervalNoLock(int id, int64_t now,
+                                             Interval* out) const {
+  return table_.TryVisibleInterval(id, now, out);
 }
 
 Source* Shard::FindSource(int id) const {
@@ -49,7 +62,7 @@ Source* Shard::FindSource(int id) const {
 void Shard::SetChangeSink(IntervalChangeSink* sink) { sink_ = sink; }
 
 void Shard::EnableChangeTracking() {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   table_.EnableChangeTracking();
 }
 
@@ -61,7 +74,7 @@ void Shard::PublishChangesLocked(int64_t now) {
 }
 
 void Shard::PopulateInitial(int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (auto& src : sources_) {
     table_.OfferInitial(src->id(), src->cell(), src->value(), now);
   }
@@ -114,13 +127,13 @@ void Shard::RecordRejectedUpdateLocked() {
 }
 
 void Shard::TickAll(int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (auto& src : sources_) TickSourceLocked(src.get(), now);
   PublishChangesLocked(now);
 }
 
 void Shard::TickSource(int id, int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   Source* src = FindSource(id);
   if (src == nullptr) {
     RecordRejectedUpdateLocked();
@@ -131,7 +144,7 @@ void Shard::TickSource(int id, int64_t now) {
 }
 
 void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   // Batch maximum, not the last element: with multiple bus producers the
   // batch need not be time-ordered, and publishing a change at an earlier
   // logical time than the tick that produced it would let the notifier
@@ -152,7 +165,7 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
 Interval Shard::VisibleInterval(int id, int64_t now) const {
   if (read_mode_ == ReadLockMode::kSeqlock) {
     Interval out;
-    if (table_.TryVisibleInterval(id, now, &out) != SnapshotRead::kTorn) {
+    if (TryVisibleIntervalNoLock(id, now, &out) != SnapshotRead::kTorn) {
       return out;
     }
     // Torn by a racing refresh: settle it under the shared lock.
@@ -174,7 +187,7 @@ void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
     for (size_t i = 0; i < slots.size(); ++i) {
       const auto& [pos, id] = slots[i];
       Interval out;
-      if (table_.TryVisibleInterval(id, now, &out) == SnapshotRead::kTorn) {
+      if (TryVisibleIntervalNoLock(id, now, &out) == SnapshotRead::kTorn) {
         RecordSeqlockRetry(id, now);
         torn.push_back(i);
       } else {
@@ -204,7 +217,7 @@ double Shard::PullExactLocked(Source* src, int64_t now) {
 }
 
 double Shard::PullExact(int id, int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   Source* src = FindSource(id);
   if (src == nullptr) {
     if (counters_ != nullptr) {
@@ -219,7 +232,7 @@ double Shard::PullExact(int id, int64_t now) {
 
 void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
                           std::vector<QueryItem>* items, int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (const auto& [pos, id] : slots) {
     Source* src = FindSource(id);
     if (src == nullptr) {
@@ -238,7 +251,7 @@ void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
 int Shard::PullCandidateRun(AggregateKind kind, double constraint,
                             int first_idx, std::vector<QueryItem>* items,
                             int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   int idx = first_idx;
   while (idx >= 0) {
     int id = (*items)[static_cast<size_t>(idx)].source_id;
@@ -269,20 +282,20 @@ Interval Shard::PointRead(int id, double max_width, int64_t now) {
   // second acquisition there would bias the bench comparison.
   if (read_mode_ == ReadLockMode::kSeqlock) {
     Interval visible;
-    SnapshotRead read = table_.TryVisibleInterval(id, now, &visible);
+    SnapshotRead read = TryVisibleIntervalNoLock(id, now, &visible);
     if (read == SnapshotRead::kHit && visible.Width() <= max_width) {
       return visible;
     }
     if (read == SnapshotRead::kTorn) RecordSeqlockRetry(id, now);
   } else if (read_mode_ == ReadLockMode::kShared) {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const ProtocolEntry* entry = table_.Find(id);
     if (entry != nullptr) {
       Interval visible = entry->approx.AtTime(now);
       if (visible.Width() <= max_width) return visible;
     }
   }
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   // Check (again, in the optimistic modes) under the exclusive lock: a
   // refresh may have landed between the two acquisitions, making the pull
   // (and its Cqr charge) needless.
@@ -304,12 +317,12 @@ Interval Shard::PointRead(int id, double max_width, int64_t now) {
 }
 
 void Shard::BeginMeasurement(int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   table_.costs().BeginMeasurement(now);
 }
 
 void Shard::EndMeasurement(int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   table_.costs().EndMeasurement(now);
 }
 
@@ -330,7 +343,10 @@ size_t Shard::CacheSize() const {
   return table_.size();
 }
 
-size_t Shard::CacheCapacity() const { return table_.capacity(); }
+size_t Shard::CacheCapacity() const {
+  ReaderMutexLock lock(mu_);
+  return table_.capacity();
+}
 
 int64_t Shard::lost_pushes() const {
   ReadLock lock(mu_, read_mode_);

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -16,6 +15,8 @@
 #include "obs/metrics.h"
 #include "query/aggregate.h"
 #include "subscribe/change_sink.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -118,7 +119,7 @@ class Shard {
   bool AddSource(std::unique_ptr<Source> source);
 
   int index() const { return index_; }
-  size_t num_sources() const { return sources_.size(); }
+  size_t num_sources() const;
   /// Safe without the lock: the id map is immutable once construction ends.
   bool Owns(int id) const { return by_id_.count(id) != 0; }
 
@@ -217,29 +218,41 @@ class Shard {
 
  private:
   /// Owned source for `id`, or nullptr (never throws — pump hardening).
-  Source* FindSource(int id) const;
-  void TickSourceLocked(Source* src, int64_t now);
-  void RecordRejectedUpdateLocked();
-  double PullExactLocked(Source* src, int64_t now);
+  Source* FindSource(int id) const APC_REQUIRES_SHARED(mu_);
+  void TickSourceLocked(Source* src, int64_t now) APC_REQUIRES(mu_);
+  void RecordRejectedUpdateLocked() APC_REQUIRES(mu_);
+  double PullExactLocked(Source* src, int64_t now) APC_REQUIRES(mu_);
   /// Drains the table's dirty ids to the change sink; requires the shard
   /// lock held exclusively. No-op without a sink.
-  void PublishChangesLocked(int64_t now);
+  void PublishChangesLocked(int64_t now) APC_REQUIRES(mu_);
   /// Observability taps for the seqlock read path: counter bump (skipped
   /// when the shard is engine-less) plus a trace event when recording.
   void RecordSeqlockRetry(int id, int64_t now) const;
   void RecordSharedFallback(int id, int64_t now, int64_t torn_count) const;
+  /// The seqlock optimistic read — the ONE sanctioned analysis carve-out:
+  /// it touches `table_`'s versioned slots with no shard lock by design
+  /// (validation detects torn reads), which GUARDED_BY cannot type.
+  SnapshotRead TryVisibleIntervalNoLock(int id, int64_t now, Interval* out)
+      const APC_NO_THREAD_SAFETY_ANALYSIS;
 
   const int index_;
   RuntimeCounters* const counters_;
   const ReadLockMode read_mode_;
 
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Source>> sources_;
+  /// One lock class kEngineShard for every shard: engines take shard locks
+  /// one at a time (never two shards nested), after the subscription
+  /// manager's mutex and before edge/queue/leaf classes.
+  mutable SharedMutex mu_{LockRank::kEngineShard, "shard.mu"};
+  std::vector<std::unique_ptr<Source>> sources_ APC_GUARDED_BY(mu_);
+  /// Immutable once construction ends (AddSource documents this); Owns()
+  /// reads it lock-free from any thread, so it is deliberately unguarded.
   std::unordered_map<int, size_t> by_id_;
-  ProtocolTable table_;
-  int64_t rejected_updates_ = 0;
+  ProtocolTable table_ APC_GUARDED_BY(mu_);
+  int64_t rejected_updates_ APC_GUARDED_BY(mu_) = 0;
+  /// Set once before concurrent use (SetChangeSink documents this); the
+  /// pointee is thread-safe (it only enqueues), so unguarded like by_id_.
   IntervalChangeSink* sink_ = nullptr;
-  std::vector<int> dirty_scratch_;  // reused under the exclusive lock
+  std::vector<int> dirty_scratch_ APC_GUARDED_BY(mu_);  // exclusive-lock scratch
 };
 
 }  // namespace apc

@@ -193,7 +193,7 @@ Interval ShardedEngine::PointRead(int id, double max_width, int64_t now) {
 }
 
 bool ShardedEngine::StartUpdatePump() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   if (pump_running_) return true;
   if (bus_.closed()) return false;  // a closed bus never reopens
   pump_running_ = true;
@@ -202,7 +202,7 @@ bool ShardedEngine::StartUpdatePump() {
 }
 
 void ShardedEngine::StopUpdatePump() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   if (!pump_running_) return;
   bus_.Close();
   pump_.join();

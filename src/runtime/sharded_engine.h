@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +11,8 @@
 #include "runtime/shard.h"
 #include "runtime/update_bus.h"
 #include "subscribe/subscription_manager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -214,9 +215,10 @@ class ShardedEngine : private SubscriptionHost {
   size_t num_sources_ = 0;
   RuntimeCounters counters_;
   UpdateBus bus_;
-  std::mutex pump_mu_;  // serializes Start/StopUpdatePump
-  std::thread pump_;
-  bool pump_running_ = false;
+  /// Rank kControl: Stop closes the bus (kQueue) and joins under it.
+  Mutex pump_mu_{LockRank::kControl, "sharded.pump_mu"};
+  std::thread pump_ APC_GUARDED_BY(pump_mu_);
+  bool pump_running_ APC_GUARDED_BY(pump_mu_) = false;
   /// Declared last: destroyed first, so the notifier thread is joined
   /// while the shards it reads through are still alive.
   SubscriptionManager subscriptions_;

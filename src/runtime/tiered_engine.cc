@@ -131,13 +131,23 @@ TieredEngine::TieredEngine(const TieredConfig& config,
         ProtocolTable::Config{config_.wan, regional_cap,
                               config_.wan_push_loss},
         config_.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(s)));
-    for (int id : ids) {
-      rs->by_id.emplace(id, rs->sources.size());
-      rs->table.Register(id);
-      rs->sources.push_back(std::make_unique<Source>(
-          id, std::move(streams[static_cast<size_t>(id)]),
-          std::make_unique<AdaptivePolicy>(
-              regional_params, regional_seeds[static_cast<size_t>(id)])));
+    // No thread can see the shards yet, but populating under their locks
+    // keeps the guarded-member contract unconditional (charged once, at
+    // construction). Lock order regional -> edge, same as every run-time
+    // path. `initial_values[i]` seeds the edge cells of ids[i].
+    std::vector<double> initial_values;
+    initial_values.reserve(ids.size());
+    {
+      WriterMutexLock rlock(rs->mu);
+      for (int id : ids) {
+        rs->by_id.emplace(id, rs->sources.size());
+        rs->table.Register(id);
+        rs->sources.push_back(std::make_unique<Source>(
+            id, std::move(streams[static_cast<size_t>(id)]),
+            std::make_unique<AdaptivePolicy>(
+                regional_params, regional_seeds[static_cast<size_t>(id)])));
+        initial_values.push_back(rs->sources.back()->value());
+      }
     }
     for (int e = 0; e < num_edges; ++e) {
       auto es = std::make_unique<EdgeShard>(
@@ -145,8 +155,10 @@ TieredEngine::TieredEngine(const TieredConfig& config,
           config_.seed ^
               (0xbf58476d1ce4e5b9ULL *
                static_cast<uint64_t>(1 + e * num_shards + s)));
+      WriterMutexLock elock(es->mu);
       es->cells.reserve(ids.size());
-      for (int id : ids) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        int id = ids[i];
         es->by_id.emplace(id, es->cells.size());
         es->table.Register(id);
         // The cell's constructor-time shipment is a placeholder;
@@ -155,7 +167,7 @@ TieredEngine::TieredEngine(const TieredConfig& config,
             std::make_unique<AdaptivePolicy>(
                 edge_params,
                 edge_seeds[static_cast<size_t>(e)][static_cast<size_t>(id)]),
-            rs->sources[rs->by_id.at(id)]->value(), 0);
+            initial_values[i], 0);
       }
       edges_[static_cast<size_t>(e)].push_back(std::move(es));
     }
@@ -185,7 +197,7 @@ void TieredEngine::SubscriptionActivate() {
   // change-detection hook (edge tables stay untracked). Enabled lazily on
   // the first Subscribe so subscription-free engines pay nothing.
   for (auto& rs : regional_) {
-    std::lock_guard<std::shared_mutex> lock(rs->mu);
+    WriterMutexLock lock(rs->mu);
     rs->table.EnableChangeTracking();
   }
 }
@@ -208,6 +220,11 @@ bool TieredEngine::Owns(int id) const {
   return rs.by_id.count(id) != 0;
 }
 
+SnapshotRead TieredEngine::TryEdgeVisibleNoLock(const EdgeShard& es, int id,
+                                                int64_t now, Interval* out) {
+  return es.table.TryVisibleInterval(id, now, out);
+}
+
 CachedApprox TieredEngine::DerivedApprox(const ProtocolCell& cell,
                                          const Interval& parent,
                                          int64_t now) {
@@ -220,14 +237,14 @@ CachedApprox TieredEngine::DerivedApprox(const ProtocolCell& cell,
 void TieredEngine::PopulateInitial(int64_t now) {
   for (size_t s = 0; s < regional_.size(); ++s) {
     RegionalShard& rs = *regional_[s];
-    std::lock_guard<std::shared_mutex> rlock(rs.mu);
+    WriterMutexLock rlock(rs.mu);
     for (auto& src : rs.sources) {
       rs.table.OfferInitial(src->id(), src->cell(), src->value(), now);
     }
     PublishRegionalChangesLocked(rs, now);
     for (auto& edge : edges_) {
       EdgeShard& es = *edge[s];
-      std::lock_guard<std::shared_mutex> elock(es.mu);
+      WriterMutexLock elock(es.mu);
       for (auto& src : rs.sources) {
         int id = src->id();
         Interval parent = src->cell().last_shipped().AtTime(now);
@@ -240,12 +257,12 @@ void TieredEngine::PopulateInitial(int64_t now) {
   }
 }
 
-void TieredEngine::TickSourceLocked(int shard, Source* src, int64_t now) {
+void TieredEngine::TickSourceLocked(RegionalShard& rs, int shard,
+                                    Source* src, int64_t now) {
   src->Tick();
   counters_.updates_applied.fetch_add(1, std::memory_order_relaxed);
   ValueTickOutcome outcome =
-      regional_[static_cast<size_t>(shard)]->table.OnValueTick(
-          src->id(), src->cell(), src->value(), now);
+      rs.table.OnValueTick(src->id(), src->cell(), src->value(), now);
   if (outcome.lost) {
     counters_.lost_wan_pushes.fetch_add(1, std::memory_order_relaxed);
   }
@@ -253,17 +270,20 @@ void TieredEngine::TickSourceLocked(int shard, Source* src, int64_t now) {
   // fallen out of containment — nothing to fan out (and charging a LAN
   // push for an undelivered regional interval would be wrong).
   if (outcome.refreshed && !outcome.lost) {
-    FanOutLocked(shard, src->id(), src->cell().last_shipped().AtTime(now),
-                 now, /*skip_edge=*/-1);
+    FanOutLocked(rs, shard, src->id(),
+                 src->cell().last_shipped().AtTime(now), now,
+                 /*skip_edge=*/-1);
   }
 }
 
-void TieredEngine::FanOutLocked(int shard, int id, const Interval& parent,
-                                int64_t now, int skip_edge) {
+void TieredEngine::FanOutLocked(RegionalShard& rs, int shard, int id,
+                                const Interval& parent, int64_t now,
+                                int skip_edge) {
+  (void)rs;  // the capability parameter: exclusivity of rs.mu is the contract
   for (int e = 0; e < config_.num_edges; ++e) {
     if (e == skip_edge) continue;
     EdgeShard& es = *edges_[static_cast<size_t>(e)][static_cast<size_t>(shard)];
-    std::lock_guard<std::shared_mutex> lock(es.mu);
+    WriterMutexLock lock(es.mu);
     ProtocolCell& cell = es.cells[es.by_id.at(id)];
     // Containment is tested against the sender-side record of what was
     // last shipped to this edge (the cell), not against the edge cache:
@@ -285,10 +305,11 @@ void TieredEngine::FanOutLocked(int shard, int id, const Interval& parent,
   }
 }
 
-void TieredEngine::InstallDerived(EdgeShard& es, int id,
-                                  const Interval& parent, RefreshType type,
-                                  int64_t now) {
-  std::lock_guard<std::shared_mutex> lock(es.mu);
+void TieredEngine::InstallDerived(const RegionalShard& rs, EdgeShard& es,
+                                  int id, const Interval& parent,
+                                  RefreshType type, int64_t now) {
+  (void)rs;  // the capability parameter: rs.mu (shared) pins `parent`
+  WriterMutexLock lock(es.mu);
   ProtocolCell& cell = es.cells[es.by_id.at(id)];
   cell.AdvanceWidth(type, /*escaped_above=*/false, now);
   CachedApprox approx = DerivedApprox(cell, parent, now);
@@ -299,9 +320,9 @@ void TieredEngine::InstallDerived(EdgeShard& es, int id,
 void TieredEngine::TickAll(int64_t now) {
   for (size_t s = 0; s < regional_.size(); ++s) {
     RegionalShard& rs = *regional_[s];
-    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    WriterMutexLock lock(rs.mu);
     for (auto& src : rs.sources) {
-      TickSourceLocked(static_cast<int>(s), src.get(), now);
+      TickSourceLocked(rs, static_cast<int>(s), src.get(), now);
     }
     PublishRegionalChangesLocked(rs, now);
   }
@@ -310,20 +331,20 @@ void TieredEngine::TickAll(int64_t now) {
 void TieredEngine::TickSource(int id, int64_t now) {
   int s = ShardOf(id);
   RegionalShard& rs = *regional_[static_cast<size_t>(s)];
-  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  WriterMutexLock lock(rs.mu);
   auto it = rs.by_id.find(id);
   if (it == rs.by_id.end()) {
     counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  TickSourceLocked(s, rs.sources[it->second].get(), now);
+  TickSourceLocked(rs, s, rs.sources[it->second].get(), now);
   PublishRegionalChangesLocked(rs, now);
 }
 
 void TieredEngine::ApplyShardTicks(
     int shard, const std::vector<std::pair<int, int64_t>>& updates) {
   RegionalShard& rs = *regional_[static_cast<size_t>(shard)];
-  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  WriterMutexLock lock(rs.mu);
   // Batch maximum, not the last element (see Shard::TickSources): the bus
   // batch need not be time-ordered.
   int64_t last_now = 0;
@@ -334,7 +355,7 @@ void TieredEngine::ApplyShardTicks(
       counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    TickSourceLocked(shard, rs.sources[it->second].get(), now);
+    TickSourceLocked(rs, shard, rs.sources[it->second].get(), now);
   }
   PublishRegionalChangesLocked(rs, last_now);
 }
@@ -355,8 +376,7 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
   // escalates into the locked path below, which re-checks.
   if (config_.read_lock_mode == ReadLockMode::kSeqlock) {
     Interval visible;
-    if (es.table.TryVisibleInterval(id, now, &visible) ==
-            SnapshotRead::kHit &&
+    if (TryEdgeVisibleNoLock(es, id, now, &visible) == SnapshotRead::kHit &&
         visible.Width() <= constraint) {
       counters_.edge_hits.fetch_add(1, std::memory_order_relaxed);
       return visible;
@@ -393,7 +413,8 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
     if (regional.Width() <= constraint) {
       // One LAN Cqr (charged by the derived install) buys the regional
       // interval; the edge receives its derived hull in the reply.
-      InstallDerived(es, id, regional, RefreshType::kQueryInitiated, now);
+      InstallDerived(rs, es, id, regional, RefreshType::kQueryInitiated,
+                     now);
       counters_.regional_hits.fetch_add(1, std::memory_order_relaxed);
       return regional;
     }
@@ -402,7 +423,7 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
   // The regional interval is too wide as well: take the regional lock
   // exclusively, re-check (a racing pull may have satisfied the bound, in
   // which case the WAN charge is saved), and pull from the source.
-  std::lock_guard<std::shared_mutex> xlock(rs.mu);
+  WriterMutexLock xlock(rs.mu);
   Interval regional = rs.table.VisibleInterval(id, now);
   Interval answer;
   if (regional.Width() <= constraint) {
@@ -418,11 +439,12 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
     // The recentered regional interval cascades to the OTHER edges as LAN
     // pushes; the reading edge gets its derived interval in the reply it
     // already paid for (HierarchicalSystem's skip_edge rule).
-    FanOutLocked(s, id, regional, now, /*skip_edge=*/edge);
+    FanOutLocked(rs, s, id, regional, now, /*skip_edge=*/edge);
     answer = Interval::Exact(src->value());
     PublishRegionalChangesLocked(rs, now);
   }
-  InstallDerived(es, id, regional, RefreshType::kQueryInitiated, now);
+  InstallDerived(rs, es, id, regional, RefreshType::kQueryInitiated,
+                     now);
   return answer;
 }
 
@@ -434,7 +456,7 @@ Interval TieredEngine::SubscriptionPull(int id, int64_t now) {
   if (!Owns(id)) return Interval::Unbounded();
   const int s = ShardOf(id);
   RegionalShard& rs = *regional_[static_cast<size_t>(s)];
-  std::lock_guard<std::shared_mutex> lock(rs.mu);
+  WriterMutexLock lock(rs.mu);
   // One WAN Cqr recenters the regional interval; the fan-out ships the
   // news to every edge that fell out of containment — a subscription
   // escalation is charged exactly like an escalated read's source pull.
@@ -442,13 +464,13 @@ Interval TieredEngine::SubscriptionPull(int id, int64_t now) {
   rs.table.Pull(src->id(), src->cell(), src->value(), now);
   counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);
   Interval regional = src->cell().last_shipped().AtTime(now);
-  FanOutLocked(s, id, regional, now, /*skip_edge=*/-1);
+  FanOutLocked(rs, s, id, regional, now, /*skip_edge=*/-1);
   PublishRegionalChangesLocked(rs, now);
   return rs.table.VisibleInterval(id, now);
 }
 
 bool TieredEngine::StartUpdatePump() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   if (pump_running_) return true;
   if (bus_.closed()) return false;  // a closed bus never reopens
   pump_running_ = true;
@@ -457,7 +479,7 @@ bool TieredEngine::StartUpdatePump() {
 }
 
 void TieredEngine::StopUpdatePump() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   if (!pump_running_) return;
   bus_.Close();
   pump_.join();
@@ -499,11 +521,11 @@ void TieredEngine::PumpLoop() {
 void TieredEngine::BeginMeasurement(int64_t now) {
   for (size_t s = 0; s < regional_.size(); ++s) {
     RegionalShard& rs = *regional_[s];
-    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    WriterMutexLock lock(rs.mu);
     rs.table.costs().BeginMeasurement(now);
     for (auto& edge : edges_) {
       EdgeShard& es = *edge[s];
-      std::lock_guard<std::shared_mutex> elock(es.mu);
+      WriterMutexLock elock(es.mu);
       es.table.costs().BeginMeasurement(now);
     }
   }
@@ -512,11 +534,11 @@ void TieredEngine::BeginMeasurement(int64_t now) {
 void TieredEngine::EndMeasurement(int64_t now) {
   for (size_t s = 0; s < regional_.size(); ++s) {
     RegionalShard& rs = *regional_[s];
-    std::lock_guard<std::shared_mutex> lock(rs.mu);
+    WriterMutexLock lock(rs.mu);
     rs.table.costs().EndMeasurement(now);
     for (auto& edge : edges_) {
       EdgeShard& es = *edge[s];
-      std::lock_guard<std::shared_mutex> elock(es.mu);
+      WriterMutexLock elock(es.mu);
       es.table.costs().EndMeasurement(now);
     }
   }
@@ -538,7 +560,7 @@ void Accumulate(EngineCosts* total, const CostTracker& costs) {
 EngineCosts TieredEngine::WanCosts() const {
   EngineCosts total;
   for (const auto& rs : regional_) {
-    std::shared_lock<std::shared_mutex> lock(rs->mu);
+    ReaderMutexLock lock(rs->mu);
     Accumulate(&total, rs->table.costs());
   }
   return total;
@@ -548,7 +570,7 @@ EngineCosts TieredEngine::LanCosts() const {
   EngineCosts total;
   for (const auto& edge : edges_) {
     for (const auto& es : edge) {
-      std::shared_lock<std::shared_mutex> lock(es->mu);
+      ReaderMutexLock lock(es->mu);
       Accumulate(&total, es->table.costs());
     }
   }
@@ -562,7 +584,7 @@ double TieredEngine::TotalCostRate() const {
 int64_t TieredEngine::lost_wan_pushes() const {
   int64_t total = 0;
   for (const auto& rs : regional_) {
-    std::shared_lock<std::shared_mutex> lock(rs->mu);
+    ReaderMutexLock lock(rs->mu);
     total += rs->table.lost_pushes();
   }
   return total;
@@ -572,7 +594,7 @@ int64_t TieredEngine::lost_lan_pushes() const {
   int64_t total = 0;
   for (const auto& edge : edges_) {
     for (const auto& es : edge) {
-      std::shared_lock<std::shared_mutex> lock(es->mu);
+      ReaderMutexLock lock(es->mu);
       total += es->table.lost_pushes();
     }
   }
@@ -582,7 +604,7 @@ int64_t TieredEngine::lost_lan_pushes() const {
 Interval TieredEngine::regional_interval(int id, int64_t now) const {
   if (!Owns(id)) return Interval::Unbounded();
   const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
-  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  ReaderMutexLock lock(rs.mu);
   return rs.table.VisibleInterval(id, now);
 }
 
@@ -592,14 +614,14 @@ Interval TieredEngine::edge_interval(int edge, int id, int64_t now) const {
   }
   const EdgeShard& es =
       *edges_[static_cast<size_t>(edge)][static_cast<size_t>(ShardOf(id))];
-  std::shared_lock<std::shared_mutex> lock(es.mu);
+  ReaderMutexLock lock(es.mu);
   return es.table.VisibleInterval(id, now);
 }
 
 double TieredEngine::regional_raw_width(int id) const {
   if (!Owns(id)) return std::numeric_limits<double>::quiet_NaN();
   const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
-  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  ReaderMutexLock lock(rs.mu);
   return rs.sources[rs.by_id.at(id)]->raw_width();
 }
 
@@ -609,14 +631,14 @@ double TieredEngine::edge_raw_width(int edge, int id) const {
   }
   const EdgeShard& es =
       *edges_[static_cast<size_t>(edge)][static_cast<size_t>(ShardOf(id))];
-  std::shared_lock<std::shared_mutex> lock(es.mu);
+  ReaderMutexLock lock(es.mu);
   return es.cells[es.by_id.at(id)].raw_width();
 }
 
 double TieredEngine::exact_value(int id) const {
   if (!Owns(id)) return std::numeric_limits<double>::quiet_NaN();
   const RegionalShard& rs = *regional_[static_cast<size_t>(ShardOf(id))];
-  std::shared_lock<std::shared_mutex> lock(rs.mu);
+  ReaderMutexLock lock(rs.mu);
   return rs.sources[rs.by_id.at(id)]->value();
 }
 
@@ -627,14 +649,14 @@ bool TieredEngine::DerivedInvariantHolds(int64_t now) const {
     // (regional, edge) state — fan-outs need it exclusively, installs at
     // least shared with the then-current parent — so the check is valid
     // at any instant, not just at quiescence.
-    std::shared_lock<std::shared_mutex> rlock(rs.mu);
+    ReaderMutexLock rlock(rs.mu);
     for (const auto& [id, idx] : rs.by_id) {
       const ProtocolEntry* regional = rs.table.Find(id);
       if (regional == nullptr) continue;  // evicted: nothing to compare
       Interval parent = regional->approx.AtTime(now);
       for (const auto& edge : edges_) {
         const EdgeShard& es = *edge[s];
-        std::shared_lock<std::shared_mutex> elock(es.mu);
+        ReaderMutexLock elock(es.mu);
         if (!es.table.VisibleInterval(id, now).Contains(parent)) {
           return false;
         }

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -20,6 +18,8 @@
 #include "runtime/sharded_engine.h"
 #include "runtime/update_bus.h"
 #include "subscribe/subscription_manager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -265,11 +265,13 @@ class TieredEngine : private SubscriptionHost {
   struct RegionalShard {
     RegionalShard(const ProtocolTable::Config& table_config, uint64_t seed)
         : table(table_config, seed) {}
-    mutable std::shared_mutex mu;
-    std::vector<std::unique_ptr<Source>> sources;
+    /// Rank kEngineShard: taken after the subscription manager's mutex,
+    /// before any edge shard (regional -> edge, never the reverse).
+    mutable SharedMutex mu{LockRank::kEngineShard, "regional.mu"};
+    std::vector<std::unique_ptr<Source>> sources APC_GUARDED_BY(mu);
     std::unordered_map<int, size_t> by_id;  // immutable after construction
-    ProtocolTable table;
-    std::vector<int> dirty_scratch;  // reused under the exclusive lock
+    ProtocolTable table APC_GUARDED_BY(mu);
+    std::vector<int> dirty_scratch APC_GUARDED_BY(mu);  // exclusive scratch
   };
 
   /// One partition of one edge tier: the derived cells (per-value raw
@@ -280,10 +282,12 @@ class TieredEngine : private SubscriptionHost {
   struct EdgeShard {
     EdgeShard(const ProtocolTable::Config& table_config, uint64_t seed)
         : table(table_config, seed) {}
-    mutable std::shared_mutex mu;
-    std::vector<ProtocolCell> cells;
+    /// Rank kEdgeShard: only ever taken under the matching regional
+    /// shard's lock (or alone, for edge-local snapshot reads).
+    mutable SharedMutex mu{LockRank::kEdgeShard, "edge.mu"};
+    std::vector<ProtocolCell> cells APC_GUARDED_BY(mu);
     std::unordered_map<int, size_t> by_id;  // immutable after construction
-    ProtocolTable table;
+    ProtocolTable table APC_GUARDED_BY(mu);
   };
 
   /// Builds the derived approximation for an edge: DerivedHull
@@ -294,22 +298,29 @@ class TieredEngine : private SubscriptionHost {
                                     const Interval& parent, int64_t now);
 
   /// Advances one source and runs the value-initiated refresh cascade.
-  /// Requires the owning regional shard's lock held exclusively.
-  void TickSourceLocked(int shard, Source* src, int64_t now);
+  /// `rs` is the owning regional shard (== *regional_[shard]); its lock
+  /// must be held exclusively.
+  void TickSourceLocked(RegionalShard& rs, int shard, Source* src,
+                        int64_t now) APC_REQUIRES(rs.mu);
 
   /// Ships derived refreshes to every edge (except `skip_edge`) whose
   /// last-shipped interval no longer contains `parent`, charging one LAN
-  /// Cvr each. Requires the regional shard lock held exclusively; takes
-  /// each edge shard lock in turn.
-  void FanOutLocked(int shard, int id, const Interval& parent, int64_t now,
-                    int skip_edge);
+  /// Cvr each. `rs` (== *regional_[shard]) must be held exclusively —
+  /// that exclusivity is what freezes the (regional, edge) state of the
+  /// shard's ids; takes each edge shard lock in turn (rank order
+  /// regional -> edge).
+  void FanOutLocked(RegionalShard& rs, int shard, int id,
+                    const Interval& parent, int64_t now, int skip_edge)
+      APC_REQUIRES(rs.mu);
 
   /// Installs a derived hull of `parent` at (edge shard, id) as a refresh
-  /// of kind `type`, charging the edge table per OfferDerived. Requires
-  /// the matching regional shard lock held (shared suffices); takes the
-  /// edge shard lock exclusively.
-  void InstallDerived(EdgeShard& es, int id, const Interval& parent,
-                      RefreshType type, int64_t now);
+  /// of kind `type`, charging the edge table per OfferDerived. `rs` is the
+  /// regional shard matching `es`; holding it (shared suffices) keeps the
+  /// parent interval from being overwritten mid-install. Takes the edge
+  /// shard lock exclusively.
+  void InstallDerived(const RegionalShard& rs, EdgeShard& es, int id,
+                      const Interval& parent, RefreshType type, int64_t now)
+      APC_REQUIRES_SHARED(rs.mu);
 
   void ApplyShardTicks(int shard,
                        const std::vector<std::pair<int, int64_t>>& updates);
@@ -323,7 +334,15 @@ class TieredEngine : private SubscriptionHost {
 
   /// Hands the regional table's dirty ids to the subscription manager
   /// (enqueue-only). Requires the regional shard lock held exclusively.
-  void PublishRegionalChangesLocked(RegionalShard& rs, int64_t now);
+  void PublishRegionalChangesLocked(RegionalShard& rs, int64_t now)
+      APC_REQUIRES(rs.mu);
+
+  /// The seqlock optimistic edge read — the sanctioned analysis carve-out
+  /// (see Shard::TryVisibleIntervalNoLock): touches the edge table's
+  /// versioned slots with no lock by design.
+  static SnapshotRead TryEdgeVisibleNoLock(const EdgeShard& es, int id,
+                                           int64_t now, Interval* out)
+      APC_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Declared first: destroyed last, so the non-owning registrations of
   /// member-owned metrics never dangle while snapshots can be taken.
@@ -336,9 +355,10 @@ class TieredEngine : private SubscriptionHost {
   size_t num_sources_ = 0;
   TieredCounters counters_;
   UpdateBus bus_;
-  std::mutex pump_mu_;  // serializes Start/StopUpdatePump
-  std::thread pump_;
-  bool pump_running_ = false;
+  /// Rank kControl: Stop closes the bus (kQueue) and joins under it.
+  Mutex pump_mu_{LockRank::kControl, "tiered.pump_mu"};
+  std::thread pump_ APC_GUARDED_BY(pump_mu_);
+  bool pump_running_ APC_GUARDED_BY(pump_mu_) = false;
   /// Declared last: destroyed first, so the notifier thread is joined
   /// while the tiers it reads through are still alive.
   SubscriptionManager subscriptions_;

@@ -18,26 +18,27 @@ void UpdateBus::RegisterMetrics(obs::MetricsRegistry* registry,
 }
 
 bool UpdateBus::Push(const UpdateEvent& event) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
-  if (closed_) return false;
-  queue_.push_back(event);
-  ++total_pushed_;
-  size_t depth = queue_.size();
-  lock.unlock();
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.Wait(mu_);
+    if (closed_) return false;
+    queue_.push_back(event);
+    ++total_pushed_;
+    depth = queue_.size();
+  }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   queue_depth_.Set(static_cast<int64_t>(depth));
   obs::TraceRecorder::Record(obs::TraceEvent::kBusEnqueue, event.source_id,
                              event.now, static_cast<int64_t>(depth));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool UpdateBus::TryPush(const UpdateEvent& event) {
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(event);
     ++total_pushed_;
@@ -47,22 +48,25 @@ bool UpdateBus::TryPush(const UpdateEvent& event) {
   queue_depth_.Set(static_cast<int64_t>(depth));
   obs::TraceRecorder::Record(obs::TraceEvent::kBusEnqueue, event.source_id,
                              event.now, static_cast<int64_t>(depth));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 size_t UpdateBus::PopBatch(std::vector<UpdateEvent>* out, size_t max_batch) {
   out->clear();
   if (max_batch == 0) return 0;
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  size_t n = queue_.size() < max_batch ? queue_.size() : max_batch;
-  for (size_t i = 0; i < n; ++i) {
-    out->push_back(queue_.front());
-    queue_.pop_front();
+  size_t n = 0;
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && queue_.empty()) not_empty_.Wait(mu_);
+    n = queue_.size() < max_batch ? queue_.size() : max_batch;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(queue_.front());
+      queue_.pop_front();
+    }
+    depth = queue_.size();
   }
-  size_t depth = queue_.size();
-  lock.unlock();
   if (n > 0) {
     drained_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
     drain_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -70,32 +74,32 @@ size_t UpdateBus::PopBatch(std::vector<UpdateEvent>* out, size_t max_batch) {
     queue_depth_.Set(static_cast<int64_t>(depth));
     obs::TraceRecorder::Record(obs::TraceEvent::kBusDrainBatch, /*id=*/-1,
                                out->back().now, static_cast<int64_t>(n));
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return n;
 }
 
 void UpdateBus::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 bool UpdateBus::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 size_t UpdateBus::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 int64_t UpdateBus::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_pushed_;
 }
 

@@ -1,14 +1,14 @@
 #ifndef APC_RUNTIME_UPDATE_BUS_H_
 #define APC_RUNTIME_UPDATE_BUS_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -69,12 +69,15 @@ class UpdateBus {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<UpdateEvent> queue_;
-  bool closed_ = false;
-  int64_t total_pushed_ = 0;
+  /// Innermost lock of the update path: producers and the pump drain hold
+  /// no other lock while touching the queue (rank kQueue — closed under
+  /// kControl at shutdown, never taken before an engine lock).
+  mutable Mutex mu_{LockRank::kQueue, "bus.mu"};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<UpdateEvent> queue_ APC_GUARDED_BY(mu_);
+  bool closed_ APC_GUARDED_BY(mu_) = false;
+  int64_t total_pushed_ APC_GUARDED_BY(mu_) = 0;
 
   // Observability (updated under mu_, read lock-free by snapshots).
   obs::ObsCounter enqueued_;

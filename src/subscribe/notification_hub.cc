@@ -13,24 +13,25 @@ void NotificationHub::RegisterMetrics(obs::MetricsRegistry* registry,
 }
 
 bool NotificationHub::Push(const Notification& record) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
-  if (closed_) return false;
-  queue_.push_back(record);
-  ++total_pushed_;
-  size_t depth = queue_.size();
-  lock.unlock();
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.Wait(mu_);
+    if (closed_) return false;
+    queue_.push_back(record);
+    ++total_pushed_;
+    depth = queue_.size();
+  }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   queue_depth_.Set(static_cast<int64_t>(depth));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool NotificationHub::TryPush(const Notification& record) {
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(record);
     ++total_pushed_;
@@ -38,7 +39,7 @@ bool NotificationHub::TryPush(const Notification& record) {
   }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   queue_depth_.Set(static_cast<int64_t>(depth));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
@@ -46,46 +47,49 @@ size_t NotificationHub::PopBatch(std::vector<Notification>* out,
                                  size_t max_batch) {
   out->clear();
   if (max_batch == 0) return 0;
-  std::unique_lock<std::mutex> lock(mu_);
-  // Multi-consumer: a woken consumer may find the queue already drained by
-  // a sibling and simply waits again — the predicate re-checks.
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  size_t n = queue_.size() < max_batch ? queue_.size() : max_batch;
-  for (size_t i = 0; i < n; ++i) {
-    out->push_back(queue_.front());
-    queue_.pop_front();
+  size_t n = 0;
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    // Multi-consumer: a woken consumer may find the queue already drained
+    // by a sibling and simply waits again — the loop re-checks.
+    while (!closed_ && queue_.empty()) not_empty_.Wait(mu_);
+    n = queue_.size() < max_batch ? queue_.size() : max_batch;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(queue_.front());
+      queue_.pop_front();
+    }
+    depth = queue_.size();
   }
-  size_t depth = queue_.size();
-  lock.unlock();
   if (n > 0) {
     drained_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
     queue_depth_.Set(static_cast<int64_t>(depth));
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return n;
 }
 
 void NotificationHub::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 bool NotificationHub::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 size_t NotificationHub::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 int64_t NotificationHub::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_pushed_;
 }
 

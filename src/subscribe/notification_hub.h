@@ -1,15 +1,15 @@
 #ifndef APC_SUBSCRIBE_NOTIFICATION_HUB_H_
 #define APC_SUBSCRIBE_NOTIFICATION_HUB_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/interval.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -74,12 +74,15 @@ class NotificationHub {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Notification> queue_;
-  bool closed_ = false;
-  int64_t total_pushed_ = 0;
+  /// Innermost lock of the notification path: the manager pushes while
+  /// holding its own mutex (rank kSubscriptionManager < kQueue) and
+  /// shutdown closes under kControl; nothing is acquired under this lock.
+  mutable Mutex mu_{LockRank::kQueue, "hub.mu"};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<Notification> queue_ APC_GUARDED_BY(mu_);
+  bool closed_ APC_GUARDED_BY(mu_) = false;
+  int64_t total_pushed_ APC_GUARDED_BY(mu_) = 0;
 
   // Observability (updated under mu_, read lock-free by snapshots).
   obs::ObsCounter enqueued_;

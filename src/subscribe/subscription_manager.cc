@@ -43,7 +43,7 @@ int64_t SubscriptionManager::Subscribe(const Query& query, double delta,
       return -1;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // First subscriber ever: have the engine enable dirty-id tracking (its
   // tables were constructed with tracking off so subscription-free
   // engines pay nothing). Changes predating this instant are irrelevant —
@@ -61,7 +61,7 @@ int64_t SubscriptionManager::Subscribe(const Query& query, double delta,
 }
 
 bool SubscriptionManager::Unsubscribe(int64_t sub_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return table_.Remove(sub_id);
 }
 
@@ -71,7 +71,7 @@ bool SubscriptionManager::Reprecision(int64_t sub_id, double delta,
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Subscription* sub = table_.Find(sub_id);
   if (sub == nullptr) {
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
@@ -94,7 +94,7 @@ void SubscriptionManager::OnIntervalChanges(const std::vector<int>& ids,
   if (!has_subs_.load(std::memory_order_acquire)) return;
   bool added = false;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (stop_) return;
     for (int id : ids) {
       if (pending_set_.insert(id).second) {
@@ -108,7 +108,7 @@ void SubscriptionManager::OnIntervalChanges(const std::vector<int>& ids,
     }
     if (now > pending_now_) pending_now_ = now;
   }
-  if (added) pending_cv_.notify_one();
+  if (added) pending_cv_.NotifyOne();
 }
 
 void SubscriptionManager::NotifierLoop() {
@@ -116,9 +116,8 @@ void SubscriptionManager::NotifierLoop() {
   while (true) {
     int64_t now;
     {
-      std::unique_lock<std::mutex> lock(pending_mu_);
-      pending_cv_.wait(lock,
-                       [this] { return stop_ || !pending_ids_.empty(); });
+      MutexLock lock(pending_mu_);
+      while (!stop_ && pending_ids_.empty()) pending_cv_.Wait(pending_mu_);
       if (pending_ids_.empty()) break;  // stopped and drained
       batch.clear();
       batch.swap(pending_ids_);
@@ -128,19 +127,19 @@ void SubscriptionManager::NotifierLoop() {
     }
     ProcessBatch(batch, now);
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       notifier_busy_ = false;
       in_flight_.fetch_sub(static_cast<int64_t>(batch.size()),
                            std::memory_order_release);
     }
-    quiescent_cv_.notify_all();
+    quiescent_cv_.NotifyAll();
   }
-  quiescent_cv_.notify_all();
+  quiescent_cv_.NotifyAll();
 }
 
 void SubscriptionManager::ProcessBatch(const std::vector<int>& ids,
                                        int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (table_.empty()) return;
   // Affected subscriptions, deduplicated across the batch and evaluated in
   // sub_id order — one evaluation per subscription per batch no matter how
@@ -264,13 +263,13 @@ void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
 }
 
 size_t SubscriptionManager::num_subscriptions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return table_.size();
 }
 
 bool SubscriptionManager::LatestAnswer(int64_t sub_id, Interval* answer,
                                        int64_t* epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Subscription* sub = table_.Find(sub_id);
   if (sub == nullptr) return false;
   *answer = sub->last_answer;
@@ -279,13 +278,14 @@ bool SubscriptionManager::LatestAnswer(int64_t sub_id, Interval* answer,
 }
 
 void SubscriptionManager::WaitQuiescent() {
-  std::unique_lock<std::mutex> lock(pending_mu_);
-  quiescent_cv_.wait(
-      lock, [this] { return pending_ids_.empty() && !notifier_busy_; });
+  MutexLock lock(pending_mu_);
+  while (!pending_ids_.empty() || notifier_busy_) {
+    quiescent_cv_.Wait(pending_mu_);
+  }
 }
 
 void SubscriptionManager::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   if (shut_down_) return;
   shut_down_ = true;
   // Close the hub FIRST: a notifier blocked in Push on a full hub nobody
@@ -293,10 +293,10 @@ void SubscriptionManager::Shutdown() {
   // shutdown) or the join below would wait forever.
   hub_.Close();
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     stop_ = true;
   }
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
   notifier_.join();  // evaluates pending changes before exiting
 }
 

@@ -2,9 +2,7 @@
 #define APC_SUBSCRIBE_SUBSCRIPTION_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +13,8 @@
 #include "subscribe/change_sink.h"
 #include "subscribe/notification_hub.h"
 #include "subscribe/subscription_table.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apc {
 
@@ -204,8 +204,7 @@ class SubscriptionManager : public IntervalChangeSink {
   /// Recomputes `sub`'s answer from guaranteed-interval snapshots,
   /// escalating (at most once per value per tick, globally) while the
   /// answer is too wide, and queues a notification per the shipping rule.
-  /// Requires mu_ held.
-  void EvaluateLocked(Subscription& sub, int64_t now);
+  void EvaluateLocked(Subscription& sub, int64_t now) APC_REQUIRES(mu_);
   /// The aggregate of `items` for `kind`.
   static Interval Answer(AggregateKind kind,
                          const std::vector<QueryItem>& items);
@@ -218,27 +217,41 @@ class SubscriptionManager : public IntervalChangeSink {
   /// underflow bin, so same-tick deliveries participate in quantiles.
   obs::HistogramMetric delivery_lag_ticks_{1.0, 4096.0, 48};
 
-  mutable std::mutex mu_;  // subscriptions, epochs, escalation ledger
-  SubscriptionTable table_;
+  /// Subscriptions, epochs, escalation ledger. Rank kSubscriptionManager:
+  /// taken BEFORE engine shard locks (SubscriptionActivate /
+  /// SubscriptionPull / snapshot evaluation run under it).
+  mutable Mutex mu_{LockRank::kSubscriptionManager, "subs.mu"};
+  SubscriptionTable table_ APC_GUARDED_BY(mu_);
   /// Last tick each value was escalated at — the per-value-per-tick cap.
-  std::unordered_map<int, int64_t> last_escalation_tick_;
+  std::unordered_map<int, int64_t> last_escalation_tick_ APC_GUARDED_BY(mu_);
   /// True once any subscription was ever added; lets the hot sink path
   /// skip enqueueing when nobody is listening.
+  // contracts-lint: allow(raw-atomic) -- lock-free fast-path flag read on
+  // every engine mutation batch; not an observability tally.
   std::atomic<bool> has_subs_{false};
 
-  std::mutex pending_mu_;  // leaf lock: the sink only ever takes this
-  std::condition_variable pending_cv_;
-  std::condition_variable quiescent_cv_;
-  std::vector<int> pending_ids_;
-  std::unordered_set<int> pending_set_;
-  int64_t pending_now_ = 0;
-  bool stop_ = false;
-  bool notifier_busy_ = false;
+  /// The change sink's lock. Rank kSinkPending: engines call the sink
+  /// with shard locks held (kEngineShard/kEdgeShard -> kSinkPending), and
+  /// nothing below it is acquired while it is held.
+  Mutex pending_mu_{LockRank::kSinkPending, "subs.pending_mu"};
+  CondVar pending_cv_;
+  CondVar quiescent_cv_;
+  std::vector<int> pending_ids_ APC_GUARDED_BY(pending_mu_);
+  std::unordered_set<int> pending_set_ APC_GUARDED_BY(pending_mu_);
+  int64_t pending_now_ APC_GUARDED_BY(pending_mu_) = 0;
+  bool stop_ APC_GUARDED_BY(pending_mu_) = false;
+  bool notifier_busy_ APC_GUARDED_BY(pending_mu_) = false;
+  // contracts-lint: allow(raw-atomic) -- quiescence gate read lock-free by
+  // the no-missed-violation checker; not an observability tally.
   std::atomic<int64_t> in_flight_{0};
 
+  /// Started in the constructor, joined exactly once under shutdown_mu_;
+  /// never touched elsewhere, so it carries no guard of its own.
   std::thread notifier_;
-  bool shut_down_ = false;
-  std::mutex shutdown_mu_;
+  bool shut_down_ APC_GUARDED_BY(shutdown_mu_) = false;
+  /// Rank kControl: Shutdown closes the hub (kQueue) and drains the
+  /// pending leaf (kSinkPending) under it.
+  Mutex shutdown_mu_{LockRank::kControl, "subs.shutdown_mu"};
 };
 
 }  // namespace apc

@@ -44,6 +44,14 @@ struct Subscription {
 ///
 /// Plain state — every method requires the owning SubscriptionManager's
 /// mutex (or single-threaded use). Never blocks, never charges.
+///
+/// The "caller holds the manager's mutex" contract is enforced by clang's
+/// analysis AT THE OWNER: SubscriptionManager declares its table member
+/// APC_GUARDED_BY(mu_), so every access to the table (including method
+/// calls) requires mu_ held. The requirement cannot be spelled as
+/// APC_REQUIRES here — the analysis matches capability expressions
+/// structurally and cannot prove an injected mutex pointer aliases the
+/// owner's member (see docs/STATIC_ANALYSIS.md, "where contracts live").
 class SubscriptionTable {
  public:
   /// Registers a standing query; returns its new sub_id (> 0, unique for

@@ -1,0 +1,106 @@
+#include "util/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace apc {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kControl:
+      return "control";
+    case LockRank::kSubscriptionManager:
+      return "subscription_manager";
+    case LockRank::kEngineShard:
+      return "engine_shard";
+    case LockRank::kEdgeShard:
+      return "edge_shard";
+    case LockRank::kSinkPending:
+      return "sink_pending";
+    case LockRank::kQueue:
+      return "queue";
+    case LockRank::kObsExporter:
+      return "obs_exporter";
+    case LockRank::kObsRegistry:
+      return "obs_registry";
+    case LockRank::kObsTrace:
+      return "obs_trace";
+  }
+  return "unknown";
+}
+
+#if APC_LOCK_ORDER
+
+namespace {
+
+struct HeldLock {
+  LockRank rank;
+  const char* name;  // may be null
+};
+
+// Per-thread held-capability stack, acquisition order, bottom first.
+// Plain vector: the validator only runs in debug/sanitizer builds, and
+// stacks are at most a few entries deep.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+const char* NameOrRank(LockRank rank, const char* name) {
+  return name != nullptr ? name : LockRankName(rank);
+}
+
+[[noreturn]] void Die(LockRank rank, const char* name,
+                      const std::vector<HeldLock>& held) {
+  std::fprintf(stderr,
+               "lock-order violation: thread acquiring '%s' (class %s, rank "
+               "%u) while already holding %zu lock(s):\n",
+               NameOrRank(rank, name), LockRankName(rank),
+               static_cast<unsigned>(rank), held.size());
+  for (size_t i = 0; i < held.size(); ++i) {
+    std::fprintf(stderr, "  held[%zu]: '%s' (class %s, rank %u)\n", i,
+                 NameOrRank(held[i].rank, held[i].name),
+                 LockRankName(held[i].rank),
+                 static_cast<unsigned>(held[i].rank));
+  }
+  std::fprintf(stderr,
+               "  rule: acquisitions must use strictly increasing ranks "
+               "(see LockRank in src/util/lock_order.h)\n");
+  std::abort();
+}
+
+}  // namespace
+
+void LockOrderValidator::OnAcquire(LockRank rank, const char* name) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (const HeldLock& h : held) {
+    if (h.rank >= rank) Die(rank, name, held);
+  }
+  held.push_back(HeldLock{rank, name});
+}
+
+void LockOrderValidator::OnRelease(LockRank rank, const char* name) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Scan from the top: releases are almost always LIFO, but scoped locks
+  // may legally unwind out of order, so match the newest entry of this
+  // rank/name instead of requiring the top.
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i].rank == rank && held[i].name == name) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Releasing a lock the validator never saw acquired: a wrapper bug.
+  std::fprintf(stderr,
+               "lock-order violation: releasing '%s' (class %s) which this "
+               "thread does not hold\n",
+               NameOrRank(rank, name), LockRankName(rank));
+  std::abort();
+}
+
+size_t LockOrderValidator::HeldDepth() { return HeldStack().size(); }
+
+#endif  // APC_LOCK_ORDER
+
+}  // namespace apc
