@@ -18,6 +18,12 @@
 #                               # the seqlock 8-shard/8-thread row, and
 #                               # assemble BENCH_obs.json (fails if obs-on
 #                               # qps drops below 95% of obs-off)
+#   scripts/check.sh --alloc    # RelWithDebInfo build running
+#                               # alloc_free_read_test: counting global
+#                               # operator new proves PointRead /
+#                               # ExecuteQuery / query generation allocate
+#                               # nothing in steady state, with inlining on
+#                               # so the claim is about the production code
 #   scripts/check.sh --analyze  # clang thread-safety analysis: build the
 #                               # whole tree with clang and
 #                               # -Werror=thread-safety(-beta) over the APC_*
@@ -92,6 +98,20 @@ if [[ "${1:-}" == "--ubsan" ]]; then
   ctest --test-dir build-ubsan --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
   pass "full suite clean under UndefinedBehaviorSanitizer"
+fi
+
+if [[ "${1:-}" == "--alloc" ]]; then
+  # The read-path allocation contract as its own CI gate. RelWithDebInfo:
+  # optimized like production (so the zero-alloc claim covers the inlined
+  # hot path), assertions retained. Deliberately NOT a sanitizer tree —
+  # sanitizer runtimes replace the allocator and would shadow the test's
+  # counting operator new.
+  cmake -B build-alloc -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DAPCACHE_BUILD_BENCHES=OFF -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-alloc -j
+  ctest --test-dir build-alloc --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -R '^alloc_free_read_test$'
+  pass "read hot path allocation-free in steady state (optimized build)"
 fi
 
 if [[ "${1:-}" == "--analyze" ]]; then

@@ -24,6 +24,23 @@ int EntryStore::WidestId() const {
 
 EntryStore::OfferResult EntryStore::OfferEx(int id, const CachedApprox& approx,
                                             double raw_width) {
+  OfferResult result = OfferUnmirrored(id, approx, raw_width);
+  if (result.evicted_id >= 0) {
+    if (VersionedSlot* evicted = SlotFor(result.evicted_id)) {
+      WriteSlot(*evicted, CachedApprox{}, /*cached=*/false);
+    }
+  }
+  if (result.cached) {
+    if (VersionedSlot* slot = SlotFor(id)) {
+      WriteSlot(*slot, approx, /*cached=*/true);
+    }
+  }
+  return result;
+}
+
+EntryStore::OfferResult EntryStore::OfferUnmirrored(int id,
+                                                    const CachedApprox& approx,
+                                                    double raw_width) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     it->second.approx = approx;
@@ -45,23 +62,57 @@ EntryStore::OfferResult EntryStore::OfferEx(int id, const CachedApprox& approx,
   return {true, widest};
 }
 
-void EntryStore::Erase(int id) { entries_.erase(id); }
+void EntryStore::Erase(int id) {
+  if (entries_.erase(id) == 0) return;
+  if (VersionedSlot* slot = SlotFor(id)) {
+    WriteSlot(*slot, CachedApprox{}, /*cached=*/false);
+  }
+}
 
-ProtocolTable::ProtocolTable(const Config& config, uint64_t seed)
-    : config_(config),
-      store_(config.capacity),
-      costs_(config.costs),
-      rng_(seed) {}
-
-bool ProtocolTable::Register(int id) {
-  if (slot_of_.count(id) != 0) return false;
-  slots_.emplace_back();
-  slot_of_.emplace(id, &slots_.back());
+bool EntryStore::RegisterSlot(int id) {
+  if (SlotIndexOf(id) != kNoSlot) return false;
+  if (num_slots_ == slab_capacity_) {
+    size_t next = slab_capacity_ == 0 ? 64 : slab_capacity_ * 2;
+    auto grown = std::make_unique<VersionedSlot[]>(next);
+    // Registration is single-threaded by contract, so relaxed copies of
+    // the atomic payloads are safe; readers only start after it ends.
+    for (size_t i = 0; i < num_slots_; ++i) {
+      const VersionedSlot& from = slab_[i];
+      VersionedSlot& to = grown[i];
+      to.version.store(from.version.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      to.cached.store(from.cached.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      to.lo.store(from.lo.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      to.hi.store(from.hi.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      to.refresh_time.store(from.refresh_time.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+      to.growth_coeff.store(from.growth_coeff.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+      to.growth_exp.store(from.growth_exp.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      to.drift_rate.store(from.drift_rate.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    slab_ = std::move(grown);
+    slab_capacity_ = next;
+  }
+  uint32_t index = static_cast<uint32_t>(num_slots_++);
+  if (id >= 0 && static_cast<size_t>(id) < kDenseIdLimit) {
+    if (dense_index_.size() <= static_cast<size_t>(id)) {
+      dense_index_.resize(static_cast<size_t>(id) + 1, kNoSlot);
+    }
+    dense_index_[static_cast<size_t>(id)] = index;
+  } else {
+    sparse_index_.emplace(id, index);
+  }
   return true;
 }
 
-void ProtocolTable::WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
-                              bool cached) {
+void EntryStore::WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
+                           bool cached) {
   // Seqlock publish: odd version -> payload -> even version. The release
   // fence keeps the payload stores from sinking above the odd mark; the
   // final release store publishes the payload to validating readers.
@@ -78,6 +129,12 @@ void ProtocolTable::WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
   slot.version.store(v + 2, std::memory_order_release);
 }
 
+ProtocolTable::ProtocolTable(const Config& config, uint64_t seed)
+    : config_(config),
+      store_(config.capacity),
+      costs_(config.costs),
+      rng_(seed) {}
+
 void ProtocolTable::MarkDirty(int id) {
   if (!change_tracking_) return;
   if (dirty_set_.insert(id).second) dirty_ids_.push_back(id);
@@ -91,12 +148,10 @@ void ProtocolTable::DrainDirtyIds(std::vector<int>* out) {
 
 void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
                                   double raw_width) {
+  // The store publishes the slab mirror itself (evicted slot first, then
+  // the offered slot); this layer adds the trace and dirty-id outcomes.
   EntryStore::OfferResult result = store_.OfferEx(id, approx, raw_width);
   if (result.evicted_id >= 0) {
-    auto evicted = slot_of_.find(result.evicted_id);
-    if (evicted != slot_of_.end()) {
-      WriteSlot(*evicted->second, CachedApprox{}, /*cached=*/false);
-    }
     // The evicted id's visible interval widened to unbounded — a change a
     // standing query over it must hear about.
     MarkDirty(result.evicted_id);
@@ -104,8 +159,6 @@ void ProtocolTable::OfferMirrored(int id, const CachedApprox& approx,
   if (result.cached) {
     obs::TraceRecorder::Record(obs::TraceEvent::kOfferApplied, id,
                                approx.refresh_time);
-    auto it = slot_of_.find(id);
-    if (it != slot_of_.end()) WriteSlot(*it->second, approx, /*cached=*/true);
     MarkDirty(id);
   }
 }
@@ -188,12 +241,14 @@ Interval ProtocolTable::VisibleInterval(int id, int64_t now) const {
 
 SnapshotRead ProtocolTable::TryVisibleInterval(int id, int64_t now,
                                                Interval* out) const {
-  auto it = slot_of_.find(id);
-  if (it == slot_of_.end()) {
+  // Dense ids: one vector load to find the slot, one cache line to read
+  // it — no hashing, no pointer chasing on the optimistic path.
+  uint32_t index = store_.SlotIndexOf(id);
+  if (index == EntryStore::kNoSlot) {
     *out = Interval::Unbounded();
     return SnapshotRead::kMiss;
   }
-  const VersionedSlot& slot = *it->second;
+  const VersionedSlot& slot = store_.SlotAt(index);
   uint32_t v1 = slot.version.load(std::memory_order_acquire);
   if (v1 & 1u) return SnapshotRead::kTorn;  // write in progress
   bool cached = slot.cached.load(std::memory_order_relaxed);

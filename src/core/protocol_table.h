@@ -4,7 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +25,28 @@ struct ProtocolEntry {
   double raw_width = 0.0;
 };
 
+/// Seqlock-protected mirror of one registered id's cached entry — the HOT
+/// half of the store's hot/cold split (the cold eviction metadata stays in
+/// the entry map). Writers (under the owner's exclusive synchronization)
+/// bump `version` to odd, store the payload with relaxed atomics, then
+/// publish an even version; readers validate the version around a relaxed
+/// copy. Plain fields would be a data race; atomics make the optimistic
+/// path well-defined. The struct is sized and aligned to one cache line so
+/// an optimistic read touches exactly one line and slots never false-share.
+// contracts-lint: allow(raw-atomic) -- seqlock slot payload: the atomics
+// ARE the synchronization protocol (version-validated optimistic reads),
+// not a tally; a mutex here would defeat the lock-free read path.
+struct alignas(64) VersionedSlot {
+  std::atomic<uint32_t> version{0};
+  std::atomic<bool> cached{false};
+  std::atomic<double> lo{0.0};
+  std::atomic<double> hi{0.0};
+  std::atomic<int64_t> refresh_time{0};
+  std::atomic<double> growth_coeff{0.0};
+  std::atomic<double> growth_exp{0.0};
+  std::atomic<double> drift_rate{0.0};
+};
+
 /// Fixed-capacity map of interval approximations keyed by source id, with
 /// the paper's eviction rule: when full, evict the entry with the largest
 /// raw width — the least precise approximation contributes least to overall
@@ -36,9 +58,21 @@ struct ProtocolEntry {
 /// thin alias kept for direct users, and ProtocolTable composes it with
 /// charging and the versioned read slots.
 ///
+/// Memory layout — the hot/cold split: ids registered via RegisterSlot get
+/// a `VersionedSlot` in one contiguous, index-addressed slab (each slot one
+/// cache line), plus a dense id→index vector so the optimistic read path
+/// does zero hashing and zero pointer chasing. The cold eviction metadata
+/// (raw widths, the full CachedApprox) stays in the per-entry map — only
+/// eviction decisions and authoritative locked reads walk it. Mutators
+/// mirror every visible-state change into the slab; direct `Cache` users
+/// that never register slots pay nothing for the mirror.
+///
 /// Charging and locking contract: the store never charges costs (charging
 /// is ProtocolTable's job), and every method requires the owner's external
 /// synchronization — mutators exclusively, const readers at least shared.
+/// The sole exceptions are the slot readers (SlotIndexOf/SlotAt/HasSlot/
+/// num_slots): the id→index mapping is immutable once registration ends,
+/// so they are safe from any thread with no lock held.
 class EntryStore {
  public:
   /// What an Offer did, so callers maintaining derived state (the seqlock
@@ -68,9 +102,13 @@ class EntryStore {
   }
 
   /// Offer variant reporting the eviction, for mirrored-state maintainers.
+  /// Mirrors the change into the seqlock slab: the evicted id's slot (if
+  /// registered) is published not-cached, then the offered id's slot is
+  /// published with the fresh approximation.
   OfferResult OfferEx(int id, const CachedApprox& approx, double raw_width);
 
-  /// Drops `id` if present (used by tests and by capacity changes).
+  /// Drops `id` if present (used by tests and by capacity changes). The
+  /// id's slot, if registered, is published not-cached.
   void Erase(int id);
 
   /// Id of the entry with the largest raw width, or -1 when empty. Ties
@@ -82,9 +120,63 @@ class EntryStore {
     return entries_;
   }
 
+  // -- the seqlock slot slab -------------------------------------------
+  // Hot read-path state, contiguous and index-addressed. Registration is
+  // construction-time only (it must not race ANY other method); after it
+  // ends the id→index mapping is immutable and the readers below are safe
+  // from any thread with no lock held.
+
+  /// Sentinel index: the id has no registered slot.
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Allocates `id`'s slot in the slab. Returns false on a duplicate.
+  /// Construction-time only — must not race any other method.
+  bool RegisterSlot(int id);
+
+  /// Slab index of `id`'s slot, or kNoSlot. Ids in [0, kDenseIdLimit) use
+  /// one direct vector load — zero hashing on the optimistic read path;
+  /// negative or huge ids fall back to a hash lookup.
+  uint32_t SlotIndexOf(int id) const {
+    if (id >= 0 && static_cast<size_t>(id) < dense_index_.size()) {
+      return dense_index_[static_cast<size_t>(id)];
+    }
+    if (sparse_index_.empty()) return kNoSlot;
+    auto it = sparse_index_.find(id);
+    return it == sparse_index_.end() ? kNoSlot : it->second;
+  }
+
+  /// The slot at a valid index returned by SlotIndexOf.
+  const VersionedSlot& SlotAt(uint32_t index) const { return slab_[index]; }
+
+  bool HasSlot(int id) const { return SlotIndexOf(id) != kNoSlot; }
+  size_t num_slots() const { return num_slots_; }
+
  private:
+  /// Ids below this use the dense id→index vector (grown to max id + 1, 4
+  /// bytes per id); ids at or above it — and negative ids — use the sparse
+  /// map. Chosen so a pathological sparse id can't balloon the vector.
+  static constexpr size_t kDenseIdLimit = size_t{1} << 20;
+
+  OfferResult OfferUnmirrored(int id, const CachedApprox& approx,
+                              double raw_width);
+  VersionedSlot* SlotFor(int id) {
+    uint32_t index = SlotIndexOf(id);
+    return index == kNoSlot ? nullptr : &slab_[index];
+  }
+  static void WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
+                        bool cached);
+
   size_t capacity_;
   std::unordered_map<int, ProtocolEntry> entries_;
+
+  // The slab: one cache line per registered id, contiguous, never moved
+  // after registration ends (growth only happens during registration,
+  // which is single-threaded by contract).
+  std::unique_ptr<VersionedSlot[]> slab_;
+  size_t num_slots_ = 0;
+  size_t slab_capacity_ = 0;
+  std::vector<uint32_t> dense_index_;            // id -> slab index
+  std::unordered_map<int, uint32_t> sparse_index_;  // negative / huge ids
 };
 
 /// Outcome of a value-initiated protocol step, so engines can maintain
@@ -165,16 +257,17 @@ class ProtocolTable {
   ProtocolTable& operator=(const ProtocolTable&) = delete;
 
   /// Registers `id` before any concurrent access; allocates its versioned
-  /// read slot. Returns false on a duplicate id. Charge-free. The id→slot
-  /// map is immutable afterwards, which is what lets TryVisibleInterval
-  /// run without any lock; registration itself is construction-time only
-  /// and must not race any other method.
-  bool Register(int id);
+  /// read slot in the store's contiguous slab. Returns false on a
+  /// duplicate id. Charge-free. The id→slot mapping is immutable
+  /// afterwards, which is what lets TryVisibleInterval run without any
+  /// lock; registration itself is construction-time only and must not
+  /// race any other method.
+  bool Register(int id) { return store_.RegisterSlot(id); }
   /// Charge-free and safe without the owner's lock once construction ends
-  /// (the id→slot map is immutable afterwards).
-  bool Registered(int id) const { return slot_of_.count(id) != 0; }
+  /// (the id→slot mapping is immutable afterwards).
+  bool Registered(int id) const { return store_.HasSlot(id); }
   /// Charge-free; safe without the owner's lock after construction.
-  size_t num_registered() const { return slots_.size(); }
+  size_t num_registered() const { return store_.num_slots(); }
 
   // -- the protocol state machine ------------------------------------
 
@@ -276,29 +369,9 @@ class ProtocolTable {
   int64_t lost_pushes() const { return lost_pushes_; }
 
  private:
-  /// Seqlock-protected mirror of one registered id's cached entry. Writers
-  /// (under the owner's exclusive synchronization) bump `version` to odd,
-  /// store the payload with relaxed atomics, then publish an even version;
-  /// readers validate the version around a relaxed copy. Plain fields
-  /// would be a data race; atomics make the optimistic path well-defined.
-  // contracts-lint: allow(raw-atomic) -- seqlock slot payload: the atomics
-  // ARE the synchronization protocol (version-validated optimistic reads),
-  // not a tally; a mutex here would defeat the lock-free read path.
-  struct VersionedSlot {
-    std::atomic<uint32_t> version{0};
-    std::atomic<bool> cached{false};
-    std::atomic<double> lo{0.0};
-    std::atomic<double> hi{0.0};
-    std::atomic<int64_t> refresh_time{0};
-    std::atomic<double> growth_coeff{0.0};
-    std::atomic<double> growth_exp{0.0};
-    std::atomic<double> drift_rate{0.0};
-  };
-
-  /// Offers to the store and mirrors the result into the seqlock slots.
+  /// Offers to the store (which mirrors the change into its seqlock slab)
+  /// and records the trace + dirty-id consequences.
   void OfferMirrored(int id, const CachedApprox& approx, double raw_width);
-  void WriteSlot(VersionedSlot& slot, const CachedApprox& approx,
-                 bool cached);
   void MarkDirty(int id);
 
   Config config_;
@@ -306,8 +379,6 @@ class ProtocolTable {
   CostTracker costs_;
   Rng rng_;
   int64_t lost_pushes_ = 0;
-  std::deque<VersionedSlot> slots_;  // deque: atomics never move
-  std::unordered_map<int, VersionedSlot*> slot_of_;
   bool change_tracking_ = false;
   std::vector<int> dirty_ids_;           // first-dirtied order
   std::unordered_set<int> dirty_set_;    // dedup within a drain window

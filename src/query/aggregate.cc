@@ -36,15 +36,23 @@ Interval AvgInterval(const std::vector<QueryItem>& items) {
   return Interval(sum.lo() / n, sum.hi() / n);
 }
 
-std::vector<size_t> SumRefreshSelection(const std::vector<QueryItem>& items,
-                                        double constraint) {
+void SumRefreshSelectionInto(const std::vector<QueryItem>& items,
+                             double constraint, std::vector<size_t>* out) {
+  out->clear();
   // Result width is the sum of item widths, so refreshing an item removes
   // exactly its width. Selecting widest-first minimizes the number of
   // (equal-cost) refreshes needed to bring the total under the constraint.
-  std::vector<size_t> order(items.size());
+  static thread_local std::vector<size_t> order;
+  order.resize(items.size());
   std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return items[a].interval.Width() > items[b].interval.Width();
+  // std::sort with an explicit index tiebreak reproduces stable_sort's
+  // order (width descending, ties in item order) without stable_sort's
+  // internal temporary buffer — the read hot path must not allocate.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double wa = items[a].interval.Width();
+    double wb = items[b].interval.Width();
+    if (wa != wb) return wa > wb;
+    return a < b;
   });
 
   double finite_total = 0.0;
@@ -58,19 +66,30 @@ std::vector<size_t> SumRefreshSelection(const std::vector<QueryItem>& items,
     }
   }
 
-  std::vector<size_t> selection;
   for (size_t idx : order) {
     if (unbounded == 0 && finite_total <= constraint) break;
     double w = items[idx].interval.Width();
     if (w == 0.0) break;  // only exact items remain; nothing left to shrink
-    selection.push_back(idx);
+    out->push_back(idx);
     if (w == kInfinity) {
       --unbounded;
     } else {
       finite_total -= w;
     }
   }
+}
+
+std::vector<size_t> SumRefreshSelection(const std::vector<QueryItem>& items,
+                                        double constraint) {
+  std::vector<size_t> selection;
+  SumRefreshSelectionInto(items, constraint, &selection);
   return selection;
+}
+
+void AvgRefreshSelectionInto(const std::vector<QueryItem>& items,
+                             double constraint, std::vector<size_t>* out) {
+  SumRefreshSelectionInto(
+      items, constraint * static_cast<double>(items.size()), out);
 }
 
 std::vector<size_t> AvgRefreshSelection(const std::vector<QueryItem>& items,

@@ -59,6 +59,15 @@ Interval AvgInterval(const std::vector<QueryItem>& items);
 std::vector<size_t> SumRefreshSelection(const std::vector<QueryItem>& items,
                                         double constraint);
 
+/// Allocation-free form of SumRefreshSelection: clears and fills `*out`
+/// instead of returning a fresh vector, and sorts through a thread-local
+/// index scratch — with a caller-reused `*out`, the steady state performs
+/// zero heap allocations (the read hot path's contract; enforced by
+/// tests/alloc_free_read_test.cc). Selection order is identical to
+/// SumRefreshSelection's.
+void SumRefreshSelectionInto(const std::vector<QueryItem>& items,
+                             double constraint, std::vector<size_t>* out);
+
 /// Iterative candidate selection for bounded MAX. Returns the index of the
 /// next item to refresh, or -1 when the MAX interval already satisfies
 /// `constraint`. The chosen item is the non-exact item with the largest
@@ -84,6 +93,10 @@ int NextMinRefreshCandidate(const std::vector<QueryItem>& items,
 /// is exactly a SUM constraint of constraint * items.size().
 std::vector<size_t> AvgRefreshSelection(const std::vector<QueryItem>& items,
                                         double constraint);
+
+/// Allocation-free form of AvgRefreshSelection (see SumRefreshSelectionInto).
+void AvgRefreshSelectionInto(const std::vector<QueryItem>& items,
+                             double constraint, std::vector<size_t>* out);
 
 }  // namespace apc
 

@@ -23,6 +23,12 @@ QueryGenerator::QueryGenerator(const QueryWorkloadParams& params,
 
 Query QueryGenerator::Next() {
   Query q;
+  Next(&q);
+  return q;
+}
+
+void QueryGenerator::Next(Query* out) {
+  Query& q = *out;
   double roll = rng_.Uniform(0.0, 1.0);
   if (roll < params_.max_fraction) {
     q.kind = AggregateKind::kMax;
@@ -48,7 +54,7 @@ Query QueryGenerator::Next() {
                 scratch_ids_[static_cast<size_t>(j)]);
     }
     q.source_ids.assign(scratch_ids_.begin(), scratch_ids_.begin() + g);
-    return q;
+    return;
   }
 
   // Zipf-skewed sample of distinct ids. The first element is exactly
@@ -103,7 +109,6 @@ Query QueryGenerator::Next() {
     chosen_mass += weight(id);
     q.source_ids.push_back(id);
   }
-  return q;
 }
 
 }  // namespace apc

@@ -48,6 +48,12 @@ class QueryGenerator {
   /// (uniform or Zipf-skewed), constraint from the configured distribution.
   Query Next();
 
+  /// Allocation-free form: overwrites `*out`, reusing its source_ids
+  /// capacity, so a caller-hoisted Query makes the steady-state draw
+  /// heap-allocation-free (the driver's query loop relies on this; see
+  /// tests/alloc_free_read_test.cc). Same Rng stream as Next().
+  void Next(Query* out);
+
   const QueryWorkloadParams& params() const { return params_; }
 
  private:

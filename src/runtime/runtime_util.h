@@ -3,23 +3,13 @@
 
 #include <cstdint>
 
+#include "runtime/partition.h"
 #include "runtime/shard.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace apc {
 namespace runtime_internal {
-
-/// splitmix64 finalizer: spreads consecutive ids uniformly across shards.
-/// The ONE partition function of the runtime — ShardedEngine and
-/// TieredEngine must agree on id→shard routing, so it lives here instead
-/// of in per-engine copies.
-inline uint64_t MixId(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 /// RAII read lock honoring a ReadLockMode: shared acquisition normally,
 /// exclusive in the kExclusive bench baseline. Used by every engine's

@@ -162,6 +162,27 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
   PublishChangesLocked(last_now);
 }
 
+void Shard::ApplyEvents(const UpdateEvent* events, size_t count) {
+  WriterMutexLock lock(mu_);
+  // Batch-maximum publish time, for the same reason as TickSources.
+  int64_t last_now = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const UpdateEvent& event = events[i];
+    last_now = std::max(last_now, event.now);
+    if (event.source_id == UpdateEvent::kAllSources) {
+      for (auto& src : sources_) TickSourceLocked(src.get(), event.now);
+      continue;
+    }
+    Source* src = FindSource(event.source_id);
+    if (src == nullptr) {
+      RecordRejectedUpdateLocked();
+      continue;
+    }
+    TickSourceLocked(src, event.now);
+  }
+  PublishChangesLocked(last_now);
+}
+
 Interval Shard::VisibleInterval(int id, int64_t now) const {
   if (read_mode_ == ReadLockMode::kSeqlock) {
     Interval out;
@@ -182,8 +203,11 @@ void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
     // Optimistic pass: no lock at all for entries whose seqlock validates.
     // Torn entries (a refresh raced the copy) are collected and settled
     // under one shared acquisition — rare, so the hot path allocates
-    // nothing and touches no lock word.
-    std::vector<size_t> torn;
+    // nothing and touches no lock word. The scratch is thread-local so the
+    // steady-state read performs zero heap allocations (asserted by
+    // tests/alloc_free_read_test.cc).
+    static thread_local std::vector<size_t> torn;
+    torn.clear();
     for (size_t i = 0; i < slots.size(); ++i) {
       const auto& [pos, id] = slots[i];
       Interval out;

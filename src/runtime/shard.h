@@ -14,6 +14,7 @@
 #include "core/protocol_table.h"
 #include "obs/metrics.h"
 #include "query/aggregate.h"
+#include "runtime/update_bus.h"
 #include "subscribe/change_sink.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -152,6 +153,14 @@ class Shard {
   /// Applies a batch of single-source updates under one lock acquisition.
   /// Pairs naming ids this shard does not own are skipped and counted.
   void TickSources(const std::vector<std::pair<int, int64_t>>& updates);
+
+  /// Applies one drained bus burst under ONE lock acquisition: a
+  /// kAllSources event ticks every owned source at its time, a specific id
+  /// ticks that source (unowned ids are skipped and counted as rejected).
+  /// Changes are published once at the batch-maximum time, like
+  /// TickSources. This is the pump's whole-burst entry point — the reason
+  /// the bus drains per-ring batches.
+  void ApplyEvents(const UpdateEvent* events, size_t count);
 
   /// The interval a query sees for `id` at `now`: the cached interval, or
   /// the unbounded interval when the value is not cached.

@@ -8,20 +8,33 @@ namespace apc {
 
 using runtime_internal::MixId;
 
-ShardedEngine::ShardedEngine(const EngineConfig& config,
-                             std::vector<std::unique_ptr<Source>> sources)
-    : config_(config),
-      bus_(config.bus_capacity < 1 ? 1 : config.bus_capacity),
-      subscriptions_(this, config.subscription_hub_capacity) {
-  assert(config.IsValid());
-  // Release builds clamp rather than crash (no-exceptions contract): at
-  // least one shard, and no more shards than cache capacity so every
-  // shard's χ slice is non-empty (matching EngineConfig::IsValid).
+namespace {
+
+// Release builds clamp rather than crash (no-exceptions contract): at
+// least one shard, and no more shards than cache capacity so every
+// shard's χ slice is non-empty (matching EngineConfig::IsValid). A named
+// helper because the bus needs the FINAL shard count in the member-init
+// list — one ring per shard, so ring index == shard index.
+int ClampedShardCount(const EngineConfig& config) {
   size_t capacity = config.system.cache_capacity;
   int n = config.num_shards < 1 ? 1 : config.num_shards;
   if (capacity > 0 && static_cast<size_t>(n) > capacity) {
     n = static_cast<int>(capacity);
   }
+  return n;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const EngineConfig& config,
+                             std::vector<std::unique_ptr<Source>> sources)
+    : config_(config),
+      bus_(config.bus_capacity < 1 ? 1 : config.bus_capacity,
+           static_cast<size_t>(ClampedShardCount(config))),
+      subscriptions_(this, config.subscription_hub_capacity) {
+  assert(config.IsValid());
+  size_t capacity = config.system.cache_capacity;
+  int n = ClampedShardCount(config);
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     // Partition χ so the slices sum exactly to the total capacity.
@@ -129,10 +142,12 @@ Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
       // once is pulled — and charged — once: the first occurrence becomes
       // the pull slot and the exact interval is copied to its twins after
       // the batch.
-      std::vector<size_t> selection =
-          query.kind == AggregateKind::kSum
-              ? SumRefreshSelection(items, query.constraint)
-              : AvgRefreshSelection(items, query.constraint);
+      static thread_local std::vector<size_t> selection;
+      if (query.kind == AggregateKind::kSum) {
+        SumRefreshSelectionInto(items, query.constraint, &selection);
+      } else {
+        AvgRefreshSelectionInto(items, query.constraint, &selection);
+      }
       for (size_t s = 0; s < nshards; ++s) groups[s].clear();
       for (size_t i = 0; i < selection.size(); ++i) {
         size_t idx = selection[i];
@@ -212,29 +227,14 @@ void ShardedEngine::StopUpdatePump() {
 void ShardedEngine::PumpLoop() {
   constexpr size_t kMaxBatch = 256;
   std::vector<UpdateEvent> batch;
-  std::vector<std::vector<std::pair<int, int64_t>>> per_shard(shards_.size());
-  while (bus_.PopBatch(&batch, kMaxBatch) > 0) {
-    // Apply single-source updates grouped per shard (one lock per shard per
-    // batch). A tick-all event is a barrier: pending groups flush first so
-    // per-source ordering is preserved.
-    auto flush = [&] {
-      for (size_t s = 0; s < per_shard.size(); ++s) {
-        if (!per_shard[s].empty()) {
-          shards_[s]->TickSources(per_shard[s]);
-          per_shard[s].clear();
-        }
-      }
-    };
-    for (const UpdateEvent& e : batch) {
-      if (e.source_id == UpdateEvent::kAllSources) {
-        flush();
-        TickAll(e.now);
-      } else {
-        per_shard[static_cast<size_t>(ShardOf(e.source_id))].push_back(
-            {e.source_id, e.now});
-      }
-    }
-    flush();
+  // The bus has one ring per shard and routes with the engine's own
+  // partition function (tick-alls are broadcast into every ring), so a
+  // drained burst belongs to exactly one shard: the whole burst applies
+  // under ONE lock acquisition, with per-source event order intact.
+  size_t ring = 0;
+  size_t n = 0;
+  while ((n = bus_.PopBatch(&batch, kMaxBatch, &ring)) > 0) {
+    shards_[ring]->ApplyEvents(batch.data(), n);
   }
 }
 

@@ -23,8 +23,9 @@ struct EngineConfig {
   SystemConfig system;
   int num_shards = 1;
   uint64_t seed = 0;
-  /// Capacity of the update bus (backpressure bound for producers). Must
-  /// be positive: a zero-capacity bus would block every producer forever.
+  /// Per-ring capacity of the update bus (backpressure bound for
+  /// producers; the bus keeps one ring per shard). Must be positive: a
+  /// zero-capacity bus would block every producer forever.
   size_t bus_capacity = 1024;
   /// How snapshot reads acquire shards (see ReadLockMode): optimistic
   /// per-entry seqlock validation by default; kShared and kExclusive are

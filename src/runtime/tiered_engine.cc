@@ -55,6 +55,13 @@ TieredConfig Sanitize(TieredConfig config) {
   return config;
 }
 
+/// Final shard count after the every-shard-owns-an-id clamp — needed in
+/// the member-init list so the bus can be built with one ring per shard.
+int EffectiveShards(int configured, size_t num_streams) {
+  const int n = static_cast<int>(num_streams);
+  return (n > 0 && configured > n) ? n : configured;
+}
+
 }  // namespace
 
 bool TieredConfig::IsValid() const {
@@ -70,13 +77,16 @@ bool TieredConfig::IsValid() const {
 TieredEngine::TieredEngine(const TieredConfig& config,
                            std::vector<std::unique_ptr<UpdateStream>> streams)
     : config_(Sanitize(config)),
-      bus_(config_.bus_capacity),
+      bus_(config_.bus_capacity,
+           static_cast<size_t>(
+               EffectiveShards(config_.num_shards, streams.size()))),
       subscriptions_(this, config_.subscription_hub_capacity) {
   assert(config.IsValid());
   const int n = static_cast<int>(streams.size());
   // Every shard must own at least one id, or its χ slice would be dead
   // weight; clamp like ShardedEngine rather than crash (no exceptions).
-  if (n > 0 && config_.num_shards > n) config_.num_shards = n;
+  // EffectiveShards applies the same clamp for the bus's ring count above.
+  config_.num_shards = EffectiveShards(config_.num_shards, streams.size());
   const int num_shards = config_.num_shards;
   const int num_edges = config_.num_edges;
 
@@ -341,21 +351,27 @@ void TieredEngine::TickSource(int id, int64_t now) {
   PublishRegionalChangesLocked(rs, now);
 }
 
-void TieredEngine::ApplyShardTicks(
-    int shard, const std::vector<std::pair<int, int64_t>>& updates) {
+void TieredEngine::ApplyShardEvents(int shard, const UpdateEvent* events,
+                                    size_t count) {
   RegionalShard& rs = *regional_[static_cast<size_t>(shard)];
   WriterMutexLock lock(rs.mu);
-  // Batch maximum, not the last element (see Shard::TickSources): the bus
-  // batch need not be time-ordered.
   int64_t last_now = 0;
-  for (const auto& [id, now] : updates) {
-    last_now = std::max(last_now, now);
-    auto it = rs.by_id.find(id);
+  for (size_t i = 0; i < count; ++i) {
+    const UpdateEvent& e = events[i];
+    last_now = std::max(last_now, e.now);
+    if (e.source_id == UpdateEvent::kAllSources) {
+      // This ring's copy of a broadcast: tick every source this shard owns.
+      for (auto& src : rs.sources) {
+        TickSourceLocked(rs, shard, src.get(), e.now);
+      }
+      continue;
+    }
+    auto it = rs.by_id.find(e.source_id);
     if (it == rs.by_id.end()) {
       counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    TickSourceLocked(rs, shard, rs.sources[it->second].get(), now);
+    TickSourceLocked(rs, shard, rs.sources[it->second].get(), e.now);
   }
   PublishRegionalChangesLocked(rs, last_now);
 }
@@ -487,34 +503,17 @@ void TieredEngine::StopUpdatePump() {
 }
 
 void TieredEngine::PumpLoop() {
+  // The bus keeps one ring per regional shard (RingOf == ShardOf), so a
+  // drained burst belongs to exactly one shard and is applied under ONE
+  // exclusive lock acquisition — no per-event regrouping, no flush
+  // barriers: broadcasts are already fanned into every ring in per-source
+  // FIFO order by the bus itself.
   constexpr size_t kMaxBatch = 256;
   std::vector<UpdateEvent> batch;
-  std::vector<std::vector<std::pair<int, int64_t>>> per_shard(
-      regional_.size());
-  while (bus_.PopBatch(&batch, kMaxBatch) > 0) {
-    // Per-source updates grouped per regional shard (one lock per shard
-    // per batch); a tick-all event is a barrier so per-source ordering is
-    // preserved — the same discipline as ShardedEngine's pump.
-    auto flush = [&] {
-      for (size_t s = 0; s < per_shard.size(); ++s) {
-        if (!per_shard[s].empty()) {
-          ApplyShardTicks(static_cast<int>(s), per_shard[s]);
-          per_shard[s].clear();
-        }
-      }
-    };
-    for (const UpdateEvent& e : batch) {
-      if (e.source_id == UpdateEvent::kAllSources) {
-        flush();
-        TickAll(e.now);
-      } else if (e.source_id >= 0 && Owns(e.source_id)) {
-        per_shard[static_cast<size_t>(ShardOf(e.source_id))].push_back(
-            {e.source_id, e.now});
-      } else {
-        counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    flush();
+  size_t ring = 0;
+  size_t n = 0;
+  while ((n = bus_.PopBatch(&batch, kMaxBatch, &ring)) > 0) {
+    ApplyShardEvents(static_cast<int>(ring), batch.data(), n);
   }
 }
 

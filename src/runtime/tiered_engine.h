@@ -59,7 +59,9 @@ struct TieredConfig {
   /// optimistic seqlock validation by default; kShared/kExclusive are the
   /// bench baselines.
   ReadLockMode read_lock_mode = ReadLockMode::kSeqlock;
-  /// Capacity of the update bus (backpressure bound; must be positive).
+  /// Per-ring capacity of the update bus (backpressure bound for
+  /// producers; the bus keeps one ring per regional shard). Must be
+  /// positive.
   size_t bus_capacity = 1024;
   /// Capacity of the subscription NotificationHub (must be positive).
   size_t subscription_hub_capacity = 1024;
@@ -322,8 +324,13 @@ class TieredEngine : private SubscriptionHost {
                       const Interval& parent, RefreshType type, int64_t now)
       APC_REQUIRES_SHARED(rs.mu);
 
-  void ApplyShardTicks(int shard,
-                       const std::vector<std::pair<int, int64_t>>& updates);
+  /// Applies one drained bus burst to regional shard `shard` under ONE
+  /// exclusive lock acquisition — the pump's whole-burst entry point. A
+  /// kAllSources event ticks every source of this shard (its per-ring
+  /// broadcast copy); unknown ids are counted as rejected. Changes are
+  /// published once, at the batch-maximum time (the bus batch need not be
+  /// time-ordered).
+  void ApplyShardEvents(int shard, const UpdateEvent* events, size_t count);
   void PumpLoop();
 
   // SubscriptionHost: the regional tier is the subscription surface.

@@ -1,12 +1,15 @@
 #ifndef APC_RUNTIME_UPDATE_BUS_H_
 #define APC_RUNTIME_UPDATE_BUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "runtime/partition.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -24,40 +27,89 @@ struct UpdateEvent {
   static constexpr int kAllSources = -1;
 };
 
-/// Bounded multi-producer single-consumer queue carrying source updates
-/// into the runtime's shards. Producers (workload updaters, trace
-/// replayers) block when the bus is full — closed-loop backpressure, so a
-/// slow consumer throttles its producers instead of the queue growing
-/// without bound. The consumer drains events in batches, which is what lets
-/// the engine amortize one shard-lock acquisition over many updates.
+/// Bounded multi-producer single-consumer bus carrying source updates into
+/// the runtime's shards, built from per-shard ring buffers so the pump can
+/// apply a whole drained burst under ONE shard-lock acquisition.
 ///
-/// Close() wakes everyone: producers fail fast (Push returns false) and the
-/// consumer drains whatever remains, then PopBatch returns 0.
+/// Structure: `num_rings` bounded rings (one per shard in the engines),
+/// each a power-of-two array of sequence-stamped cells. A specific
+/// source_id routes to ring MixId(id) % num_rings — the engines' own
+/// partition function, so ring index == shard index. A kAllSources tick
+/// broadcasts one copy into EVERY ring: per-source event order must
+/// include the global ticks (a source observing time move backwards would
+/// corrupt its interval growth), and each shard ticks exactly its own
+/// sources from its own ring.
+///
+/// Producer protocol (the batch-reservation pattern): acquire `n` credits
+/// from the ring's credit counter (all-or-nothing, enforcing the EXACT
+/// logical capacity), then reserve a contiguous range of cells with a
+/// single tail.fetch_add(n) — one atomic per batch, not per event — then
+/// write the cells and publish each by storing its sequence number.
+/// Producers with no credits block (closed-loop backpressure, exactly the
+/// old deque semantics); TryPush fails instead. An acquired credit
+/// guarantees the target cell is already recycled, so producers never wait
+/// on the consumer while holding a reservation.
+///
+/// Consumer protocol: PopBatch drains one ring per call (round-robin over
+/// non-empty rings), reading the contiguous published prefix, then
+/// recycles the cells and returns the credits. Close() wakes everyone:
+/// producers fail fast, and once every ring's backlog drains PopBatch
+/// returns 0.
 class UpdateBus {
  public:
-  explicit UpdateBus(size_t capacity = 1024);
+  /// `capacity` is the per-ring logical bound (the backpressure contract);
+  /// the default single ring makes the bus a drop-in bounded MPSC queue.
+  explicit UpdateBus(size_t capacity = 1024, size_t num_rings = 1);
 
-  /// Enqueues `event`, blocking while the bus is full. Returns false (and
-  /// drops the event) when the bus has been closed.
+  /// Enqueues `event`, blocking while its destination ring is full (every
+  /// ring, for a kAllSources broadcast). Returns false (and drops the
+  /// event) when the bus has been closed.
   bool Push(const UpdateEvent& event);
 
-  /// Non-blocking variant: returns false when full or closed.
+  /// Non-blocking variant: returns false when full or closed. A
+  /// kAllSources broadcast is all-or-nothing — it fails without enqueuing
+  /// anything unless every ring has room.
   bool TryPush(const UpdateEvent& event);
 
-  /// Moves up to `max_batch` events into `*out` (cleared first). Blocks
-  /// until at least one event is available or the bus is closed and
-  /// drained; returns the number of events delivered (0 only at shutdown).
-  size_t PopBatch(std::vector<UpdateEvent>* out, size_t max_batch);
+  /// Batched blocking push: reserves each same-destination run of `events`
+  /// with one credit acquisition and one tail reservation per ring
+  /// (chunked to the ring capacity), preserving the events' order.
+  /// Returns how many events were accepted — short only when the bus
+  /// closes mid-batch.
+  size_t PushBatch(const UpdateEvent* events, size_t count);
+
+  /// Moves up to `max_batch` events from ONE ring into `*out` (cleared
+  /// first), round-robin across non-empty rings; `*source_ring` (optional)
+  /// receives the ring index, which is the shard index when the owner
+  /// built one ring per shard. Blocks until an event is available or the
+  /// bus is closed and fully drained; returns the number of events
+  /// delivered (0 only at shutdown). Single consumer by contract.
+  size_t PopBatch(std::vector<UpdateEvent>* out, size_t max_batch,
+                  size_t* source_ring = nullptr);
 
   /// Closes the bus: subsequent pushes fail, and once the backlog drains
   /// PopBatch returns 0.
   void Close();
 
-  bool closed() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  /// Events currently queued across all rings (a broadcast counts once per
+  /// ring it landed in).
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  /// Total events ever accepted (monotonic; for progress reporting).
-  int64_t total_pushed() const;
+  size_t num_rings() const { return rings_.size(); }
+  /// Total events ever accepted (monotonic; broadcasts count once).
+  int64_t total_pushed() const {
+    return total_pushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring carrying `source_id`'s events: MixId(id) % num_rings, the same
+  /// partition the engines use for id→shard. Meaningless for kAllSources,
+  /// which broadcasts.
+  size_t RingOf(int source_id) const {
+    return static_cast<size_t>(
+        runtime_internal::MixId(static_cast<uint64_t>(source_id)) %
+        rings_.size());
+  }
 
   /// Registers this bus's traffic metrics with `registry` under
   /// "<prefix>." names: enqueued/drained/drain_batches counters, a
@@ -68,18 +120,78 @@ class UpdateBus {
                        const std::string& prefix);
 
  private:
-  const size_t capacity_;
-  /// Innermost lock of the update path: producers and the pump drain hold
-  /// no other lock while touching the queue (rank kQueue — closed under
-  /// kControl at shutdown, never taken before an engine lock).
+  /// One ring slot. `seq` is the Vyukov sequence stamp: it equals the cell's
+  /// next position when free for a producer, position+1 once published,
+  /// and position+physical_capacity after the consumer recycles it.
+  // contracts-lint: allow(raw-atomic) -- the sequence stamp IS the cell's
+  // publication protocol (lock-free MPSC handoff), not a tally; a mutex
+  // per cell would reinstate the global-lock bus this replaces.
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq{0};
+    UpdateEvent event;
+  };
+
+  /// One bounded ring. The cursors are cache-line-separated: producers
+  /// contend on tail+credits, only the consumer touches head.
+  struct alignas(64) Ring {
+    explicit Ring(size_t logical_capacity);
+    Ring(const Ring&) = delete;
+    Ring& operator=(const Ring&) = delete;
+
+    std::unique_ptr<Cell[]> cells;
+    uint64_t mask = 0;  // physical capacity (pow2) - 1
+    // contracts-lint: allow(raw-atomic) -- lock-free ring cursors: tail is
+    // the single-atomic batch reservation point, credits enforce the exact
+    // logical capacity, head is the consumer's drain cursor. These ARE the
+    // queue's synchronization, not tallies.
+    alignas(64) std::atomic<uint64_t> tail{0};
+    alignas(64) std::atomic<int64_t> credits{0};
+    alignas(64) std::atomic<uint64_t> head{0};
+  };
+
+  bool IsBroadcast(const UpdateEvent& event) const {
+    return event.source_id == UpdateEvent::kAllSources && rings_.size() > 1;
+  }
+  /// All-or-nothing credit grab on one ring; never blocks.
+  static bool TryAcquireCredits(Ring& ring, int64_t n);
+  /// Blocking credit grab; fails only when the bus closes.
+  bool AcquireCredits(Ring& ring, int64_t n);
+  /// Credits on EVERY ring (ascending order, deadlock-free because the
+  /// consumer never blocks on a producer); rolls back on failure.
+  bool AcquireBroadcastCredits(int64_t n, bool blocking);
+  /// Reserves `n` cells with one tail.fetch_add and publishes `events`.
+  static void WriteRange(Ring& ring, const UpdateEvent* events, size_t n);
+  /// One same-destination run: credits → reserve → publish → bookkeeping.
+  bool PushRun(const UpdateEvent* events, size_t n, bool broadcast,
+               size_t ring_index, bool blocking);
+  /// Drains the contiguous published prefix of one ring (up to max_batch).
+  size_t DrainRing(Ring& ring, std::vector<UpdateEvent>* out,
+                   size_t max_batch);
+
+  const size_t capacity_;  // logical per-ring bound
+  std::deque<Ring> rings_;
+  size_t next_ring_ = 0;  // consumer-only round-robin cursor
+
+  /// Parking lot only: producers with no credits and the idle consumer
+  /// wait here (timed, so a missed notify costs a millisecond, never a
+  /// hang). The queue state itself is lock-free (rank kQueue — taken with
+  /// no other lock held, never before an engine lock).
   mutable Mutex mu_{LockRank::kQueue, "bus.mu"};
   CondVar not_full_;
   CondVar not_empty_;
-  std::deque<UpdateEvent> queue_ APC_GUARDED_BY(mu_);
-  bool closed_ APC_GUARDED_BY(mu_) = false;
-  int64_t total_pushed_ APC_GUARDED_BY(mu_) = 0;
 
-  // Observability (updated under mu_, read lock-free by snapshots).
+  // contracts-lint: allow(raw-atomic) -- close/accept handshake state read
+  // on the lock-free push path: closed_ gates acceptance, pending_pushes_
+  // lets the consumer distinguish "drained" from "a producer is mid-
+  // reservation" at shutdown, total_pushed_ is the progress API the tests
+  // and drivers poll without the parking-lot lock.
+  std::atomic<bool> closed_{false};
+  std::atomic<int64_t> total_pushed_{0};
+  std::atomic<int64_t> pending_pushes_{0};
+
+  // Observability (read lock-free by snapshots). `enqueued_` counts
+  // accepted events once (a broadcast is one event); `drained_` counts
+  // per-ring deliveries, so with broadcasts drained >= enqueued.
   obs::ObsCounter enqueued_;
   obs::ObsCounter drained_;
   obs::ObsCounter drain_batches_;

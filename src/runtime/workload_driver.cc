@@ -48,12 +48,21 @@ std::vector<WorkloadPhase> EffectiveSchedule(const DriverConfig& config) {
 /// CostRate()'s denominator never include pushes rejected at shutdown.
 /// Returns false once the bus is closed (the updater must exit).
 bool PushTickBurst(UpdateBus& bus, std::atomic<int64_t>& clock, int burst) {
-  for (int i = 0; i < burst; ++i) {
-    int64_t t = clock.load(std::memory_order_relaxed) + 1;
-    if (!bus.Push({t, UpdateEvent::kAllSources})) return false;
-    clock.store(t, std::memory_order_relaxed);
+  // One PushBatch per burst: the bus reserves each ring's range with a
+  // single atomic instead of `burst` lock-and-notify round trips. The
+  // scratch is thread_local so the steady-state updater allocates nothing.
+  static thread_local std::vector<UpdateEvent> events;
+  events.clear();
+  int64_t t = clock.load(std::memory_order_relaxed);
+  for (int i = 1; i <= burst; ++i) {
+    events.push_back({t + i, UpdateEvent::kAllSources});
   }
-  return true;
+  size_t accepted = bus.PushBatch(events.data(), events.size());
+  if (accepted > 0) {
+    clock.store(t + static_cast<int64_t>(accepted),
+                std::memory_order_relaxed);
+  }
+  return accepted == events.size();
 }
 
 /// Merged latency/violation view over the per-thread results (histograms
@@ -177,8 +186,11 @@ DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
         QueryGenerator gen(workload,
                            config.seed ^ (0xA11CEULL + 0x9E3779B9ULL * t +
                                           0x51CEB00BULL * p));
+        // Hoisted and reused: Next(&query) recycles source_ids capacity,
+        // so the steady-state query loop performs no heap allocation.
+        Query query;
         for (int64_t q = 0; q < phase.queries_per_thread; ++q) {
-          Query query = gen.Next();
+          gen.Next(&query);
           int64_t now = clock.load(std::memory_order_relaxed);
           bool point_read = phase.point_read_fraction > 0.0 &&
                             rng.Bernoulli(phase.point_read_fraction);
@@ -302,8 +314,9 @@ TieredDriverReport RunTieredWorkload(TieredEngine& engine,
         if (p == config.num_phases - 1) {
           budget = config.queries_per_thread - issued;
         }
+        Query query;
         for (int64_t q = 0; q < budget; ++q, ++issued) {
-          Query query = gen.Next();
+          gen.Next(&query);
           int id = (hot_base + query.source_ids.front()) % num_sources;
           int64_t now = clock.load(std::memory_order_relaxed);
           auto t0 = std::chrono::steady_clock::now();

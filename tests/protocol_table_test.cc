@@ -191,6 +191,54 @@ TEST(ProtocolTableTest, EvictionUsesRawWidthsAndMirrorsSlots) {
   EXPECT_TRUE(seen.IsUnbounded());
 }
 
+// The slot slab's id -> index map is dense (a direct vector load) for
+// small non-negative ids and falls back to a hash map for negative or
+// huge ids; both routes must serve identical seqlock reads.
+TEST(EntryStoreTest, SlabServesDenseAndSparseIds) {
+  constexpr int kHugeId = 1 << 21;  // beyond the dense-map limit
+  EntryStore store(4);
+  ASSERT_TRUE(store.RegisterSlot(3));        // dense route
+  ASSERT_TRUE(store.RegisterSlot(kHugeId));  // sparse route: huge
+  ASSERT_TRUE(store.RegisterSlot(-7));       // sparse route: negative
+  EXPECT_FALSE(store.RegisterSlot(3));       // duplicates rejected
+  EXPECT_EQ(store.num_slots(), 3u);
+  for (int id : {3, kHugeId, -7}) {
+    EXPECT_TRUE(store.HasSlot(id));
+    EXPECT_NE(store.SlotIndexOf(id), EntryStore::kNoSlot);
+  }
+  EXPECT_EQ(store.SlotIndexOf(12345), EntryStore::kNoSlot);
+  EXPECT_EQ(store.SlotIndexOf(-1), EntryStore::kNoSlot);
+  EXPECT_EQ(store.SlotIndexOf(kHugeId + 1), EntryStore::kNoSlot);
+}
+
+// The optimistic read must serve dense, huge, and negative ids alike: the
+// dense id takes the direct vector load, the other two the hash fallback,
+// and all three hit the same contiguous slab.
+TEST(ProtocolTableTest, OptimisticReadServesDenseAndSparseIds) {
+  constexpr int kHugeId = 1 << 21;
+  ProtocolTable table(TableConfig(4), /*seed=*/3);
+  ASSERT_TRUE(table.Register(3));
+  ASSERT_TRUE(table.Register(kHugeId));
+  ASSERT_TRUE(table.Register(-7));
+
+  CachedApprox approx;
+  approx.base = Interval(1.0, 2.0);
+  for (int id : {3, kHugeId, -7}) {
+    Interval visible;
+    EXPECT_EQ(table.TryVisibleInterval(id, /*now=*/0, &visible),
+              SnapshotRead::kMiss)
+        << "uncached id " << id << " must read as a definitive miss";
+    table.OfferDerivedInitial(id, approx, 1.0);
+    ASSERT_EQ(table.TryVisibleInterval(id, /*now=*/0, &visible),
+              SnapshotRead::kHit)
+        << "slab read failed for id " << id;
+    EXPECT_EQ(visible, table.VisibleInterval(id, /*now=*/0));
+  }
+  Interval out;
+  EXPECT_EQ(table.TryVisibleInterval(12345, 0, &out), SnapshotRead::kMiss);
+  EXPECT_EQ(table.TryVisibleInterval(-1, 0, &out), SnapshotRead::kMiss);
+}
+
 TEST(ProtocolTableTest, OptimisticReadMatchesAuthoritativeOverTime) {
   ProtocolTable table(TableConfig(2), /*seed=*/3);
   ASSERT_TRUE(table.Register(5));
