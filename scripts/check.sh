@@ -24,6 +24,14 @@
 #                               # ExecuteQuery / query generation allocate
 #                               # nothing in steady state, with inlining on
 #                               # so the claim is about the production code
+#   scripts/check.sh --scenarios # scenario harness gate: run the trace
+#                               # replay + scenario suites, a
+#                               # bench_scenarios smoke (its exit gate is
+#                               # zero mid-run precision violations on
+#                               # every row), then rerun the concurrent
+#                               # scenario stress variants (thundering
+#                               # herd, hotspot migration) under
+#                               # ThreadSanitizer
 #   scripts/check.sh --analyze  # clang thread-safety analysis: build the
 #                               # whole tree with clang and
 #                               # -Werror=thread-safety(-beta) over the APC_*
@@ -50,7 +58,7 @@ CTEST_TIMEOUT=120
 # lock_order_test rides along: its death tests fork, which both sanitizers
 # support, and the validator's thread_local stacks deserve instrumented
 # coverage.
-CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test|obs_test|lock_order_test)$'
+CONCURRENCY_SUITES='^(runtime_test|tiered_engine_test|update_bus_test|workload_driver_test|notification_hub_test|subscription_test|obs_test|lock_order_test|scenario_test)$'
 
 # Locates a clang-family tool by its plain then versioned names (CI images
 # often ship clang-NN only). Prints the tool or fails with guidance.
@@ -112,6 +120,29 @@ if [[ "${1:-}" == "--alloc" ]]; then
   ctest --test-dir build-alloc --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -R '^alloc_free_read_test$'
   pass "read hot path allocation-free in steady state (optimized build)"
+fi
+
+if [[ "${1:-}" == "--scenarios" ]]; then
+  # The scenario-harness gate in three stages: (1) the deterministic
+  # suites — trace round-trip replay, generator/runner checks, lockstep
+  # fuzz, determinism; (2) a bench_scenarios smoke whose own exit code
+  # enforces zero mid-run precision violations with active checkers on
+  # every scenario x policy row; (3) the two genuinely concurrent scenario
+  # stress variants (subscriber thundering herd, hotspot migration with
+  # racing edge readers) rebuilt and rerun under ThreadSanitizer.
+  cmake -B build -S .
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" \
+        -R '^(trace_io_test|trace_replay_test|scenario_test|scenario_fuzz_test|scenario_determinism_test)$'
+  ./build/bench_scenarios 240 1 build/BENCH_scenarios.json
+
+  cmake -B build-tsan -S . -DAPC_SANITIZE=thread -DAPCACHE_BUILD_BENCHES=OFF \
+        -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -R '^scenario_test$'
+  pass "scenario suites, bench gate (0 violations), and TSan stress clean"
 fi
 
 if [[ "${1:-}" == "--analyze" ]]; then

@@ -24,6 +24,14 @@ void ExactCachingSystem::Tick(int64_t /*now*/) {
   }
 }
 
+void ExactCachingSystem::TickTrace(int64_t /*now*/) {
+  for (size_t id = 0; id < streams_.size(); ++id) {
+    double before = streams_[id]->current();
+    double after = streams_[id]->Next();
+    if (after != before) RecordWrite(static_cast<int>(id));
+  }
+}
+
 double ExactCachingSystem::ExecuteQuery(const Query& query, int64_t /*now*/) {
   double sum = 0.0;
   double max = -std::numeric_limits<double>::infinity();

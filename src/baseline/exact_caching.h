@@ -48,6 +48,12 @@ class ExactCachingSystem {
   /// Cvr (the push to the cache).
   void Tick(int64_t now);
 
+  /// Advances all sources one tick, counting a write only for sources whose
+  /// value actually changed — the trace-replay variant: a SeriesStream
+  /// sitting on a flat segment (or past its end) produced no update, so
+  /// charging a push for it would overstate the baseline's cost.
+  void TickTrace(int64_t now);
+
   /// Executes a query: reads every value in `source_ids`; each uncached
   /// value incurs a remote read (Cqr). Returns the exact aggregate.
   double ExecuteQuery(const Query& query, int64_t now);

@@ -80,6 +80,23 @@ void StaleCacheSystem::Tick(int64_t now) {
   }
 }
 
+void StaleCacheSystem::ApplyUpdates(const std::vector<int>& ids,
+                                    int64_t now) {
+  for (int id : ids) {
+    if (id < 0 || id >= config_.num_sources) continue;
+    policy_->ObserveWrite(id, now);
+    int64_t& counter = counters_[static_cast<size_t>(id)];
+    ++counter;
+    double bound = bounds_[static_cast<size_t>(id)];
+    if (static_cast<double>(counter) > bound) {
+      costs_.RecordValueRefresh();
+      counter = 0;
+      bounds_[static_cast<size_t>(id)] =
+          policy_->OnRefresh(id, RefreshType::kValueInitiated, now);
+    }
+  }
+}
+
 void StaleCacheSystem::ExecuteRead(const std::vector<int>& ids,
                                    double constraint, int64_t now) {
   for (int id : ids) {

@@ -89,6 +89,12 @@ class StaleCacheSystem {
   /// Applies one tick of updates across all sources.
   void Tick(int64_t now);
 
+  /// Applies one update to each id in `ids` — the trace-driven variant of
+  /// Tick: the caller (a recorded trace or scenario script) decides which
+  /// sources moved this tick instead of the simulator's own Bernoulli
+  /// draws. Unknown ids are ignored.
+  void ApplyUpdates(const std::vector<int>& ids, int64_t now);
+
   /// Reads every id in `ids` under staleness constraint `constraint`
   /// (maximum acceptable divergence bound, in updates).
   void ExecuteRead(const std::vector<int>& ids, double constraint,

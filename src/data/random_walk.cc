@@ -13,6 +13,17 @@ double RandomWalkStream::Next() {
   return value_;
 }
 
+RecordingStream::RecordingStream(std::unique_ptr<UpdateStream> inner)
+    : inner_(std::move(inner)) {
+  recorded_.push_back(inner_->current());
+}
+
+double RecordingStream::Next() {
+  double value = inner_->Next();
+  recorded_.push_back(value);
+  return value;
+}
+
 SeriesStream::SeriesStream(std::vector<double> series)
     : series_(std::move(series)),
       pos_(series_.empty() ? 0 : 1),

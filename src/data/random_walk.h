@@ -1,6 +1,7 @@
 #ifndef APC_DATA_RANDOM_WALK_H_
 #define APC_DATA_RANDOM_WALK_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/update_stream.h"
@@ -39,6 +40,25 @@ class RandomWalkStream : public UpdateStream {
   RandomWalkParams params_;
   Rng rng_;
   double value_;
+};
+
+/// Decorator that tees every value an inner stream produces into a
+/// recorded series. recorded() starts at the inner stream's value at
+/// construction time and gains one entry per Next(), so recorded()[t] is
+/// the value visible at time t — exactly one Trace host row, and feeding
+/// it back through a SeriesStream replays the run value-for-value.
+class RecordingStream : public UpdateStream {
+ public:
+  explicit RecordingStream(std::unique_ptr<UpdateStream> inner);
+
+  double Next() override;
+  double current() const override { return inner_->current(); }
+
+  const std::vector<double>& recorded() const { return recorded_; }
+
+ private:
+  std::unique_ptr<UpdateStream> inner_;
+  std::vector<double> recorded_;
 };
 
 /// Plays back a precomputed series: current() starts at series[0] (the

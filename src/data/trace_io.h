@@ -8,15 +8,25 @@
 
 namespace apc {
 
-/// Writes a trace as CSV: one row per second, one column per host. Lets
-/// users export the synthetic trace or import a real one (e.g. actual
+/// Header line SaveTraceCsv writes: `# apcache-trace-v1 hosts=H duration=T`.
+/// Loaders use it to detect truncation (a file cut at a row boundary is
+/// otherwise a perfectly rectangular, shorter trace).
+extern const char kTraceCsvMagic[];
+
+/// Writes a trace as CSV: a dimension header comment, then one row per
+/// second, one column per host. Values are written with max_digits10
+/// significant digits so a loaded trace reproduces the saved doubles
+/// bit-for-bit — the property the trace-replay parity harness relies on.
+/// Lets users export the synthetic trace or import a real one (e.g. actual
 /// network monitoring data) in its place.
 Status SaveTraceCsv(const Trace& trace, const std::string& path);
 
 /// Reads a trace written by SaveTraceCsv (or any rectangular numeric CSV
-/// with the same layout). Returns Corruption on ragged rows or non-numeric
-/// fields, IOError when the file cannot be opened, InvalidArgument on an
-/// empty file.
+/// with the same layout; the header is optional so hand-made files load
+/// too). Returns Corruption on ragged rows, non-numeric fields, or a
+/// header whose declared dimensions disagree with the rows actually
+/// present (a truncated or padded file); IOError when the file cannot be
+/// opened; InvalidArgument on an empty file.
 Result<Trace> LoadTraceCsv(const std::string& path);
 
 }  // namespace apc

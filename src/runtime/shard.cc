@@ -21,6 +21,7 @@ void RuntimeCounters::RegisterWith(obs::MetricsRegistry* registry,
   registry->RegisterCounter(prefix + ".rejected_query_ids",
                             &rejected_query_ids);
   registry->RegisterCounter(prefix + ".rejected_sources", &rejected_sources);
+  registry->RegisterCounter(prefix + ".rejected_traces", &rejected_traces);
   registry->RegisterCounter("read.seqlock_retries", &seqlock_retries);
   registry->RegisterCounter("read.shared_fallbacks", &shared_fallbacks);
 }

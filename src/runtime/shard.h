@@ -66,6 +66,10 @@ struct RuntimeCounters {
   /// precision policy whose configuration is invalid (see
   /// PrecisionPolicy::IsValidConfig).
   obs::Counter rejected_sources;
+  /// Trace files rejected at load time: unreadable, empty, ragged, or a
+  /// dimension header disagreeing with the rows present (see
+  /// data/trace_io.h). Counted by the scenario harness, never fatal.
+  obs::Counter rejected_traces;
 
   /// Observability-only tallies for the seqlock read path (no-ops under
   /// APC_OBS=0): optimistic reads that tore against a racing refresh, and

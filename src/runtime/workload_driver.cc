@@ -123,6 +123,34 @@ std::vector<std::unique_ptr<UpdateStream>> BuildRandomWalkStreams(
   return streams;
 }
 
+std::vector<std::unique_ptr<Source>> BuildTraceSources(
+    const Trace& trace, const AdaptivePolicyParams& policy, uint64_t seed) {
+  Rng master(seed);
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(trace.hosts.size());
+  for (size_t id = 0; id < trace.hosts.size(); ++id) {
+    // Draw (and discard) the stream-seed slot so the policy seeds come out
+    // identical to BuildRandomWalkSources(n, ..., seed) — replaying a
+    // recorded trace reproduces the original per-source policy decisions.
+    (void)master.NextUint64();
+    uint64_t policy_seed = master.NextUint64();
+    sources.push_back(std::make_unique<Source>(
+        static_cast<int>(id), std::make_unique<SeriesStream>(trace.hosts[id]),
+        std::make_unique<AdaptivePolicy>(policy, policy_seed)));
+  }
+  return sources;
+}
+
+std::vector<std::unique_ptr<UpdateStream>> BuildTraceStreams(
+    const Trace& trace) {
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  streams.reserve(trace.hosts.size());
+  for (const std::vector<double>& series : trace.hosts) {
+    streams.push_back(std::make_unique<SeriesStream>(series));
+  }
+  return streams;
+}
+
 DriverReport RunWorkload(ShardedEngine& engine, const DriverConfig& config) {
   if (!config.IsValid()) return DriverReport{};
   const std::vector<WorkloadPhase> schedule = EffectiveSchedule(config);

@@ -7,6 +7,7 @@
 
 #include "core/adaptive_policy.h"
 #include "data/random_walk.h"
+#include "data/traffic_trace.h"
 #include "query/query_gen.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/tiered_engine.h"
@@ -297,6 +298,21 @@ std::vector<std::unique_ptr<Source>> BuildRandomWalkSources(
 /// what the lockstep parity harnesses rely on.
 std::vector<std::unique_ptr<UpdateStream>> BuildRandomWalkStreams(
     int n, const RandomWalkParams& walk, uint64_t seed);
+
+/// Builds one SeriesStream-backed source per trace host: source id h plays
+/// back trace.hosts[h] (value at time t = hosts[h][t]; the last value
+/// repeats past the end). The per-source policy seeds are forked from
+/// `seed` in exactly the order BuildRandomWalkSources forks them — the
+/// stream-seed slot is drawn and discarded — so a trace recorded from a
+/// BuildRandomWalkSources population replays against policies whose
+/// probabilistic grow/shrink decisions are bit-for-bit the original run's.
+std::vector<std::unique_ptr<Source>> BuildTraceSources(
+    const Trace& trace, const AdaptivePolicyParams& policy, uint64_t seed);
+
+/// Builds one bare SeriesStream per trace host, for the engines that own
+/// their precision policies (TieredEngine, HierarchicalSystem, baselines).
+std::vector<std::unique_ptr<UpdateStream>> BuildTraceStreams(
+    const Trace& trace);
 
 /// Runs the closed-loop workload against `engine`: populates the cache,
 /// begins measurement, fans out query threads (plus the updater when

@@ -1,0 +1,341 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/trace_io.h"
+#include "util/rng.h"
+
+namespace apc {
+
+namespace {
+
+/// Skewed id draw in [0, n): u^3 concentrates mass near 0, then the pick
+/// is rotated by `hot` so the concentration lands on the scenario's
+/// current hotspot. A cheap stand-in for Zipf that needs no table.
+int SkewedId(Rng& rng, int n, int hot) {
+  double u = rng.Uniform(0.0, 1.0);
+  int offset = static_cast<int>(u * u * u * n);
+  if (offset >= n) offset = n - 1;
+  return (hot + offset) % n;
+}
+
+ScenarioReadOp PointRead(int id, double constraint, int edge = 0) {
+  ScenarioReadOp op;
+  op.edge = edge;
+  op.query.kind = AggregateKind::kSum;
+  op.query.source_ids = {id};
+  op.query.constraint = constraint;
+  return op;
+}
+
+/// Walks every source forward one tick: with probability p[id] the value
+/// moves by ±U[lo[id], hi[id]], otherwise it repeats (no update).
+struct WalkState {
+  std::vector<double> update_probability;
+  std::vector<double> step_lo;
+  std::vector<double> step_hi;
+};
+
+void AdvanceWalk(Trace& values, const WalkState& walk, int64_t t, Rng& rng) {
+  for (size_t id = 0; id < values.hosts.size(); ++id) {
+    double prev = values.hosts[id][static_cast<size_t>(t - 1)];
+    double next = prev;
+    if (rng.Bernoulli(walk.update_probability[id])) {
+      double step = rng.Uniform(walk.step_lo[id], walk.step_hi[id]);
+      if (!rng.Bernoulli(0.5)) step = -step;
+      next = prev + step;
+    }
+    values.hosts[id][static_cast<size_t>(t)] = next;
+  }
+}
+
+/// Shared skeleton: initial values 100 + id, per-tick schedules sized
+/// ticks + 1 with index 0 empty.
+ScenarioScript MakeSkeleton(const ScenarioConfig& config) {
+  ScenarioScript script;
+  script.kind = config.kind;
+  script.name = ScenarioKindName(config.kind);
+  script.num_sources = config.num_sources;
+  script.num_edges =
+      config.kind == ScenarioKind::kHotspotMigration ? config.num_edges : 1;
+  script.ticks = config.ticks;
+  script.values.hosts.assign(
+      static_cast<size_t>(config.num_sources),
+      std::vector<double>(static_cast<size_t>(config.ticks) + 1, 0.0));
+  for (int id = 0; id < config.num_sources; ++id) {
+    script.values.hosts[static_cast<size_t>(id)][0] = 100.0 + id;
+  }
+  script.reads.resize(static_cast<size_t>(config.ticks) + 1);
+  script.sub_ops.resize(static_cast<size_t>(config.ticks) + 1);
+  return script;
+}
+
+int PhaseOf(const ScenarioConfig& config, int64_t t) {
+  int phase = static_cast<int>(t * config.num_phases / (config.ticks + 1));
+  return std::min(phase, config.num_phases - 1);
+}
+
+ScenarioScript BuildFlashCrowd(const ScenarioConfig& config) {
+  ScenarioScript script = MakeSkeleton(config);
+  Rng rng(config.seed);
+  const int n = config.num_sources;
+  // Source 0 is the cold value: near-frozen and never read in phase 0,
+  // then volatile AND the target of 80% of reads (with much tighter
+  // constraints) from phase 1 on — the policy has widened it to "barely
+  // cached" exactly when the herd needs it tight.
+  WalkState walk;
+  walk.update_probability.assign(static_cast<size_t>(n), 0.8);
+  walk.step_lo.assign(static_cast<size_t>(n), 0.5);
+  walk.step_hi.assign(static_cast<size_t>(n), 1.5);
+  walk.update_probability[0] = 0.05;
+  for (int64_t t = 1; t <= config.ticks; ++t) {
+    if (PhaseOf(config, t) >= 1) {
+      walk.update_probability[0] = 1.0;
+      walk.step_lo[0] = 1.0;
+      walk.step_hi[0] = 3.0;
+    }
+    AdvanceWalk(script.values, walk, t, rng);
+    auto& reads = script.reads[static_cast<size_t>(t)];
+    bool crowd = PhaseOf(config, t) >= 1;
+    for (int r = 0; r < config.reads_per_tick; ++r) {
+      if (crowd && rng.Bernoulli(0.8)) {
+        reads.push_back(PointRead(0, rng.Uniform(0.5, 2.0)));
+        continue;
+      }
+      // Background traffic never touches source 0: skewed point reads and
+      // the occasional small SUM over warm ids.
+      int id = 1 + SkewedId(rng, n - 1, 0);
+      if (rng.Bernoulli(0.7)) {
+        reads.push_back(PointRead(id, rng.Uniform(5.0, 20.0)));
+      } else {
+        ScenarioReadOp op;
+        op.query.kind = AggregateKind::kSum;
+        for (int k = 0; k < 4; ++k) {
+          op.query.source_ids.push_back(1 + (id - 1 + k) % (n - 1));
+        }
+        op.query.constraint = rng.Uniform(10.0, 30.0);
+        reads.push_back(op);
+      }
+    }
+  }
+  return script;
+}
+
+ScenarioScript BuildHotspotMigration(const ScenarioConfig& config) {
+  ScenarioScript script = MakeSkeleton(config);
+  Rng rng(config.seed);
+  const int n = config.num_sources;
+  WalkState walk;
+  walk.update_probability.assign(static_cast<size_t>(n), 0.5);
+  walk.step_lo.assign(static_cast<size_t>(n), 0.5);
+  walk.step_hi.assign(static_cast<size_t>(n), 1.5);
+  for (int64_t t = 1; t <= config.ticks; ++t) {
+    AdvanceWalk(script.values, walk, t, rng);
+    int phase = PhaseOf(config, t);
+    auto& reads = script.reads[static_cast<size_t>(t)];
+    for (int r = 0; r < config.reads_per_tick; ++r) {
+      int edge = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(config.num_edges) - 1));
+      // Each edge's hotspot is a slice of the id space, rotated one edge
+      // per phase: the ids edge e hammered in phase p belong to edge e+1
+      // in phase p+1, so every per-(edge, value) derived width is tuned
+      // for the wrong hotspot right after the boundary.
+      int hot = ((edge + phase) % config.num_edges) * n / config.num_edges;
+      int id = rng.Bernoulli(0.85) ? SkewedId(rng, n, hot)
+                                   : static_cast<int>(rng.UniformInt(
+                                         0, static_cast<int64_t>(n) - 1));
+      reads.push_back(PointRead(id, rng.Uniform(2.0, 10.0), edge));
+    }
+  }
+  return script;
+}
+
+ScenarioScript BuildCorrelatedBursts(const ScenarioConfig& config) {
+  ScenarioScript script = MakeSkeleton(config);
+  Rng rng(config.seed);
+  const int n = config.num_sources;
+  const int group_size = std::min(8, n);
+  const int num_groups = std::max(1, n / group_size);
+  const int64_t burst_every = std::max<int64_t>(1, config.ticks / 12);
+  for (int64_t t = 1; t <= config.ticks; ++t) {
+    // Quiet regime: sparse small moves. Burst tick: one whole group jumps
+    // the same way at once, so every interval covering the group escapes
+    // in the same tick and the group-aggregate reads that follow stress
+    // refresh selection over many simultaneously-invalid items.
+    int bursting_group = -1;
+    double burst_step = 0.0;
+    if (t % burst_every == 0) {
+      bursting_group = static_cast<int>((t / burst_every) %
+                                        static_cast<int64_t>(num_groups));
+      burst_step = rng.Uniform(20.0, 40.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    for (int id = 0; id < n; ++id) {
+      double prev =
+          script.values.hosts[static_cast<size_t>(id)][static_cast<size_t>(
+              t - 1)];
+      double next = prev;
+      if (bursting_group >= 0 &&
+          std::min(id / group_size, num_groups - 1) == bursting_group) {
+        next = prev + burst_step + rng.Uniform(-1.0, 1.0);
+      } else if (rng.Bernoulli(0.3)) {
+        next = prev + rng.Uniform(0.1, 0.3) * (rng.Bernoulli(0.5) ? 1 : -1);
+      }
+      script.values.hosts[static_cast<size_t>(id)][static_cast<size_t>(t)] =
+          next;
+    }
+    auto& reads = script.reads[static_cast<size_t>(t)];
+    for (int r = 0; r < config.reads_per_tick; ++r) {
+      if (rng.Bernoulli(0.3)) {
+        reads.push_back(PointRead(
+            static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n) - 1)),
+            rng.Uniform(2.0, 8.0)));
+        continue;
+      }
+      int g = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(num_groups) - 1));
+      ScenarioReadOp op;
+      op.query.kind = rng.Bernoulli(0.5) ? AggregateKind::kSum
+                                         : AggregateKind::kAvg;
+      int lo = g * group_size;
+      int hi = (g == num_groups - 1) ? n : lo + group_size;
+      for (int id = lo; id < hi; ++id) op.query.source_ids.push_back(id);
+      op.query.constraint = op.query.kind == AggregateKind::kAvg
+                                ? rng.Uniform(2.0, 6.0)
+                                : rng.Uniform(10.0, 30.0);
+      reads.push_back(op);
+    }
+  }
+  return script;
+}
+
+ScenarioScript BuildThunderingHerd(const ScenarioConfig& config) {
+  ScenarioScript script = MakeSkeleton(config);
+  Rng rng(config.seed);
+  const int n = config.num_sources;
+  script.max_sub_slots = config.herd_size;
+  WalkState walk;
+  walk.update_probability.assign(static_cast<size_t>(n), 0.7);
+  walk.step_lo.assign(static_cast<size_t>(n), 0.5);
+  walk.step_hi.assign(static_cast<size_t>(n), 1.5);
+  const int64_t t_subscribe = std::max<int64_t>(1, config.ticks / 4);
+  const int64_t t_tighten = std::max<int64_t>(t_subscribe + 1, config.ticks / 2);
+  const int64_t t_drop =
+      std::max<int64_t>(t_tighten + 1, 3 * config.ticks / 4);
+  std::vector<double> slot_delta(static_cast<size_t>(config.herd_size), 0.0);
+  for (int64_t t = 1; t <= config.ticks; ++t) {
+    AdvanceWalk(script.values, walk, t, rng);
+    auto& reads = script.reads[static_cast<size_t>(t)];
+    for (int r = 0; r < std::min(4, config.reads_per_tick); ++r) {
+      reads.push_back(PointRead(
+          static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n) - 1)),
+          rng.Uniform(5.0, 15.0)));
+    }
+    auto& subs = script.sub_ops[static_cast<size_t>(t)];
+    if (t == t_subscribe) {
+      // The herd: every slot registers in the same tick, forcing the
+      // manager to evaluate (and possibly escalate) the whole population
+      // against one tick's escalation cap.
+      for (int slot = 0; slot < config.herd_size; ++slot) {
+        ScenarioSubOp op;
+        op.kind = ScenarioSubOp::kSubscribe;
+        op.slot = slot;
+        if (rng.Bernoulli(0.6)) {
+          op.query.kind = AggregateKind::kSum;
+          op.query.source_ids = {slot % n};
+          op.delta = rng.Uniform(5.0, 15.0);
+        } else {
+          op.query.kind = AggregateKind::kSum;
+          for (int k = 0; k < std::min(5, n); ++k) {
+            op.query.source_ids.push_back((slot + k) % n);
+          }
+          op.delta = rng.Uniform(10.0, 25.0);
+        }
+        slot_delta[static_cast<size_t>(slot)] = op.delta;
+        subs.push_back(op);
+      }
+    } else if (t == t_tighten) {
+      // Mass re-precision: every bound drops to 30% at once, so the
+      // shared-refresh amortization (≤1 escalation per value per tick)
+      // must spread the re-tightening over the following ticks.
+      for (int slot = 0; slot < config.herd_size; ++slot) {
+        ScenarioSubOp op;
+        op.kind = ScenarioSubOp::kReprecision;
+        op.slot = slot;
+        op.delta = slot_delta[static_cast<size_t>(slot)] * 0.3;
+        subs.push_back(op);
+      }
+    } else if (t == t_drop) {
+      for (int slot = 0; slot < config.herd_size; ++slot) {
+        ScenarioSubOp op;
+        op.kind = ScenarioSubOp::kUnsubscribe;
+        op.slot = slot;
+        subs.push_back(op);
+      }
+    }
+  }
+  return script;
+}
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kFlashCrowd:
+      return "flash_crowd";
+    case ScenarioKind::kHotspotMigration:
+      return "hotspot_migration";
+    case ScenarioKind::kCorrelatedBursts:
+      return "correlated_bursts";
+    case ScenarioKind::kThunderingHerd:
+      return "thundering_herd";
+  }
+  return "unknown";
+}
+
+bool ScenarioScript::IsValid() const {
+  return num_sources > 0 && num_edges > 0 && ticks > 0 &&
+         values.num_hosts() == static_cast<size_t>(num_sources) &&
+         values.duration() == static_cast<size_t>(ticks) + 1 &&
+         reads.size() == static_cast<size_t>(ticks) + 1 &&
+         sub_ops.size() == static_cast<size_t>(ticks) + 1 &&
+         max_sub_slots >= 0;
+}
+
+ScenarioScript BuildScenario(const ScenarioConfig& config) {
+  if (!config.IsValid()) return ScenarioScript{};
+  switch (config.kind) {
+    case ScenarioKind::kFlashCrowd:
+      return BuildFlashCrowd(config);
+    case ScenarioKind::kHotspotMigration:
+      return BuildHotspotMigration(config);
+    case ScenarioKind::kCorrelatedBursts:
+      return BuildCorrelatedBursts(config);
+    case ScenarioKind::kThunderingHerd:
+      return BuildThunderingHerd(config);
+  }
+  return ScenarioScript{};
+}
+
+std::vector<int> UpdatedIds(const Trace& values, int64_t t) {
+  std::vector<int> ids;
+  if (t < 1 || static_cast<size_t>(t) >= values.duration()) return ids;
+  for (size_t id = 0; id < values.hosts.size(); ++id) {
+    if (values.hosts[id][static_cast<size_t>(t)] !=
+        values.hosts[id][static_cast<size_t>(t - 1)]) {
+      ids.push_back(static_cast<int>(id));
+    }
+  }
+  return ids;
+}
+
+Result<Trace> LoadScenarioTrace(const std::string& path,
+                                RuntimeCounters* counters) {
+  Result<Trace> loaded = LoadTraceCsv(path);
+  if (!loaded.ok() && counters != nullptr) {
+    counters->rejected_traces.fetch_add(1, std::memory_order_relaxed);
+  }
+  return loaded;
+}
+
+}  // namespace apc

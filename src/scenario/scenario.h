@@ -1,0 +1,133 @@
+#ifndef APC_SCENARIO_SCENARIO_H_
+#define APC_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/traffic_trace.h"
+#include "query/aggregate.h"
+#include "runtime/shard.h"
+#include "util/status.h"
+
+namespace apc {
+
+/// The four adversarial workload families (ROADMAP item 4) — each one a
+/// regime change that breaks naive precision setting, encoded as a fully
+/// deterministic script every engine can replay:
+///
+///  * kFlashCrowd — a cold, rarely-updated value becomes both the hottest
+///    read target and volatile in one phase; the adaptive policy must
+///    re-tighten its width before the herd's tight-constraint reads arrive.
+///  * kHotspotMigration — geo-affinity across edge tiers flips at phase
+///    boundaries, so every edge's derived widths are tuned for the wrong
+///    hotspot after each flip (stresses derived-hull containment).
+///  * kCorrelatedBursts — groups of sources jump together in burst ticks,
+///    so group-aggregate reads hit many simultaneously-escaped intervals
+///    (stresses the aggregate refresh-selection / re-offer path).
+///  * kThunderingHerd — mass Subscribe in one tick, mass
+///    Reprecision-tighten in another, mass Unsubscribe in a third
+///    (stresses the subscription manager's shared-refresh amortization and
+///    the hub's backpressure).
+enum class ScenarioKind {
+  kFlashCrowd,
+  kHotspotMigration,
+  kCorrelatedBursts,
+  kThunderingHerd,
+};
+
+const char* ScenarioKindName(ScenarioKind kind);
+
+/// One scripted read. `edge` is the edge tier the read arrives at — used
+/// by tiered runs, ignored by flat engines (which execute `query`
+/// directly).
+struct ScenarioReadOp {
+  int edge = 0;
+  Query query;
+};
+
+/// One scripted standing-query operation. `slot` is a stable script-level
+/// handle (0..max_sub_slots-1): the runner maps slots to live sub_ids so a
+/// script can re-precision or drop a subscription it opened earlier.
+struct ScenarioSubOp {
+  enum Kind { kSubscribe, kReprecision, kUnsubscribe };
+  Kind kind = kSubscribe;
+  int slot = 0;
+  /// kSubscribe only; `delta` is the subscription bound for kSubscribe and
+  /// kReprecision.
+  Query query;
+  double delta = 0.0;
+};
+
+/// A fully materialized scenario: the per-source value series plus the
+/// per-tick read and subscription schedules. Everything an engine run
+/// consumes is in here — no RNG at replay time — so the same script drives
+/// the sequential reference, the sharded engine, the tiered engine, and
+/// every baseline with identical inputs.
+///
+/// Timebase: values.hosts[id][0] is source id's initial value (shipped by
+/// PopulateInitial at t = 0); tick t in [1, ticks] moves each source to
+/// values.hosts[id][t] (a repeated value = no update that tick), then
+/// reads[t] and sub_ops[t] execute at time t. values.duration() is
+/// therefore ticks + 1.
+struct ScenarioScript {
+  ScenarioKind kind = ScenarioKind::kFlashCrowd;
+  std::string name;
+  int num_sources = 0;
+  /// Edge tiers the script's reads target (1 for flat scenarios).
+  int num_edges = 1;
+  int64_t ticks = 0;
+  Trace values;
+  /// reads[t] / sub_ops[t] execute at time t; index 0 is always empty.
+  std::vector<std::vector<ScenarioReadOp>> reads;
+  std::vector<std::vector<ScenarioSubOp>> sub_ops;
+  /// One past the largest slot used by sub_ops (0 when no subscriptions).
+  int max_sub_slots = 0;
+
+  bool IsValid() const;
+};
+
+/// Knobs of the scenario generators. One config builds any kind; the
+/// per-kind generators interpret the shared fields (phases, read rate)
+/// in their own terms.
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kFlashCrowd;
+  int num_sources = 32;
+  /// kHotspotMigration only: edge tiers whose affinity rotates.
+  int num_edges = 4;
+  int64_t ticks = 240;
+  int reads_per_tick = 12;
+  /// Regime changes: phase p covers ticks [p·ticks/num_phases, ...).
+  int num_phases = 3;
+  /// kThunderingHerd only: subscriptions in the herd.
+  int herd_size = 48;
+  uint64_t seed = 1;
+
+  bool IsValid() const {
+    return num_sources > 0 && num_edges > 0 && ticks > 0 &&
+           reads_per_tick >= 0 && num_phases > 0 && num_phases <= ticks &&
+           herd_size >= 0;
+  }
+};
+
+/// Builds the scripted scenario for `config` — deterministic in
+/// config.seed (same config, same script, bit for bit). An invalid config
+/// yields an empty script (IsValid() false).
+ScenarioScript BuildScenario(const ScenarioConfig& config);
+
+/// Ids whose value changed at tick `t` (hosts[id][t] != hosts[id][t-1]) —
+/// the update schedule a recorded trace implies, consumed by the
+/// stale/divergence baselines that apply explicit update events.
+std::vector<int> UpdatedIds(const Trace& values, int64_t t);
+
+/// Loads a value trace for scenario replay through data/trace_io. Any load
+/// failure (unreadable, empty, ragged, truncated-vs-header) is counted in
+/// counters->rejected_traces (when non-null) per the established
+/// counted-rejection pattern, and the error is returned for the caller to
+/// skip the file — never fatal.
+Result<Trace> LoadScenarioTrace(const std::string& path,
+                                RuntimeCounters* counters);
+
+}  // namespace apc
+
+#endif  // APC_SCENARIO_SCENARIO_H_

@@ -69,6 +69,29 @@ size_t NotificationHub::PopBatch(std::vector<Notification>* out,
   return n;
 }
 
+size_t NotificationHub::TryPopBatch(std::vector<Notification>* out,
+                                    size_t max_batch) {
+  out->clear();
+  if (max_batch == 0) return 0;
+  size_t n = 0;
+  size_t depth = 0;
+  {
+    MutexLock lock(mu_);
+    n = queue_.size() < max_batch ? queue_.size() : max_batch;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(queue_.front());
+      queue_.pop_front();
+    }
+    depth = queue_.size();
+  }
+  if (n > 0) {
+    drained_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+    queue_depth_.Set(static_cast<int64_t>(depth));
+    not_full_.NotifyAll();
+  }
+  return n;
+}
+
 void NotificationHub::Close() {
   {
     MutexLock lock(mu_);

@@ -56,6 +56,12 @@ class NotificationHub {
   /// drained; returns the number of records delivered (0 only at shutdown).
   size_t PopBatch(std::vector<Notification>* out, size_t max_batch);
 
+  /// Non-blocking drain: moves up to `max_batch` records into `*out`
+  /// (cleared first) and returns immediately, 0 when the hub is currently
+  /// empty. For single-threaded harnesses that drain at known quiescent
+  /// points (the scenario runner) instead of parking a consumer thread.
+  size_t TryPopBatch(std::vector<Notification>* out, size_t max_batch);
+
   /// Closes the hub: subsequent pushes fail, and once the backlog drains
   /// PopBatch returns 0.
   void Close();

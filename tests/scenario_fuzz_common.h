@@ -1,0 +1,72 @@
+// Reusable randomized op-sequence generator for lockstep fuzzing: a
+// deterministic stream of tick / aggregate-read / point-read operations
+// over a fixed source population, consumable by any pair of engines driven
+// in lockstep (scenario_fuzz_test.cc drives the single-shard engine
+// against the sequential CacheSystem; future harnesses can replay the same
+// ops against other engine pairs).
+#ifndef APC_TESTS_SCENARIO_FUZZ_COMMON_H_
+#define APC_TESTS_SCENARIO_FUZZ_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "util/rng.h"
+
+namespace apc {
+
+struct FuzzOp {
+  enum Kind { kTick, kAggRead, kPointRead };
+  Kind kind = kTick;
+  /// kAggRead only.
+  Query query;
+  /// kPointRead only: the source and its width bound.
+  int id = 0;
+  double width = 0.0;
+};
+
+/// Generates `num_ops` ops, deterministic in `seed`: ~1/3 ticks, the rest
+/// reads (3/4 aggregates over 2-5 distinct ids with a mixed aggregate
+/// kind, 1/4 point reads). Constraints span loose to tight so both the
+/// constraint-satisfied fast path and the pull path are exercised.
+inline std::vector<FuzzOp> GenerateFuzzOps(int num_ops, int num_sources,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FuzzOp> ops;
+  ops.reserve(static_cast<size_t>(num_ops));
+  for (int i = 0; i < num_ops; ++i) {
+    FuzzOp op;
+    double draw = rng.Uniform(0.0, 1.0);
+    if (draw < 1.0 / 3.0) {
+      op.kind = FuzzOp::kTick;
+    } else if (draw < 1.0 / 3.0 + 0.5) {
+      op.kind = FuzzOp::kAggRead;
+      double kind_draw = rng.Uniform(0.0, 1.0);
+      op.query.kind = kind_draw < 0.55   ? AggregateKind::kSum
+                      : kind_draw < 0.70 ? AggregateKind::kMax
+                      : kind_draw < 0.85 ? AggregateKind::kMin
+                                         : AggregateKind::kAvg;
+      int group = rng.UniformInt(2, 5);
+      if (group > num_sources) group = num_sources;
+      // Distinct ids: start uniform, walk forward on collision.
+      std::vector<bool> taken(static_cast<size_t>(num_sources), false);
+      for (int k = 0; k < group; ++k) {
+        int id = rng.UniformInt(0, num_sources - 1);
+        while (taken[static_cast<size_t>(id)]) id = (id + 1) % num_sources;
+        taken[static_cast<size_t>(id)] = true;
+        op.query.source_ids.push_back(id);
+      }
+      op.query.constraint = rng.Uniform(1.0, 20.0);
+    } else {
+      op.kind = FuzzOp::kPointRead;
+      op.id = rng.UniformInt(0, num_sources - 1);
+      op.width = rng.Uniform(0.5, 10.0);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace apc
+
+#endif  // APC_TESTS_SCENARIO_FUZZ_COMMON_H_

@@ -1,0 +1,361 @@
+// The scenario harness: generator determinism and validity, the
+// self-checking runner's mid-run tallies for every scenario x policy cell,
+// the counted-rejection contract of LoadScenarioTrace, and concurrent
+// stress variants (run under TSan by scripts/check.sh --scenarios) for the
+// two scenarios whose adaptive engines carry real thread crossings — the
+// thundering herd's notifier and the tiered hotspot's edge reads.
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/sharded_engine.h"
+#include "runtime/tiered_engine.h"
+#include "runtime/workload_driver.h"
+#include "scenario/scenario_runner.h"
+
+namespace apc {
+namespace {
+
+constexpr int64_t kTicks = 120;
+
+ScenarioConfig MakeConfig(ScenarioKind kind) {
+  ScenarioConfig config;
+  config.kind = kind;
+  config.ticks = kTicks;
+  config.seed = 7;
+  return config;
+}
+
+const ScenarioKind kAllKinds[] = {
+    ScenarioKind::kFlashCrowd,
+    ScenarioKind::kHotspotMigration,
+    ScenarioKind::kCorrelatedBursts,
+    ScenarioKind::kThunderingHerd,
+};
+
+TEST(ScenarioBuildTest, AllKindsBuildValidScripts) {
+  for (ScenarioKind kind : kAllKinds) {
+    ScenarioScript script = BuildScenario(MakeConfig(kind));
+    ASSERT_TRUE(script.IsValid()) << ScenarioKindName(kind);
+    EXPECT_EQ(script.kind, kind);
+    EXPECT_EQ(script.name, ScenarioKindName(kind));
+    EXPECT_EQ(script.ticks, kTicks);
+    EXPECT_EQ(script.values.duration(), static_cast<size_t>(kTicks) + 1);
+    // Index 0 of the schedules is the initial-population instant: empty.
+    EXPECT_TRUE(script.reads[0].empty());
+    EXPECT_TRUE(script.sub_ops[0].empty());
+    bool any_reads = false;
+    for (const auto& tick_reads : script.reads) {
+      any_reads = any_reads || !tick_reads.empty();
+    }
+    EXPECT_TRUE(any_reads) << ScenarioKindName(kind);
+  }
+}
+
+TEST(ScenarioBuildTest, GenerationIsDeterministic) {
+  for (ScenarioKind kind : kAllKinds) {
+    ScenarioScript a = BuildScenario(MakeConfig(kind));
+    ScenarioScript b = BuildScenario(MakeConfig(kind));
+    ASSERT_EQ(a.values.hosts, b.values.hosts) << ScenarioKindName(kind);
+    ASSERT_EQ(a.reads.size(), b.reads.size());
+    for (size_t t = 0; t < a.reads.size(); ++t) {
+      ASSERT_EQ(a.reads[t].size(), b.reads[t].size());
+      for (size_t i = 0; i < a.reads[t].size(); ++i) {
+        EXPECT_EQ(a.reads[t][i].edge, b.reads[t][i].edge);
+        EXPECT_EQ(a.reads[t][i].query.source_ids,
+                  b.reads[t][i].query.source_ids);
+        EXPECT_EQ(a.reads[t][i].query.constraint,
+                  b.reads[t][i].query.constraint);
+      }
+    }
+  }
+}
+
+TEST(ScenarioBuildTest, InvalidConfigYieldsInvalidScript) {
+  ScenarioConfig config;
+  config.num_sources = 0;
+  EXPECT_FALSE(config.IsValid());
+  EXPECT_FALSE(BuildScenario(config).IsValid());
+}
+
+TEST(ScenarioBuildTest, UpdatedIdsMatchesValueChanges) {
+  Trace values;
+  values.hosts = {{1.0, 1.0, 2.0}, {5.0, 6.0, 6.0}, {0.0, 0.0, 0.0}};
+  EXPECT_EQ(UpdatedIds(values, 1), (std::vector<int>{1}));
+  EXPECT_EQ(UpdatedIds(values, 2), (std::vector<int>{0}));
+}
+
+TEST(ScenarioBuildTest, ThunderingHerdScriptsTheThreePhases) {
+  ScenarioScript script =
+      BuildScenario(MakeConfig(ScenarioKind::kThunderingHerd));
+  int subscribes = 0;
+  int reprecisions = 0;
+  int unsubscribes = 0;
+  for (const auto& tick_ops : script.sub_ops) {
+    for (const ScenarioSubOp& op : tick_ops) {
+      if (op.kind == ScenarioSubOp::kSubscribe) ++subscribes;
+      if (op.kind == ScenarioSubOp::kReprecision) ++reprecisions;
+      if (op.kind == ScenarioSubOp::kUnsubscribe) ++unsubscribes;
+    }
+  }
+  ScenarioConfig config = MakeConfig(ScenarioKind::kThunderingHerd);
+  EXPECT_EQ(subscribes, config.herd_size);
+  EXPECT_EQ(reprecisions, config.herd_size);
+  EXPECT_EQ(unsubscribes, config.herd_size);
+  EXPECT_EQ(script.max_sub_slots, config.herd_size);
+}
+
+// -- the self-checking runner -------------------------------------------
+
+TEST(ScenarioRunnerTest, AdaptiveRowsAreCleanOnEveryScenario) {
+  for (ScenarioKind kind : kAllKinds) {
+    ScenarioScript script = BuildScenario(MakeConfig(kind));
+    ScenarioMetrics m = RunScenario(script, PolicyKind::kAdaptive);
+    EXPECT_GT(m.checker_probes, 0) << ScenarioKindName(kind);
+    EXPECT_GT(m.reads, 0) << ScenarioKindName(kind);
+    EXPECT_EQ(m.violations, 0) << ScenarioKindName(kind);
+    EXPECT_EQ(m.containment_failures, 0) << ScenarioKindName(kind);
+    EXPECT_EQ(m.hull_failures, 0) << ScenarioKindName(kind);
+    EXPECT_EQ(m.order_regressions, 0) << ScenarioKindName(kind);
+    EXPECT_GT(m.total_cost, 0.0) << ScenarioKindName(kind);
+  }
+}
+
+TEST(ScenarioRunnerTest, BaselinesHonorTheirOwnModels) {
+  for (ScenarioKind kind : kAllKinds) {
+    ScenarioScript script = BuildScenario(MakeConfig(kind));
+    for (PolicyKind policy :
+         {PolicyKind::kExact, PolicyKind::kStale, PolicyKind::kDivergence}) {
+      ScenarioMetrics m = RunScenario(script, policy);
+      EXPECT_GT(m.checker_probes, 0)
+          << ScenarioKindName(kind) << "/" << PolicyKindName(policy);
+      EXPECT_EQ(m.violations, 0)
+          << ScenarioKindName(kind) << "/" << PolicyKindName(policy);
+      EXPECT_EQ(m.containment_failures, 0)
+          << ScenarioKindName(kind) << "/" << PolicyKindName(policy);
+    }
+  }
+}
+
+TEST(ScenarioRunnerTest, InvalidScriptYieldsZeroedMetrics) {
+  ScenarioScript script;  // empty: IsValid() false
+  ScenarioMetrics m = RunScenario(script, PolicyKind::kAdaptive);
+  EXPECT_EQ(m.checker_probes, 0);
+  EXPECT_EQ(m.reads, 0);
+  EXPECT_EQ(m.total_cost, 0.0);
+}
+
+TEST(ScenarioRunnerTest, ThunderingHerdDrivesTheSubscriptionLayer) {
+  ScenarioConfig config = MakeConfig(ScenarioKind::kThunderingHerd);
+  ScenarioScript script = BuildScenario(config);
+  ScenarioMetrics m = RunScenario(script, PolicyKind::kAdaptive);
+  EXPECT_EQ(m.subscriptions, config.herd_size);
+  EXPECT_GT(m.notifications, 0);
+  EXPECT_EQ(m.sub_rejected, 0);
+  // After the mass-unsubscribe phase nothing is left to bound-check, but
+  // the herd must have been answered while alive.
+  EXPECT_GT(m.bound_met, 0);
+}
+
+// -- counted rejection of malformed traces ------------------------------
+
+TEST(ScenarioTraceTest, LoadScenarioTraceCountsRejectedFiles) {
+  RuntimeCounters counters;
+  std::string path = testing::TempDir() + "/bad_scenario_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "# apcache-trace-v1 hosts=3 duration=5\n1,2,3\n4,5,6\n";
+  }
+  auto rejected = LoadScenarioTrace(path, &counters);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(counters.rejected_traces.load(), 1);
+
+  {
+    std::ofstream out(path);
+    out << "# apcache-trace-v1 hosts=3 duration=2\n1,2,3\n4,5,6\n";
+  }
+  auto loaded = LoadScenarioTrace(path, &counters);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_hosts(), 3u);
+  EXPECT_EQ(counters.rejected_traces.load(), 1) << "good load must not count";
+  std::remove(path.c_str());
+
+  auto missing = LoadScenarioTrace("/nonexistent-dir/none.csv", &counters);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(counters.rejected_traces.load(), 2);
+}
+
+// -- concurrent stress variants (TSan targets) --------------------------
+
+// The scripted hotspot reads fired from several reader threads against one
+// tiered engine while the main thread streams the scripted updates: the
+// precision guarantee must hold on every concurrently served read and the
+// derived-hull invariant at every probe. (The sequential variant of this
+// check lives in RunScenario; this is the same checker under real races.)
+TEST(ScenarioStressTest, HotspotMigrationConcurrentReaders) {
+  ScenarioConfig config = MakeConfig(ScenarioKind::kHotspotMigration);
+  config.ticks = 80;
+  ScenarioScript script = BuildScenario(config);
+  ASSERT_TRUE(script.IsValid());
+
+  TieredConfig tiered;
+  tiered.num_edges = script.num_edges;
+  tiered.num_shards = 2;
+  tiered.seed = 7;
+  TieredEngine engine(tiered, BuildTraceStreams(script.values));
+  engine.PopulateInitial(0);
+
+  std::atomic<int64_t> clock{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::atomic<int64_t> probes{0};
+
+  // Flatten the scripted reads once; each reader thread replays a stride.
+  std::vector<ScenarioReadOp> all_reads;
+  for (const auto& tick_reads : script.reads) {
+    all_reads.insert(all_reads.end(), tick_reads.begin(), tick_reads.end());
+  }
+  ASSERT_FALSE(all_reads.empty());
+
+  const int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r]() {
+      size_t i = static_cast<size_t>(r);
+      // do/while: the main thread can finish all ticks before this thread
+      // is first scheduled, so every reader probes at least once.
+      do {
+        const ScenarioReadOp& op = all_reads[i % all_reads.size()];
+        i += kReaders;
+        int64_t now = clock.load(std::memory_order_acquire);
+        Interval result =
+            engine.Read(op.edge, op.query.source_ids.front(),
+                        op.query.constraint, now);
+        probes.fetch_add(1, std::memory_order_relaxed);
+        if (result.Width() >
+            op.query.constraint + 1e-9 * (1.0 + op.query.constraint)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  int64_t hull_failures = 0;
+  for (int64_t t = 1; t <= script.ticks; ++t) {
+    clock.store(t, std::memory_order_release);
+    engine.TickAll(t);
+    if (!engine.DerivedInvariantHolds(t)) ++hull_failures;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(probes.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(hull_failures, 0);
+}
+
+// The herd's subscription ops issued from concurrent subscriber threads
+// while updates stream and a drainer consumes the hub: per-subscription
+// epochs must still leave the hub strictly increasing, and nothing may be
+// rejected or deadlock under the mass subscribe/tighten/drop phases.
+TEST(ScenarioStressTest, ThunderingHerdConcurrentSubscribers) {
+  ScenarioConfig config = MakeConfig(ScenarioKind::kThunderingHerd);
+  config.ticks = 80;
+  ScenarioScript script = BuildScenario(config);
+  ASSERT_TRUE(script.IsValid());
+
+  EngineConfig engine_config;
+  engine_config.system.cache_capacity =
+      static_cast<size_t>(script.num_sources);
+  engine_config.num_shards = 4;
+  engine_config.seed = 7;
+  engine_config.subscription_hub_capacity = 4096;
+  ShardedEngine engine(
+      engine_config,
+      BuildTraceSources(script.values, AdaptivePolicyParams{}, 7));
+  engine.PopulateInitial(0);
+
+  // Collect the scripted herd ops per slot, split across two subscriber
+  // threads; each runs its slots' full subscribe -> tighten -> drop cycle.
+  std::vector<ScenarioSubOp> subscribe_ops;
+  std::vector<ScenarioSubOp> tighten_ops;
+  for (const auto& tick_ops : script.sub_ops) {
+    for (const ScenarioSubOp& op : tick_ops) {
+      if (op.kind == ScenarioSubOp::kSubscribe) subscribe_ops.push_back(op);
+      if (op.kind == ScenarioSubOp::kReprecision) tighten_ops.push_back(op);
+    }
+  }
+  ASSERT_FALSE(subscribe_ops.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> rejected{0};
+  std::thread drainer([&]() {
+    std::vector<Notification> batch;
+    std::unordered_map<int64_t, int64_t> last_epoch;
+    int64_t regressions = 0;
+    while (true) {
+      size_t n = engine.notifications().TryPopBatch(&batch, 128);
+      if (n == 0) {
+        if (stop.load(std::memory_order_acquire) &&
+            engine.notifications().size() == 0) {
+          break;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      for (const Notification& rec : batch) {
+        int64_t& seen = last_epoch[rec.sub_id];
+        if (rec.epoch <= seen) ++regressions;
+        seen = rec.epoch;
+      }
+    }
+    EXPECT_EQ(regressions, 0);
+  });
+
+  const int kSubscriberThreads = 2;
+  std::atomic<int64_t> clock{1};
+  std::vector<std::thread> subscribers;
+  for (int s = 0; s < kSubscriberThreads; ++s) {
+    subscribers.emplace_back([&, s]() {
+      for (size_t i = static_cast<size_t>(s); i < subscribe_ops.size();
+           i += kSubscriberThreads) {
+        int64_t now = clock.load(std::memory_order_acquire);
+        int64_t sub_id =
+            engine.Subscribe(subscribe_ops[i].query, subscribe_ops[i].delta,
+                             now);
+        if (sub_id < 0) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (i < tighten_ops.size()) {
+          engine.Reprecision(sub_id, tighten_ops[i].delta,
+                             clock.load(std::memory_order_acquire));
+        }
+        engine.Unsubscribe(sub_id);
+      }
+    });
+  }
+
+  for (int64_t t = 1; t <= script.ticks; ++t) {
+    clock.store(t, std::memory_order_release);
+    engine.TickAll(t);
+  }
+  for (std::thread& subscriber : subscribers) subscriber.join();
+  engine.subscriptions().WaitQuiescent();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+
+  EXPECT_EQ(rejected.load(), 0);
+  EXPECT_GT(engine.subscriptions().counters().notifications.load(), 0);
+}
+
+}  // namespace
+}  // namespace apc

@@ -108,5 +108,87 @@ TEST_F(TraceIoTest, GeneratedTraceSurvivesRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST_F(TraceIoTest, WritesParsableDimensionHeader) {
+  Trace trace;
+  trace.hosts = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  std::string path = TempPath("header.csv");
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  {
+    std::ifstream in(path);
+    std::string first_line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, first_line)));
+    EXPECT_EQ(first_line.rfind(kTraceCsvMagic, 0), 0u) << first_line;
+    EXPECT_NE(first_line.find("hosts=2"), std::string::npos);
+    EXPECT_NE(first_line.find("duration=3"), std::string::npos);
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().hosts, trace.hosts);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, SavedValuesRoundTripBitForBit) {
+  // max_digits10 text must reproduce doubles exactly, including values
+  // with no finite decimal expansion.
+  Trace trace;
+  trace.hosts = {{1.0 / 3.0, 2.0 / 7.0}, {1e-300, 12345.678901234567}};
+  std::string path = TempPath("bits.csv");
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  auto r = LoadTraceCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().hosts, trace.hosts);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, TruncationAgainstHeaderIsCorruption) {
+  std::string path = TempPath("truncated.csv");
+  {
+    std::ofstream out(path);
+    out << kTraceCsvMagic << " hosts=2 duration=4\n1,2\n3,4\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, MalformedHeaderIsCorruption) {
+  std::string path = TempPath("badheader.csv");
+  {
+    std::ofstream out(path);
+    out << kTraceCsvMagic << " hosts=two\n1,2\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, HeaderAfterFirstLineIsCorruption) {
+  std::string path = TempPath("lateheader.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n" << kTraceCsvMagic << " hosts=1 duration=2\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, NonHeaderCommentLinesAreSkipped) {
+  std::string path = TempPath("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# a stray annotation\n1,2\n# mid-file note\n3,4\n";
+  }
+  auto r = LoadTraceCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_hosts(), 2u);
+  EXPECT_EQ(r.value().duration(), 2u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace apc
