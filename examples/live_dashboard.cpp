@@ -12,19 +12,25 @@
 // tightens its SUM bound with Reprecision — live, without
 // re-registration.
 //
-// Build & run:  ./build/examples/live_dashboard
+// Build & run:  ./build/examples/live_dashboard [export.json]
+// With a path argument, the final apcache-obs-v1 document (attribution
+// section included) is also written to that file — scripts/check.sh --obs
+// uses this to validate a real export against the schema.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/adaptive_policy.h"
+#include "obs/attribution.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/workload_driver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apc;
 
   // 1. The environment and the runtime: identical to concurrent_server —
@@ -43,6 +49,10 @@ int main() {
   ShardedEngine engine(
       config, BuildRandomWalkSources(kSensors, RandomWalkParams{}, policy,
                                      /*seed=*/42));
+  // Attribution rides along from the first charge: every refresh the run
+  // pays lands in a per-sensor slot, split Cvr/Cqr and by reader.
+  obs::AttributionTable attribution;
+  engine.SetAttribution(&attribution);
   engine.PopulateInitial(0);
 
   // 2. Subscribe: the dashboard's standing queries, registered ONCE — a
@@ -157,12 +167,45 @@ int main() {
               static_cast<long long>(engine.TotalCosts().query_refreshes),
               engine.TotalCosts().total_cost);
 
-  // 6. The run's full registry snapshot, serialized the way a scrape
-  //    endpoint would hand it out (under -DAPC_OBS=0 this prints a stub
-  //    document and the sidebar above reads all zeros — the dashboard
-  //    itself is unchanged).
+  // 6. WHO cost that: the attribution table names the sensors driving the
+  //    bill — refresh counts split value- vs query-initiated, the Cqr side
+  //    further split by reader (ad-hoc query vs standing subscription),
+  //    and the latest shipped bound width. Empty under -DAPC_OBS=0.
+  std::vector<obs::AttributionTable::SourceStats> by_cost =
+      attribution.Snapshot();
+  if (by_cost.size() > 1) {  // guard keeps the obs-off stub path sort-free
+    std::sort(by_cost.begin(), by_cost.end(),
+              [](const obs::AttributionTable::SourceStats& a,
+                 const obs::AttributionTable::SourceStats& b) {
+                return a.value_cost + a.query_cost >
+                       b.value_cost + b.query_cost;
+              });
+  }
+  std::printf("\ntop refreshers (cost = Cvr + Cqr side):\n");
+  for (size_t i = 0; i < by_cost.size() && i < 5; ++i) {
+    const obs::AttributionTable::SourceStats& s = by_cost[i];
+    std::printf(
+        "  sensor %2d  cost %6.1f  (%lld pushes, %lld pulls: %lld query / "
+        "%lld sub)  width %.3g\n",
+        s.id, s.value_cost + s.query_cost,
+        static_cast<long long>(s.value_refreshes),
+        static_cast<long long>(s.query_refreshes),
+        static_cast<long long>(s.query_reader_refreshes),
+        static_cast<long long>(s.subscription_reader_refreshes),
+        s.last_width);
+  }
+
+  // 7. The run's full registry snapshot — attribution section included —
+  //    serialized the way a scrape endpoint would hand it out (under
+  //    -DAPC_OBS=0 this prints a stub document and the sidebar above reads
+  //    all zeros — the dashboard itself is unchanged).
   obs::SnapshotExporter exporter(&engine.metrics());
+  exporter.AttachAttribution(&attribution);
   std::printf("\nfinal metrics export:\n%s\n", exporter.ToJson().c_str());
+  if (argc > 1) {
+    bool ok = exporter.WriteFile(argv[1]);
+    std::printf("export %s to %s\n", ok ? "written" : "FAILED", argv[1]);
+  }
 
   engine.subscriptions().Shutdown();  // closes the hub; dashboard drains out
   dashboard.join();

@@ -12,12 +12,18 @@
 #   scripts/check.sh --ubsan    # rebuild with -DAPC_SANITIZE=undefined
 #                               # (no-recover) and run the FULL suite under
 #                               # UndefinedBehaviorSanitizer
-#   scripts/check.sh --obs      # build Release trees with APC_OBS on and off,
-#                               # verify tier-1 passes with the obs layer
-#                               # compiled out, measure the obs overhead on
-#                               # the seqlock 8-shard/8-thread row, and
-#                               # assemble BENCH_obs.json (fails if obs-on
-#                               # qps drops below 95% of obs-off)
+#   scripts/check.sh --obs      # the observability gate: build Release trees
+#                               # with APC_OBS on and off, verify tier-1
+#                               # passes with the obs layer compiled out, run
+#                               # the causal suites (flight recorder, chrome
+#                               # trace, attribution) in the on tree, build
+#                               # the -DAPC_CACHE_INSTRUMENT=ON mode and run
+#                               # its moving-counter tests, validate a real
+#                               # apcache-obs-v1 export from live_dashboard,
+#                               # measure the obs overhead on the seqlock
+#                               # 8-shard/8-thread row, and assemble
+#                               # BENCH_obs.json (fails if the armed-flight-
+#                               # recorder qps drops below 95% of obs-off)
 #   scripts/check.sh --alloc    # RelWithDebInfo build running
 #                               # alloc_free_read_test: counting global
 #                               # operator new proves PointRead /
@@ -189,9 +195,46 @@ if [[ "${1:-}" == "--obs" ]]; then
 
   # The whole suite must hold with the layer compiled OUT — in particular
   # the lockstep parity tests, which assert the engines' protocol answers
-  # and tallies bit-for-bit with no instruments present.
+  # and tallies bit-for-bit with no instruments present, and the causal
+  # suites, whose APC_OBS=0 branches assert the stubs really are inert
+  # (empty dumps, zero attribution, no-op scopes).
   ctest --test-dir build-obs-off --output-on-failure --no-tests=error \
         --timeout "$CTEST_TIMEOUT" -j "$(nproc)"
+
+  # The causal layer's own suites in the compiled-IN tree: forced checker
+  # failure -> ordered flight dump with a complete span tree, chrome-trace
+  # golden documents, attribution/CostTracker bit-for-bit reconciliation,
+  # and the metric-registry contracts.
+  ctest --test-dir build-obs-on --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" \
+        -R '^(obs_test|chrome_trace_test|flight_recorder_test|attribution_test|cache_instrument_test|notification_hub_test)$'
+
+  # The cache-instrument flag's two-mode contract: the trees above compile
+  # the default OFF mode (accessors constant 0 — cache_instrument_test just
+  # asserted that); this tree turns the counters ON and the same test now
+  # asserts they move. static_assert(cache_instrumented() == flag) pins the
+  # build wiring itself in both.
+  cmake -B build-cachei -S . -DCMAKE_BUILD_TYPE=Release \
+        -DAPC_CACHE_INSTRUMENT=ON \
+        -DAPCACHE_BUILD_BENCHES=OFF -DAPCACHE_BUILD_EXAMPLES=OFF
+  cmake --build build-cachei -j
+  ctest --test-dir build-cachei --output-on-failure --no-tests=error \
+        --timeout "$CTEST_TIMEOUT" -R '^(cache_instrument_test|cache_test|protocol_table_test)$'
+
+  # Schema-check a REAL export: live_dashboard attaches an AttributionTable
+  # and writes the apcache-obs-v1 document, attribution section included.
+  ./build-obs-on/examples/live_dashboard build-obs-on/obs_export.json \
+      > /dev/null
+  for key in '"schema": "apcache-obs-v1"' '"counters"' '"gauges"' \
+             '"histograms"' '"attribution"' '"sources"' '"totals"' \
+             '"query_reader_refreshes"' '"width_history"'; do
+    grep -qF "$key" build-obs-on/obs_export.json || {
+      echo "check.sh: FAIL - export missing $key" >&2; exit 1; }
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+        build-obs-on/obs_export.json
+  fi
 
   ./build-obs-on/bench_obs_overhead "$OBS_QPT" "$OBS_SOURCES" \
       build-obs-on/BENCH_obs_row.json
@@ -199,14 +242,25 @@ if [[ "${1:-}" == "--obs" ]]; then
       build-obs-off/BENCH_obs_row.json
 
   # Each BenchReport run row is one line; lift them verbatim into the
-  # combined trajectory. The obs-on file carries two rows — "steady"
-  # (metrics live, recorder off: the always-on config, which the 5% bound
-  # gates) and "steady_traced" (full per-event tracing, informational) —
-  # the obs-off baseline contributes its steady row.
+  # combined trajectory. The obs-on file carries three rows —
+  # "steady_flight_recorder" (metrics live, flight recorder armed at
+  # kFlight: the recommended always-on config, which the 5% bound gates),
+  # "steady" (metrics live, recorder off), and "steady_traced" (full
+  # per-event kFull tracing, informational) — the obs-off baseline
+  # contributes its steady row.
   mapfile -t on_rows < <(grep '^    {' build-obs-on/BENCH_obs_row.json \
                          | sed 's/,$//')
-  off_row=$(grep -m1 '^    {' build-obs-off/BENCH_obs_row.json \
-            | sed 's/,$//')
+  # Under APC_OBS=0 the three scenarios are literally one configuration
+  # (Arm/Enable compile to no-ops), so the off binary yields three
+  # independent median-of-7 measurements of the same baseline. Gate
+  # against their median row: a single row's luck swings ±5% on a noisy
+  # shared host, which is the size of the bound itself.
+  off_row=$(grep '^    {' build-obs-off/BENCH_obs_row.json | sed 's/,$//' \
+            | while IFS= read -r r; do
+                printf '%s\t%s\n' \
+                    "$(sed -n 's/.*"qps": \([0-9.eE+-]*\).*/\1/p' <<<"$r")" \
+                    "$r"
+              done | sort -g | awk -F'\t' 'NR==2 {print $2}')
   on_qps=$(sed -n 's/.*"qps": \([0-9.eE+-]*\).*/\1/p' <<<"${on_rows[0]}")
   off_qps=$(sed -n 's/.*"qps": \([0-9.eE+-]*\).*/\1/p' <<<"$off_row")
   overhead_pct=$(awk -v on="$on_qps" -v off="$off_qps" \
@@ -218,22 +272,24 @@ if [[ "${1:-}" == "--obs" ]]; then
     printf '  "meta": {"queries_per_thread": %s, "num_sources": %s, ' \
         "$OBS_QPT" "$OBS_SOURCES"
     printf '"row": "seqlock 8 shards x 8 threads, point_read_fraction 0.95", '
-    printf '"acceptance": "obs-on steady qps >= 0.95 x obs-off steady qps", '
+    printf '"acceptance": "obs-on steady_flight_recorder qps >= 0.95 x obs-off baseline (median of the off binary 3 identical-config rows)", '
     printf '"overhead_pct": %s},\n' "$overhead_pct"
     printf '  "runs": [\n'
     printf '%s,\n' "${on_rows[0]}"
     printf '%s,\n' "${on_rows[1]}"
+    printf '%s,\n' "${on_rows[2]}"
     printf '%s\n' "$off_row"
     printf '  ]\n}\n'
   } > BENCH_obs.json
-  echo "check.sh: obs-on ${on_qps} q/s vs obs-off ${off_qps} q/s" \
+  echo "check.sh: obs-on(armed) ${on_qps} q/s vs obs-off ${off_qps} q/s" \
        "(overhead ${overhead_pct}%) -> BENCH_obs.json"
   if ! awk -v on="$on_qps" -v off="$off_qps" \
       'BEGIN { exit on >= 0.95 * off ? 0 : 1 }'; then
-    echo "check.sh: FAIL - obs overhead exceeds 5% on the seqlock hot row"
+    echo "check.sh: FAIL - armed flight recorder exceeds 5% overhead on" \
+         "the seqlock hot row"
     exit 1
   fi
-  pass "obs overhead within bound, obs-off tier-1 clean"
+  pass "causal suites, cache-instrument modes, export schema, and armed-recorder overhead bound all clean"
 fi
 
 # --- tier-1 verify -------------------------------------------------------

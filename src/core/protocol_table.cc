@@ -1,11 +1,13 @@
 #include "core/protocol_table.h"
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace apc {
 
 const ProtocolEntry* EntryStore::Find(int id) const {
   auto it = entries_.find(id);
+  NoteSlotProbe(/*hit=*/it != entries_.end());
   return it == entries_.end() ? nullptr : &it->second;
 }
 
@@ -59,6 +61,9 @@ EntryStore::OfferResult EntryStore::OfferUnmirrored(int id,
   if (raw_width >= incumbent.raw_width) return {false, -1};
   entries_.erase(widest);
   entries_.emplace(id, ProtocolEntry{approx, raw_width});
+#if APC_CACHE_INSTRUMENT
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+#endif
   return {true, widest};
 }
 
@@ -179,6 +184,12 @@ ValueTickOutcome ProtocolTable::OnValueTick(int id, ProtocolCell& cell,
   costs_.RecordValueRefresh();
   outcome.refreshed = true;
   CachedApprox approx = cell.Refresh(value, RefreshType::kValueInitiated, now);
+  if (attribution_ != nullptr) {
+    // Mirrored BEFORE loss injection, like the tracker charge: the source
+    // paid Cvr whether or not the push arrives.
+    attribution_->RecordValueRefresh(id, config_.costs.cvr, cell.raw_width(),
+                                     now);
+  }
   if (config_.push_loss_probability > 0.0 &&
       rng_.Bernoulli(config_.push_loss_probability)) {
     // The message is lost: the source has already updated its own notion of
@@ -196,6 +207,10 @@ double ProtocolTable::Pull(int id, ProtocolCell& cell, double value,
                            int64_t now) {
   costs_.RecordQueryRefresh();
   CachedApprox approx = cell.Refresh(value, RefreshType::kQueryInitiated, now);
+  if (attribution_ != nullptr) {
+    attribution_->RecordQueryRefresh(id, config_.costs.cqr, cell.raw_width(),
+                                     now);
+  }
   OfferMirrored(id, approx, cell.raw_width());
   return value;
 }
@@ -212,6 +227,10 @@ ValueTickOutcome ProtocolTable::OfferDerived(int id, const CachedApprox& approx,
   outcome.refreshed = true;
   if (type == RefreshType::kValueInitiated) {
     costs_.RecordValueRefresh();
+    if (attribution_ != nullptr) {
+      attribution_->RecordValueRefresh(id, config_.costs.cvr, raw_width,
+                                       approx.refresh_time);
+    }
     // Derived pushes cross a real link: the charge stands even when
     // failure injection drops the message (charged-but-lost, identical to
     // OnValueTick). The parent keeps its sender-side record of what it
@@ -228,6 +247,10 @@ ValueTickOutcome ProtocolTable::OfferDerived(int id, const CachedApprox& approx,
     // A query-initiated install is the reply of an escalated read the
     // reader already paid for; replies are not subject to push loss.
     costs_.RecordQueryRefresh();
+    if (attribution_ != nullptr) {
+      attribution_->RecordQueryRefresh(id, config_.costs.cqr, raw_width,
+                                       approx.refresh_time);
+    }
   }
   OfferMirrored(id, approx, raw_width);
   return outcome;
@@ -265,9 +288,11 @@ SnapshotRead ProtocolTable::TryVisibleInterval(int id, int64_t now,
   // Only a validated copy is materialized: a torn {lo, hi} pair could
   // violate lo <= hi and must never reach the Interval constructor.
   if (!cached) {
+    store_.NoteSlotProbe(/*hit=*/false);
     *out = Interval::Unbounded();
     return SnapshotRead::kMiss;
   }
+  store_.NoteSlotProbe(/*hit=*/true);
   CachedApprox approx;
   approx.base = Interval(lo, hi);
   approx.refresh_time = refresh_time;

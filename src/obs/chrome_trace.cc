@@ -1,0 +1,93 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace apc {
+namespace obs {
+
+namespace {
+
+/// Appends one trace-event object. `dur < 0` renders an instant event.
+void AppendEvent(std::string* out, const char* name, const char* cat,
+                 const TraceRecord& rec, int64_t dur, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  char buf[256];
+  if (dur >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+                  "\"dur\":%lld,\"pid\":1,\"tid\":%u,",
+                  name, cat, static_cast<unsigned long long>(rec.seq),
+                  static_cast<long long>(dur), rec.tid);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%llu,"
+                  "\"s\":\"t\",\"pid\":1,\"tid\":%u,",
+                  name, cat, static_cast<unsigned long long>(rec.seq),
+                  rec.tid);
+  }
+  *out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"args\":{\"op\":%llu,\"span\":%u,\"parent\":%u,\"id\":%d,"
+                "\"now\":%lld,\"arg\":%lld}}",
+                static_cast<unsigned long long>(rec.op), rec.span, rec.parent,
+                rec.id, static_cast<long long>(rec.now),
+                static_cast<long long>(rec.arg));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceExporter::ToJson(
+    const std::vector<TraceRecord>& records) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  // Open spans by (op, span): per-operation span ids are unique, so a
+  // begin/end pair matches exactly even across ring wraps on one side.
+  std::map<std::pair<uint64_t, uint32_t>, TraceRecord> open;
+  const uint64_t last_seq = records.empty() ? 0 : records.back().seq;
+  for (const TraceRecord& rec : records) {
+    switch (rec.event) {
+      case TraceEvent::kSpanBegin:
+        open[{rec.op, rec.span}] = rec;
+        break;
+      case TraceEvent::kSpanEnd: {
+        auto it = open.find({rec.op, rec.span});
+        if (it == open.end()) break;  // begin overwritten in the ring
+        const TraceRecord& begin = it->second;
+        int64_t dur = static_cast<int64_t>(rec.seq - begin.seq);
+        AppendEvent(&out, SpanKindName(static_cast<SpanKind>(begin.arg)),
+                    "span", begin, dur < 1 ? 1 : dur, &first);
+        open.erase(it);
+        break;
+      }
+      default:
+        AppendEvent(&out, TraceEventName(rec.event), "event", rec,
+                    /*dur=*/-1, &first);
+    }
+  }
+  // Spans still open at dump time run to the end of the captured window.
+  for (const auto& [key, begin] : open) {
+    int64_t dur = static_cast<int64_t>(last_seq - begin.seq);
+    AppendEvent(&out, SpanKindName(static_cast<SpanKind>(begin.arg)), "span",
+                begin, dur < 1 ? 1 : dur, &first);
+  }
+  out += "\n]}";
+  return out;
+}
+
+bool ChromeTraceExporter::WriteFile(const std::string& path,
+                                    const std::vector<TraceRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson(records);
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace apc

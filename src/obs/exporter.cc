@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/attribution.h"
+
 namespace apc {
 namespace obs {
 
@@ -47,6 +49,56 @@ std::string RenderNum(double value) {
   std::snprintf(buf, sizeof(buf), "%.10g", value);
   return buf;
 }
+
+#if APC_OBS
+/// The "attribution" section: per-source charge splits plus the summed
+/// totals, from one AttributionTable snapshot (consistent per source).
+std::string RenderAttribution(const AttributionTable& attribution) {
+  std::string out = ",\n  \"attribution\": {";
+  out += "\n    \"sources\": [";
+  std::vector<AttributionTable::SourceStats> sources = attribution.Snapshot();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const AttributionTable::SourceStats& s = sources[i];
+    if (i > 0) out += ",";
+    out += "\n      {\"id\": " + std::to_string(s.id);
+    out += ", \"value_refreshes\": " + std::to_string(s.value_refreshes);
+    out += ", \"query_refreshes\": " + std::to_string(s.query_refreshes);
+    out += ", \"query_reader_refreshes\": " +
+           std::to_string(s.query_reader_refreshes);
+    out += ", \"subscription_reader_refreshes\": " +
+           std::to_string(s.subscription_reader_refreshes);
+    out += ", \"unattributed_query_refreshes\": " +
+           std::to_string(s.unattributed_query_refreshes);
+    out += ", \"value_cost\": " + RenderNum(s.value_cost);
+    out += ", \"query_cost\": " + RenderNum(s.query_cost);
+    out += ", \"last_width\": " + RenderNum(s.last_width);
+    out += ", \"last_now\": " + std::to_string(s.last_now);
+    out += ", \"width_history\": [";
+    for (size_t p = 0; p < s.width_history.size(); ++p) {
+      if (p > 0) out += ", ";
+      out += "[" + std::to_string(s.width_history[p].now) + ", " +
+             RenderNum(s.width_history[p].width) + "]";
+    }
+    out += "]}";
+  }
+  out += sources.empty() ? "]" : "\n    ]";
+  AttributionTable::Totals totals = attribution.TotalsSnapshot();
+  out += ",\n    \"totals\": {";
+  out += "\"value_refreshes\": " + std::to_string(totals.value_refreshes);
+  out += ", \"query_refreshes\": " + std::to_string(totals.query_refreshes);
+  out += ", \"query_reader_refreshes\": " +
+         std::to_string(totals.query_reader_refreshes);
+  out += ", \"subscription_reader_refreshes\": " +
+         std::to_string(totals.subscription_reader_refreshes);
+  out += ", \"unattributed_query_refreshes\": " +
+         std::to_string(totals.unattributed_query_refreshes);
+  out += ", \"value_cost\": " + RenderNum(totals.value_cost);
+  out += ", \"query_cost\": " + RenderNum(totals.query_cost);
+  out += "}";
+  out += "\n  }";
+  return out;
+}
+#endif  // APC_OBS
 
 }  // namespace
 
@@ -98,6 +150,9 @@ std::string SnapshotExporter::ToJson() const {
     out += "]}";
   }
   out += snap.histograms.empty() ? "}" : "\n  }";
+#if APC_OBS
+  if (attribution_ != nullptr) out += RenderAttribution(*attribution_);
+#endif
   out += "\n}";
   return out;
 }

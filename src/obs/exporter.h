@@ -25,6 +25,8 @@
 namespace apc {
 namespace obs {
 
+class AttributionTable;
+
 class SnapshotExporter {
  public:
   /// `registry` must outlive the exporter (and its background thread).
@@ -33,6 +35,16 @@ class SnapshotExporter {
 
   SnapshotExporter(const SnapshotExporter&) = delete;
   SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Attaches the engines' cost-attribution table (non-owning; nullptr
+  /// detaches): every subsequent document carries an "attribution" section
+  /// with the per-source Cvr/Cqr splits, reader buckets, and width
+  /// time-series. Attach before concurrent use (StartBackground); the
+  /// table must outlive the exporter. Without an attachment — and under
+  /// APC_OBS=0 — the section is absent, which apcache-obs-v1 permits.
+  void AttachAttribution(const AttributionTable* attribution) {
+    attribution_ = attribution;
+  }
 
   /// One consistent snapshot as a JSON document.
   std::string ToJson() const;
@@ -54,6 +66,8 @@ class SnapshotExporter {
   void BackgroundLoop();
 
   const MetricsRegistry* const registry_;
+  /// Set before concurrent use, read by every ToJson; non-owning.
+  const AttributionTable* attribution_ = nullptr;
 
   /// Ranked below the registry: the exporter never snapshots while holding
   /// mu_ (WriteFile runs unlocked), but a control thread may configure the

@@ -34,6 +34,38 @@ const char* TraceEventName(TraceEvent event) {
       return "notify_evaluate";
     case TraceEvent::kNotifyShip:
       return "notify_ship";
+    case TraceEvent::kSpanBegin:
+      return "span_begin";
+    case TraceEvent::kSpanEnd:
+      return "span_end";
+    case TraceEvent::kRejectedInput:
+      return "rejected_input";
+  }
+  return "unknown";
+}
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPointRead:
+      return "point_read";
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kTieredRead:
+      return "tiered_read";
+    case SpanKind::kTick:
+      return "tick";
+    case SpanKind::kNotifyBatch:
+      return "notify_batch";
+    case SpanKind::kNotifyEval:
+      return "notify_eval";
+    case SpanKind::kEscalateRegional:
+      return "escalate_regional";
+    case SpanKind::kEscalateSource:
+      return "escalate_source";
+    case SpanKind::kSourcePull:
+      return "source_pull";
+    case SpanKind::kFanOut:
+      return "fan_out";
   }
   return "unknown";
 }
@@ -69,9 +101,18 @@ Registry& GlobalRegistry() {
 }
 
 std::atomic<uint64_t> g_seq{0};
+/// Operation (span tree) ids; 0 is reserved for "no operation".
+std::atomic<uint64_t> g_op{0};
 /// Bumped by Enable/Reset so cached thread_local ring pointers from a
 /// previous generation are re-registered instead of dangling.
 std::atomic<uint64_t> g_generation{0};
+
+/// Monotonic ring-overwrite tally (the obs.trace_dropped counter): leaked
+/// like the registry so late-exiting threads can still bump it.
+Counter& DroppedCounter() {
+  static Counter* dropped = new Counter();
+  return *dropped;
+}
 
 Ring* ThisThreadRing() {
   thread_local Ring* ring = nullptr;
@@ -91,7 +132,7 @@ Ring* ThisThreadRing() {
 
 }  // namespace
 
-void TraceRecorder::Enable(size_t ring_capacity) {
+void TraceRecorder::Enable(size_t ring_capacity, TraceLevel level) {
   Registry& registry = GlobalRegistry();
   {
     MutexLock lock(registry.mu);
@@ -101,20 +142,38 @@ void TraceRecorder::Enable(size_t ring_capacity) {
   }
   g_seq.store(0, std::memory_order_relaxed);
   g_generation.fetch_add(1, std::memory_order_release);
-  internal::g_trace_enabled.store(true, std::memory_order_release);
+  internal::g_trace_level.store(static_cast<uint8_t>(level),
+                                std::memory_order_release);
 }
 
 void TraceRecorder::Disable() {
-  internal::g_trace_enabled.store(false, std::memory_order_release);
+  internal::g_trace_level.store(0, std::memory_order_release);
+}
+
+void TraceRecorder::SetLevel(TraceLevel level) {
+  uint8_t requested = static_cast<uint8_t>(level);
+  uint8_t current = internal::g_trace_level.load(std::memory_order_relaxed);
+  while (current < requested &&
+         !internal::g_trace_level.compare_exchange_weak(
+             current, requested, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
 }
 
 void TraceRecorder::RecordImpl(TraceEvent event, int32_t id, int64_t now,
                                int64_t arg) {
   Ring* ring = ThisThreadRing();
+  if (ring->written >= ring->slots.size()) {
+    DroppedCounter().fetch_add(1, std::memory_order_relaxed);
+  }
+  const internal::TraceContext& ctx = internal::t_trace_context;
   TraceRecord& slot = ring->slots[ring->head];
   slot.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  slot.op = ctx.op;
   slot.now = now;
   slot.arg = arg;
+  slot.span = ctx.span;
+  slot.parent = ctx.parent;
   slot.id = id;
   slot.tid = ring->tid;
   slot.event = event;
@@ -155,6 +214,47 @@ void TraceRecorder::Reset() {
   }
   g_seq.store(0, std::memory_order_relaxed);
   g_generation.fetch_add(1, std::memory_order_release);
+}
+
+int64_t TraceRecorder::dropped() {
+  return DroppedCounter().load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::RegisterMetrics(MetricsRegistry* registry) {
+  registry->RegisterCounter("obs.trace_dropped", &DroppedCounter());
+}
+
+void TraceScope::Enter() {
+  internal::TraceContext& ctx = internal::t_trace_context;
+  saved_op_ = ctx.op;
+  saved_span_ = ctx.span;
+  saved_parent_ = ctx.parent;
+  if (ctx.op == 0) {
+    // Root of a new operation tree. +1 keeps 0 reserved.
+    ctx.op = g_op.fetch_add(1, std::memory_order_relaxed) + 1;
+    ctx.next_span = 1;
+    ctx.span = 1;
+    ctx.parent = 0;
+  } else {
+    ctx.parent = ctx.span;
+    ctx.span = ++ctx.next_span;
+  }
+  active_ = true;
+  TraceRecorder::RecordImpl(TraceEvent::kSpanBegin, id_, now_,
+                            static_cast<int64_t>(kind_));
+}
+
+void TraceScope::Exit() {
+  internal::TraceContext& ctx = internal::t_trace_context;
+  TraceRecorder::RecordImpl(TraceEvent::kSpanEnd, id_, now_,
+                            static_cast<int64_t>(kind_));
+  // Restore the enclosing node but NOT next_span: a later sibling must
+  // draw a fresh span id, not collide with this subtree's. Leaving the
+  // root zeroes op, so the next root starts a new tree (and re-seeds
+  // next_span itself).
+  ctx.op = saved_op_;
+  ctx.span = saved_span_;
+  ctx.parent = saved_parent_;
 }
 
 #endif  // APC_OBS

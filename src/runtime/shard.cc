@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "runtime/runtime_util.h"
 
@@ -67,6 +68,11 @@ void Shard::EnableChangeTracking() {
   table_.EnableChangeTracking();
 }
 
+void Shard::SetAttribution(obs::AttributionTable* sink) {
+  WriterMutexLock lock(mu_);
+  table_.SetAttribution(sink);
+}
+
 void Shard::PublishChangesLocked(int64_t now) {
   if (sink_ == nullptr || !table_.has_dirty_ids()) return;
   dirty_scratch_.clear();
@@ -120,11 +126,19 @@ void Shard::RecordSharedFallback(int id, int64_t now,
                              torn_count);
 }
 
-void Shard::RecordRejectedUpdateLocked() {
+void Shard::RecordRejectedUpdateLocked(int id, int64_t now) {
   ++rejected_updates_;
   if (counters_ != nullptr) {
     counters_->rejected_updates.fetch_add(1, std::memory_order_relaxed);
   }
+  obs::FlightRecorder::NoteRejectedInput("unowned update id", id, now);
+}
+
+void Shard::RecordRejectedQueryId(int id, int64_t now) const {
+  if (counters_ != nullptr) {
+    counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::FlightRecorder::NoteRejectedInput("unowned query id", id, now);
 }
 
 void Shard::TickAll(int64_t now) {
@@ -137,7 +151,7 @@ void Shard::TickSource(int id, int64_t now) {
   WriterMutexLock lock(mu_);
   Source* src = FindSource(id);
   if (src == nullptr) {
-    RecordRejectedUpdateLocked();
+    RecordRejectedUpdateLocked(id, now);
     return;
   }
   TickSourceLocked(src, now);
@@ -155,7 +169,7 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
     last_now = std::max(last_now, now);
     Source* src = FindSource(id);
     if (src == nullptr) {
-      RecordRejectedUpdateLocked();
+      RecordRejectedUpdateLocked(id, now);
       continue;
     }
     TickSourceLocked(src, now);
@@ -164,6 +178,10 @@ void Shard::TickSources(const std::vector<std::pair<int, int64_t>>& updates) {
 }
 
 void Shard::ApplyEvents(const UpdateEvent* events, size_t count) {
+  // Root span of the asynchronous update path: one drained bus burst and
+  // every value-initiated refresh cascade it triggers.
+  obs::TraceScope span(obs::SpanKind::kTick, /*id=*/-1,
+                       count > 0 ? events[0].now : 0);
   WriterMutexLock lock(mu_);
   // Batch-maximum publish time, for the same reason as TickSources.
   int64_t last_now = 0;
@@ -176,7 +194,7 @@ void Shard::ApplyEvents(const UpdateEvent* events, size_t count) {
     }
     Source* src = FindSource(event.source_id);
     if (src == nullptr) {
-      RecordRejectedUpdateLocked();
+      RecordRejectedUpdateLocked(event.source_id, event.now);
       continue;
     }
     TickSourceLocked(src, event.now);
@@ -235,6 +253,7 @@ void Shard::FillIntervals(const std::vector<ShardSlot>& slots,
 }
 
 double Shard::PullExactLocked(Source* src, int64_t now) {
+  obs::TraceScope span(obs::SpanKind::kSourcePull, src->id(), now);
   if (counters_ != nullptr) {
     counters_->query_refreshes.fetch_add(1, std::memory_order_relaxed);
   }
@@ -245,9 +264,7 @@ double Shard::PullExact(int id, int64_t now) {
   WriterMutexLock lock(mu_);
   Source* src = FindSource(id);
   if (src == nullptr) {
-    if (counters_ != nullptr) {
-      counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
-    }
+    RecordRejectedQueryId(id, now);
     return std::numeric_limits<double>::quiet_NaN();
   }
   double value = PullExactLocked(src, now);
@@ -263,9 +280,7 @@ void Shard::PullExactMany(const std::vector<ShardSlot>& slots,
     if (src == nullptr) {
       // Keep the snapshot interval; the caller already excluded unowned
       // ids, so this only fires for standalone (engine-less) misuse.
-      if (counters_ != nullptr) {
-        counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
-      }
+      RecordRejectedQueryId(id, now);
       continue;
     }
     (*items)[pos].interval = Interval::Exact(PullExactLocked(src, now));
@@ -300,6 +315,9 @@ int Shard::PullCandidateRun(AggregateKind kind, double constraint,
 }
 
 Interval Shard::PointRead(int id, double max_width, int64_t now) {
+  // Root span of a point read's lifecycle (kFull only, like kReadStart):
+  // retries, fallbacks, and the exact pull all land under it.
+  obs::TraceScope span(obs::SpanKind::kPointRead, id, now);
   obs::TraceRecorder::Record(obs::TraceEvent::kReadStart, id, now,
                              static_cast<int64_t>(read_mode_));
   // Fast path per mode; the exclusive baseline does the whole read under
@@ -331,9 +349,7 @@ Interval Shard::PointRead(int id, double max_width, int64_t now) {
   }
   Source* src = FindSource(id);
   if (src == nullptr) {
-    if (counters_ != nullptr) {
-      counters_->rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
-    }
+    RecordRejectedQueryId(id, now);
     return Interval::Unbounded();
   }
   Interval result = Interval::Exact(PullExactLocked(src, now));

@@ -142,6 +142,12 @@ class Shard {
   /// subscription-free engines never pay for change tracking. Thread-safe.
   void EnableChangeTracking();
 
+  /// Attaches the engine's cost-attribution sink to this shard's protocol
+  /// table (non-owning; see ProtocolTable::SetAttribution). Not
+  /// thread-safe; call during engine construction, before any concurrent
+  /// access, like SetChangeSink.
+  void SetAttribution(obs::AttributionTable* sink);
+
   /// Ships every owned source's initial approximation (free of charge).
   void PopulateInitial(int64_t now);
 
@@ -233,7 +239,10 @@ class Shard {
   /// Owned source for `id`, or nullptr (never throws — pump hardening).
   Source* FindSource(int id) const APC_REQUIRES_SHARED(mu_);
   void TickSourceLocked(Source* src, int64_t now) APC_REQUIRES(mu_);
-  void RecordRejectedUpdateLocked() APC_REQUIRES(mu_);
+  void RecordRejectedUpdateLocked(int id, int64_t now) APC_REQUIRES(mu_);
+  void RecordRejectedQueryId(int id, int64_t now) const;
+  /// Query-initiated exact pull of `src` (charges Cqr, re-offers the fresh
+  /// approximation); requires the shard lock held exclusively.
   double PullExactLocked(Source* src, int64_t now) APC_REQUIRES(mu_);
   /// Drains the table's dirty ids to the change sink; requires the shard
   /// lock held exclusively. No-op without a sink.

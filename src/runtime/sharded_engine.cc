@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "runtime/runtime_util.h"
 
 namespace apc {
@@ -76,6 +79,11 @@ ShardedEngine::ShardedEngine(const EngineConfig& config,
   counters_.RegisterWith(&metrics_, "engine");
   bus_.RegisterMetrics(&metrics_, "bus");
   subscriptions_.RegisterMetrics(&metrics_);
+  obs::TraceRecorder::RegisterMetrics(&metrics_);
+}
+
+void ShardedEngine::SetAttribution(obs::AttributionTable* sink) {
+  for (auto& shard : shards_) shard->SetAttribution(sink);
 }
 
 ShardedEngine::~ShardedEngine() {
@@ -94,10 +102,18 @@ void ShardedEngine::PopulateInitial(int64_t now) {
 }
 
 void ShardedEngine::TickAll(int64_t now) {
+  // Root span of the synchronous update path: one lockstep tick across
+  // every shard and the refresh cascades it triggers.
+  obs::TraceScope span(obs::SpanKind::kTick, /*id=*/-1, now);
   for (auto& shard : shards_) shard->TickAll(now);
 }
 
 Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
+  // Root span of an aggregate query (kFull only); the ReaderScope tags any
+  // Cqr charge the selection's pulls trigger as query-initiated-by-a-query
+  // in the attribution table.
+  obs::TraceScope span(obs::SpanKind::kQuery, /*id=*/-1, now);
+  obs::ReaderScope reader(obs::ReaderKind::kQuery, /*reader_id=*/-1);
   counters_.queries_executed.fetch_add(1, std::memory_order_relaxed);
 
   // Per-thread scratch reused across queries: the serving hot path does no
@@ -116,6 +132,7 @@ Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
   for (int id : query.source_ids) {
     if (!shards_[static_cast<size_t>(ShardOf(id))]->Owns(id)) {
       counters_.rejected_query_ids.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecorder::NoteRejectedInput("unowned query id", id, now);
       continue;
     }
     QueryItem item;
@@ -202,6 +219,7 @@ Interval ShardedEngine::ExecuteQuery(const Query& query, int64_t now) {
 }
 
 Interval ShardedEngine::PointRead(int id, double max_width, int64_t now) {
+  obs::ReaderScope reader(obs::ReaderKind::kQuery, /*reader_id=*/id);
   counters_.queries_executed.fetch_add(1, std::memory_order_relaxed);
   return shards_[static_cast<size_t>(ShardOf(id))]->PointRead(id, max_width,
                                                               now);

@@ -191,6 +191,13 @@ class ShardedEngine : private SubscriptionHost {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches a cost-attribution sink to every shard's protocol table
+  /// (non-owning; nullptr detaches). Call before any concurrent access —
+  /// construction-time wiring, like the change sink. The sink then mirrors
+  /// every refresh charge, reconciling with TotalCosts() bit-for-bit when
+  /// attached before the first charge.
+  void SetAttribution(obs::AttributionTable* sink);
+
   /// Mean retained raw width across all sources (convergence observable).
   double MeanRawWidth() const;
 

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "hierarchy/hierarchy.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "runtime/runtime_util.h"
 
@@ -194,6 +196,20 @@ TieredEngine::TieredEngine(const TieredConfig& config,
   counters_.RegisterWith(&metrics_, "tiered");
   bus_.RegisterMetrics(&metrics_, "tiered.bus");
   subscriptions_.RegisterMetrics(&metrics_);
+  obs::TraceRecorder::RegisterMetrics(&metrics_);
+}
+
+void TieredEngine::SetAttribution(obs::AttributionTable* sink) {
+  for (auto& rs : regional_) {
+    WriterMutexLock lock(rs->mu);
+    rs->table.SetAttribution(sink);
+  }
+  for (auto& edge : edges_) {
+    for (auto& es : edge) {
+      WriterMutexLock lock(es->mu);
+      es->table.SetAttribution(sink);
+    }
+  }
 }
 
 TieredEngine::~TieredEngine() {
@@ -290,6 +306,7 @@ void TieredEngine::FanOutLocked(RegionalShard& rs, int shard, int id,
                                 const Interval& parent, int64_t now,
                                 int skip_edge) {
   (void)rs;  // the capability parameter: exclusivity of rs.mu is the contract
+  obs::TraceScope span(obs::SpanKind::kFanOut, id, now);
   for (int e = 0; e < config_.num_edges; ++e) {
     if (e == skip_edge) continue;
     EdgeShard& es = *edges_[static_cast<size_t>(e)][static_cast<size_t>(shard)];
@@ -328,6 +345,9 @@ void TieredEngine::InstallDerived(const RegionalShard& rs, EdgeShard& es,
 }
 
 void TieredEngine::TickAll(int64_t now) {
+  // Root span of the synchronous update path; the per-id fan-out spans
+  // nest under it.
+  obs::TraceScope span(obs::SpanKind::kTick, /*id=*/-1, now);
   for (size_t s = 0; s < regional_.size(); ++s) {
     RegionalShard& rs = *regional_[s];
     WriterMutexLock lock(rs.mu);
@@ -345,6 +365,7 @@ void TieredEngine::TickSource(int id, int64_t now) {
   auto it = rs.by_id.find(id);
   if (it == rs.by_id.end()) {
     counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::NoteRejectedInput("unowned update id", id, now);
     return;
   }
   TickSourceLocked(rs, s, rs.sources[it->second].get(), now);
@@ -353,6 +374,9 @@ void TieredEngine::TickSource(int id, int64_t now) {
 
 void TieredEngine::ApplyShardEvents(int shard, const UpdateEvent* events,
                                     size_t count) {
+  // Root span of the asynchronous update path: one drained bus burst.
+  obs::TraceScope span(obs::SpanKind::kTick, /*id=*/-1,
+                       count > 0 ? events[0].now : 0);
   RegionalShard& rs = *regional_[static_cast<size_t>(shard)];
   WriterMutexLock lock(rs.mu);
   int64_t last_now = 0;
@@ -369,6 +393,8 @@ void TieredEngine::ApplyShardEvents(int shard, const UpdateEvent* events,
     auto it = rs.by_id.find(e.source_id);
     if (it == rs.by_id.end()) {
       counters_.rejected_updates.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecorder::NoteRejectedInput("unowned update id",
+                                             e.source_id, e.now);
       continue;
     }
     TickSourceLocked(rs, shard, rs.sources[it->second].get(), e.now);
@@ -378,9 +404,15 @@ void TieredEngine::ApplyShardEvents(int shard, const UpdateEvent* events,
 
 Interval TieredEngine::Read(int edge, int id, double constraint,
                             int64_t now) {
+  // Root span of a tiered read (kFull only); escalation-hop spans nest
+  // under it. The ReaderScope tags any Cqr this read's escalations charge
+  // (LAN install, WAN pull) as query-initiated-by-a-query.
+  obs::TraceScope span(obs::SpanKind::kTieredRead, id, now);
+  obs::ReaderScope reader(obs::ReaderKind::kQuery, /*reader_id=*/id);
   counters_.reads.fetch_add(1, std::memory_order_relaxed);
   if (edge < 0 || edge >= config_.num_edges || !Owns(id)) {
     counters_.rejected_reads.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::NoteRejectedInput("rejected tiered read", id, now);
     return Interval::Unbounded();
   }
   const int s = ShardOf(id);
@@ -410,6 +442,7 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
   // holding the regional lock (shared here) excludes fan-outs, so the
   // regional interval read below cannot be overwritten between the read
   // and the derived install — that is what keeps A_edge ⊇ A_regional.
+  obs::TraceScope regional_hop(obs::SpanKind::kEscalateRegional, id, now);
   obs::TraceRecorder::Record(obs::TraceEvent::kEscalateRegional, id, now,
                              edge);
   {
@@ -446,10 +479,14 @@ Interval TieredEngine::Read(int edge, int id, double constraint,
     counters_.regional_hits.fetch_add(1, std::memory_order_relaxed);
     answer = regional;
   } else {
+    obs::TraceScope source_hop(obs::SpanKind::kEscalateSource, id, now);
     obs::TraceRecorder::Record(obs::TraceEvent::kEscalateSource, id, now,
                                edge);
     Source* src = rs.sources[rs.by_id.at(id)].get();
-    rs.table.Pull(src->id(), src->cell(), src->value(), now);
+    {
+      obs::TraceScope pull(obs::SpanKind::kSourcePull, id, now);
+      rs.table.Pull(src->id(), src->cell(), src->value(), now);
+    }
     counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);
     regional = src->cell().last_shipped().AtTime(now);
     // The recentered regional interval cascades to the OTHER edges as LAN
@@ -477,7 +514,10 @@ Interval TieredEngine::SubscriptionPull(int id, int64_t now) {
   // news to every edge that fell out of containment — a subscription
   // escalation is charged exactly like an escalated read's source pull.
   Source* src = rs.sources[rs.by_id.at(id)].get();
-  rs.table.Pull(src->id(), src->cell(), src->value(), now);
+  {
+    obs::TraceScope pull(obs::SpanKind::kSourcePull, id, now);
+    rs.table.Pull(src->id(), src->cell(), src->value(), now);
+  }
   counters_.source_pulls.fetch_add(1, std::memory_order_relaxed);
   Interval regional = src->cell().last_shipped().AtTime(now);
   FanOutLocked(rs, s, id, regional, now, /*skip_edge=*/-1);

@@ -245,6 +245,13 @@ class TieredEngine : private SubscriptionHost {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches a cost-attribution sink to every tier's protocol table
+  /// (non-owning; nullptr detaches). Call before any concurrent access.
+  /// WAN and LAN charges of one id land in the same per-source slot; the
+  /// sink's totals reconcile with WanCosts() + LanCosts() combined when
+  /// attached before the first charge.
+  void SetAttribution(obs::AttributionTable* sink);
+
   /// Observability accessors (consistent snapshots under the owning shard
   /// locks). Unknown ids/edges yield the unbounded interval / NaN.
   Interval regional_interval(int id, int64_t now = 0) const;

@@ -12,6 +12,7 @@
 #include "core/stale_policy.h"
 #include "runtime/sharded_engine.h"
 #include "runtime/tiered_engine.h"
+#include "obs/flight_recorder.h"
 #include "runtime/workload_driver.h"
 #include "subscribe/notification_hub.h"
 
@@ -105,6 +106,22 @@ void FinishCosts(ScenarioMetrics& metrics, int64_t value_refreshes,
                         : 0.0;
 }
 
+/// One flight-recorder dump per run, fired at the FIRST failing check —
+/// the scenario-checker trigger documented in obs/flight_recorder.h. The
+/// recorder no-ops when unarmed, so honest runs (and the committed bench
+/// rows) pay one branch per failure, i.e. nothing.
+class FailureDumper {
+ public:
+  void Note(const char* reason) {
+    if (dumped_) return;
+    dumped_ = true;
+    obs::FlightRecorder::DumpOnFailure(reason);
+  }
+
+ private:
+  bool dumped_ = false;
+};
+
 /// Per-slot state the thundering-herd checker tracks across drains.
 struct SlotState {
   int64_t sub_id = -1;
@@ -124,6 +141,8 @@ ScenarioMetrics RunAdaptiveSharded(const ScenarioScript& script,
                                    const ScenarioRunOptions& options) {
   ScenarioMetrics metrics = MakeMetrics(script, PolicyKind::kAdaptive);
   const bool has_subs = script.max_sub_slots > 0;
+  const double skew = options.inject_containment_skew;
+  FailureDumper dumper;
 
   EngineConfig config;
   config.system.cache_capacity = static_cast<size_t>(script.num_sources);
@@ -157,11 +176,17 @@ ScenarioMetrics RunAdaptiveSharded(const ScenarioScript& script,
         if (it == sub_to_slot.end()) continue;
         SlotState& slot = slots[static_cast<size_t>(it->second)];
         ++metrics.checker_probes;
-        if (rec.epoch <= slot.last_epoch) ++metrics.order_regressions;
+        if (rec.epoch <= slot.last_epoch) {
+          ++metrics.order_regressions;
+          dumper.Note("subscription epoch regression");
+        }
         slot.last_epoch = rec.epoch;
         ++metrics.checker_probes;
-        double exact = ExactAnswer(script.values, slot.query, rec.now);
-        if (!ContainsExact(rec.answer, exact)) ++metrics.containment_failures;
+        double exact = ExactAnswer(script.values, slot.query, rec.now) + skew;
+        if (!ContainsExact(rec.answer, exact)) {
+          ++metrics.containment_failures;
+          dumper.Note("notification containment failure");
+        }
         slot.last_width = rec.answer.Width();
         slot.ever_answered = true;
       }
@@ -204,6 +229,11 @@ ScenarioMetrics RunAdaptiveSharded(const ScenarioScript& script,
           if (slot.sub_id >= 0) engine.Unsubscribe(slot.sub_id);
           break;
       }
+      // Quiesce after EACH op, not just the batch: an op's escalation
+      // publishes dirty ids, and letting the notifier's evaluation of
+      // them race the NEXT op's state mutations makes the ship/suppress
+      // decision (and so the notification count) timing-dependent.
+      engine.subscriptions().WaitQuiescent();
     }
     if (has_subs) {
       engine.subscriptions().WaitQuiescent();
@@ -215,10 +245,13 @@ ScenarioMetrics RunAdaptiveSharded(const ScenarioScript& script,
       ++metrics.checker_probes;
       if (ViolatesConstraint(result, op.query.constraint)) {
         ++metrics.violations;
+        dumper.Note("read constraint violation");
       }
       ++metrics.checker_probes;
-      if (!ContainsExact(result, ExactAnswer(script.values, op.query, t))) {
+      if (!ContainsExact(result,
+                         ExactAnswer(script.values, op.query, t) + skew)) {
         ++metrics.containment_failures;
+        dumper.Note("read containment failure");
       }
       if (has_subs) {
         engine.subscriptions().WaitQuiescent();
@@ -254,6 +287,8 @@ ScenarioMetrics RunAdaptiveSharded(const ScenarioScript& script,
 ScenarioMetrics RunAdaptiveTiered(const ScenarioScript& script,
                                   const ScenarioRunOptions& options) {
   ScenarioMetrics metrics = MakeMetrics(script, PolicyKind::kAdaptive);
+  const double skew = options.inject_containment_skew;
+  FailureDumper dumper;
   TieredConfig config;
   config.num_edges = script.num_edges;
   config.num_shards = std::max(1, std::min(2, script.num_sources));
@@ -272,14 +307,19 @@ ScenarioMetrics RunAdaptiveTiered(const ScenarioScript& script,
       ++metrics.checker_probes;
       if (ViolatesConstraint(result, op.query.constraint)) {
         ++metrics.violations;
+        dumper.Note("tiered read constraint violation");
       }
       ++metrics.checker_probes;
-      if (!ContainsExact(result, ExactValueAt(script.values, id, t))) {
+      if (!ContainsExact(result, ExactValueAt(script.values, id, t) + skew)) {
         ++metrics.containment_failures;
+        dumper.Note("tiered read containment failure");
       }
     }
     ++metrics.checker_probes;
-    if (!engine.DerivedInvariantHolds(t)) ++metrics.hull_failures;
+    if (!engine.DerivedInvariantHolds(t)) {
+      ++metrics.hull_failures;
+      dumper.Note("derived hull invariant failure");
+    }
     metrics.updates +=
         static_cast<int64_t>(UpdatedIds(script.values, t).size());
   }

@@ -87,6 +87,13 @@ struct ScenarioRunOptions {
   /// pulling the runtime header into every bench row).
   int read_lock_mode = 0;
   uint64_t engine_seed = 1234;
+  /// Fault injection for the self-checkers: shifts the exact ground truth
+  /// every containment check compares against by this amount. 0 (the
+  /// default) checks honestly; a value wider than the workload's bounds
+  /// forces deterministic containment failures — which is how the
+  /// flight-recorder suite proves a failing check produces a dump without
+  /// needing a real engine bug on demand.
+  double inject_containment_skew = 0.0;
 };
 
 /// Replays `script` under `policy` with mid-run self-checking and returns

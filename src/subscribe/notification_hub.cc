@@ -43,6 +43,35 @@ bool NotificationHub::TryPush(const Notification& record) {
   return true;
 }
 
+size_t NotificationHub::PushBatch(const Notification* records, size_t count) {
+  size_t accepted = 0;
+  while (accepted < count) {
+    size_t take = 0;
+    size_t depth = 0;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && queue_.size() >= capacity_) not_full_.Wait(mu_);
+      if (closed_) break;
+      // Reserve the whole free span at once; a burst larger than the
+      // remaining capacity loops for another reservation after consumers
+      // make room (each chunk is still FIFO-contiguous).
+      take = capacity_ - queue_.size();
+      if (take > count - accepted) take = count - accepted;
+      for (size_t i = 0; i < take; ++i) {
+        queue_.push_back(records[accepted + i]);
+      }
+      total_pushed_ += static_cast<int64_t>(take);
+      depth = queue_.size();
+    }
+    accepted += take;
+    enqueued_.fetch_add(static_cast<int64_t>(take),
+                        std::memory_order_relaxed);
+    queue_depth_.Set(static_cast<int64_t>(depth));
+    not_empty_.NotifyAll();
+  }
+  return accepted;
+}
+
 size_t NotificationHub::PopBatch(std::vector<Notification>* out,
                                  size_t max_batch) {
   out->clear();

@@ -51,6 +51,16 @@ class NotificationHub {
   /// Non-blocking variant: returns false when full or closed.
   bool TryPush(const Notification& record);
 
+  /// Enqueues `count` records under ONE lock acquisition per free-capacity
+  /// chunk (one total when the burst fits) instead of one per record — the
+  /// batch-reservation discipline of UpdateBus::PushBatch, applied to the
+  /// delivery path. Records are appended in argument order, so the FIFO /
+  /// per-subscription epoch-order guarantee is exactly Push's. Blocks
+  /// while full, like Push; returns how many records were accepted —
+  /// `count`, or fewer when the hub closes mid-batch (the rest are
+  /// dropped, like Push after Close).
+  size_t PushBatch(const Notification* records, size_t count);
+
   /// Moves up to `max_batch` records into `*out` (cleared first). Blocks
   /// until at least one record is available or the hub is closed and
   /// drained; returns the number of records delivered (0 only at shutdown).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace apc {
@@ -57,6 +58,7 @@ int64_t SubscriptionManager::Subscribe(const Query& query, double delta,
   // always holds an answer (and the lockstep harness has a fixed point to
   // compare from).
   EvaluateLocked(*table_.Find(sub_id), now);
+  FlushOutboxLocked();
   return sub_id;
 }
 
@@ -83,7 +85,10 @@ bool SubscriptionManager::Reprecision(int64_t sub_id, double delta,
   // Loosening never notifies: the held answer satisfies the looser bound
   // a fortiori. Tightening re-evaluates now — the "regained" shipping rule
   // pushes a fresh answer once the tightened bound is met.
-  if (tightened) EvaluateLocked(*sub, now);
+  if (tightened) {
+    EvaluateLocked(*sub, now);
+    FlushOutboxLocked();
+  }
   return true;
 }
 
@@ -139,6 +144,7 @@ void SubscriptionManager::NotifierLoop() {
 
 void SubscriptionManager::ProcessBatch(const std::vector<int>& ids,
                                        int64_t now) {
+  obs::TraceScope span(obs::SpanKind::kNotifyBatch, /*id=*/-1, now);
   MutexLock lock(mu_);
   if (table_.empty()) return;
   // Affected subscriptions, deduplicated across the batch and evaluated in
@@ -154,6 +160,8 @@ void SubscriptionManager::ProcessBatch(const std::vector<int>& ids,
     Subscription* sub = table_.Find(sub_id);
     if (sub != nullptr) EvaluateLocked(*sub, now);
   }
+  // One hub reservation for the whole drained burst, not one per record.
+  FlushOutboxLocked();
 }
 
 Interval SubscriptionManager::Answer(AggregateKind kind,
@@ -172,6 +180,11 @@ Interval SubscriptionManager::Answer(AggregateKind kind,
 }
 
 void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
+  obs::TraceScope span(obs::SpanKind::kNotifyEval, /*id=*/-1, now);
+  // Tag every charge this evaluation triggers (the SubscriptionPull
+  // escalations below reach the tables' Cqr charge sites with this tag
+  // ambient) as subscription-initiated, attributed to this sub_id.
+  obs::ReaderScope reader(obs::ReaderKind::kSubscription, sub.sub_id);
   counters_.evaluations.fetch_add(1, std::memory_order_relaxed);
   obs::TraceRecorder::Record(obs::TraceEvent::kNotifyEvaluate, /*id=*/-1,
                              now, sub.sub_id);
@@ -252,14 +265,27 @@ void SubscriptionManager::EvaluateLocked(Subscription& sub, int64_t now) {
   record.answer = answer;
   record.epoch = sub.epoch;
   record.now = now;
-  // Pushed under mu_, so hub order == epoch order per subscription. A full
-  // hub blocks here — backpressure onto the notifier and the APIs, the
-  // UpdateBus discipline. A closed hub (shutdown) drops the record.
-  if (hub_.Push(record)) {
-    counters_.notifications.fetch_add(1, std::memory_order_relaxed);
-    obs::TraceRecorder::Record(obs::TraceEvent::kNotifyShip, /*id=*/-1, now,
-                               sub.sub_id);
+  // Staged, not pushed: the caller flushes the whole burst with one hub
+  // reservation (FlushOutboxLocked) before releasing mu_, so hub order ==
+  // epoch order per subscription exactly as per-record Push gave.
+  outbox_.push_back(record);
+}
+
+void SubscriptionManager::FlushOutboxLocked() {
+  if (outbox_.empty()) return;
+  // A full hub blocks here — backpressure onto the notifier and the APIs,
+  // the UpdateBus discipline. A closed hub (shutdown) drops the tail;
+  // counters and ship traces cover only what the hub accepted.
+  size_t accepted = hub_.PushBatch(outbox_.data(), outbox_.size());
+  if (accepted > 0) {
+    counters_.notifications.fetch_add(static_cast<int64_t>(accepted),
+                                      std::memory_order_relaxed);
+    for (size_t i = 0; i < accepted; ++i) {
+      obs::TraceRecorder::Record(obs::TraceEvent::kNotifyShip, /*id=*/-1,
+                                 outbox_[i].now, outbox_[i].sub_id);
+    }
   }
+  outbox_.clear();
 }
 
 size_t SubscriptionManager::num_subscriptions() const {

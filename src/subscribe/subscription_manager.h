@@ -203,8 +203,15 @@ class SubscriptionManager : public IntervalChangeSink {
   void ProcessBatch(const std::vector<int>& ids, int64_t now);
   /// Recomputes `sub`'s answer from guaranteed-interval snapshots,
   /// escalating (at most once per value per tick, globally) while the
-  /// answer is too wide, and queues a notification per the shipping rule.
+  /// answer is too wide, and stages a notification in `outbox_` per the
+  /// shipping rule. Callers flush via FlushOutboxLocked before releasing
+  /// mu_, so hub order == epoch order per subscription is preserved.
   void EvaluateLocked(Subscription& sub, int64_t now) APC_REQUIRES(mu_);
+  /// Ships everything staged in `outbox_` with ONE hub reservation per
+  /// drained burst (NotificationHub::PushBatch) instead of one lock
+  /// round-trip per record, then clears the outbox. Counters and ship
+  /// traces cover exactly the accepted records, as per-record Push did.
+  void FlushOutboxLocked() APC_REQUIRES(mu_);
   /// The aggregate of `items` for `kind`.
   static Interval Answer(AggregateKind kind,
                          const std::vector<QueryItem>& items);
@@ -224,6 +231,10 @@ class SubscriptionManager : public IntervalChangeSink {
   SubscriptionTable table_ APC_GUARDED_BY(mu_);
   /// Last tick each value was escalated at — the per-value-per-tick cap.
   std::unordered_map<int, int64_t> last_escalation_tick_ APC_GUARDED_BY(mu_);
+  /// Notifications staged by EvaluateLocked awaiting the batched flush —
+  /// appended in evaluation order, shipped FIFO by FlushOutboxLocked
+  /// before mu_ is released (capacity is retained across bursts).
+  std::vector<Notification> outbox_ APC_GUARDED_BY(mu_);
   /// True once any subscription was ever added; lets the hot sink path
   /// skip enqueueing when nobody is listening.
   // contracts-lint: allow(raw-atomic) -- lock-free fast-path flag read on

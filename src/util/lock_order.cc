@@ -1,10 +1,19 @@
 #include "util/lock_order.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 namespace apc {
+
+namespace {
+std::atomic<LockOrderAbortHook> g_abort_hook{nullptr};
+}  // namespace
+
+LockOrderAbortHook SetLockOrderAbortHook(LockOrderAbortHook hook) {
+  return g_abort_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 const char* LockRankName(LockRank rank) {
   switch (rank) {
@@ -22,6 +31,10 @@ const char* LockRankName(LockRank rank) {
       return "queue";
     case LockRank::kObsExporter:
       return "obs_exporter";
+    case LockRank::kObsFlight:
+      return "obs_flight";
+    case LockRank::kObsAttribution:
+      return "obs_attribution";
     case LockRank::kObsRegistry:
       return "obs_registry";
     case LockRank::kObsTrace:
@@ -51,8 +64,18 @@ const char* NameOrRank(LockRank rank, const char* name) {
   return name != nullptr ? name : LockRankName(rank);
 }
 
+/// Best-effort evidence dump before the abort; the installed hook guards
+/// its own reentrancy (dumping can re-enter the validator).
+void RunAbortHook(const char* reason) {
+  if (LockOrderAbortHook hook =
+          g_abort_hook.load(std::memory_order_acquire)) {
+    hook(reason);
+  }
+}
+
 [[noreturn]] void Die(LockRank rank, const char* name,
                       const std::vector<HeldLock>& held) {
+  RunAbortHook("lock-order violation (inverted acquisition)");
   std::fprintf(stderr,
                "lock-order violation: thread acquiring '%s' (class %s, rank "
                "%u) while already holding %zu lock(s):\n",
@@ -92,6 +115,7 @@ void LockOrderValidator::OnRelease(LockRank rank, const char* name) {
     }
   }
   // Releasing a lock the validator never saw acquired: a wrapper bug.
+  RunAbortHook("lock-order violation (release of unheld lock)");
   std::fprintf(stderr,
                "lock-order violation: releasing '%s' (class %s) which this "
                "thread does not hold\n",

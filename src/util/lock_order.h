@@ -54,6 +54,14 @@ enum class LockRank : uint16_t {
   kQueue = 60,
   /// obs::SnapshotExporter::mu_ — the background writer's own state.
   kObsExporter = 70,
+  /// obs::FlightRecorder control state — taken by DumpOnFailure, which may
+  /// run under engine/queue locks (checker hooks, rejected-input storms)
+  /// and then dumps the trace rings (kObsTrace, above).
+  kObsFlight = 72,
+  /// obs::AttributionTable stripe mutexes — leaves of the charge paths:
+  /// taken under shard/edge/queue locks when a refresh is recorded, and
+  /// alone by the exporter when the attribution section is serialized.
+  kObsAttribution = 75,
   /// obs::MetricsRegistry::mu_ — leaf of every snapshot/registration path.
   kObsRegistry = 80,
   /// obs trace ring registry — leaf; taken on a thread's first trace
@@ -63,6 +71,13 @@ enum class LockRank : uint16_t {
 
 /// Human-readable name of a rank's lock class (never null).
 const char* LockRankName(LockRank rank);
+
+/// Diagnostic hook invoked once, best-effort, before the validator aborts
+/// — installed by the obs flight recorder to dump trace evidence with the
+/// failure. The hook MUST be reentrancy-safe: dumping may itself acquire
+/// ranked locks and re-enter the validator. Returns the previous hook.
+using LockOrderAbortHook = void (*)(const char* reason);
+LockOrderAbortHook SetLockOrderAbortHook(LockOrderAbortHook hook);
 
 #if APC_LOCK_ORDER
 

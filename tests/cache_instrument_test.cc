@@ -1,0 +1,90 @@
+// Compile-gated cache instrumentation (-DAPC_CACHE_INSTRUMENT): with the
+// flag ON the EntryStore tallies hits, misses, and widest-out evictions;
+// with it OFF (the default) the accessors are constant 0 and the probe
+// hook is an empty inline — zero members, zero code. This file compiles
+// and passes in BOTH modes; scripts/check.sh --obs builds the ON mode so
+// the moving-counter branch gets CI coverage too.
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_table.h"
+
+namespace apc {
+namespace {
+
+static_assert(EntryStore::cache_instrumented() ==
+                  (APC_CACHE_INSTRUMENT != 0),
+              "cache_instrumented() must mirror the build flag");
+
+CachedApprox Approx(double lo, double hi) {
+  CachedApprox approx;
+  approx.base = Interval(lo, hi);
+  approx.refresh_time = 0;
+  return approx;
+}
+
+TEST(CacheInstrumentTest, FindTalliesHitsAndMisses) {
+  EntryStore store(4);
+  ASSERT_TRUE(store.Offer(1, Approx(0.0, 1.0), 1.0));
+  EXPECT_NE(store.Find(1), nullptr);   // hit
+  EXPECT_NE(store.Find(1), nullptr);   // hit
+  EXPECT_EQ(store.Find(99), nullptr);  // miss
+  if (EntryStore::cache_instrumented()) {
+    EXPECT_EQ(store.cache_hits(), 2);
+    EXPECT_EQ(store.cache_misses(), 1);
+  } else {
+    EXPECT_EQ(store.cache_hits(), 0);
+    EXPECT_EQ(store.cache_misses(), 0);
+  }
+}
+
+TEST(CacheInstrumentTest, WidestOutEvictionsAreCounted) {
+  EntryStore store(2);
+  ASSERT_TRUE(store.Offer(1, Approx(0.0, 1.0), 1.0));
+  ASSERT_TRUE(store.Offer(2, Approx(0.0, 2.0), 2.0));
+  // Full; the narrower offer displaces the widest entry (id 2).
+  EntryStore::OfferResult result = store.OfferEx(3, Approx(0.0, 0.5), 0.5);
+  EXPECT_TRUE(result.cached);
+  EXPECT_EQ(result.evicted_id, 2);
+  // A rejected offer (wider than the current widest) evicts nothing.
+  EXPECT_FALSE(store.Offer(4, Approx(0.0, 9.0), 9.0));
+  // An in-place replacement of a cached id evicts nothing.
+  EXPECT_TRUE(store.Offer(1, Approx(0.0, 0.25), 0.25));
+  EXPECT_EQ(store.cache_evictions(),
+            EntryStore::cache_instrumented() ? 1 : 0);
+}
+
+TEST(CacheInstrumentTest, SlotProbeHookFeedsTheSameTallies) {
+  EntryStore store(4);
+  store.NoteSlotProbe(true);
+  store.NoteSlotProbe(true);
+  store.NoteSlotProbe(false);
+  if (EntryStore::cache_instrumented()) {
+    EXPECT_EQ(store.cache_hits(), 2);
+    EXPECT_EQ(store.cache_misses(), 1);
+  } else {
+    EXPECT_EQ(store.cache_hits(), 0);
+    EXPECT_EQ(store.cache_misses(), 0);
+  }
+}
+
+// The Cache alias carries the instrumentation surface unchanged — direct
+// users get the same counters the protocol tables do.
+TEST(CacheInstrumentTest, CacheAliasExposesCounters) {
+  Cache cache(2);
+  EXPECT_EQ(cache.cache_hits(), 0);
+  EXPECT_EQ(cache.cache_misses(), 0);
+  EXPECT_EQ(cache.cache_evictions(), 0);
+  ASSERT_TRUE(cache.Offer(7, Approx(0.0, 1.0), 1.0));
+  cache.Find(7);
+  cache.Find(8);
+  if (Cache::cache_instrumented()) {
+    EXPECT_EQ(cache.cache_hits() + cache.cache_misses(), 2);
+  } else {
+    EXPECT_EQ(cache.cache_hits() + cache.cache_misses(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace apc
